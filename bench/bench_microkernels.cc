@@ -1,0 +1,124 @@
+// google-benchmark microbenchmarks for the local kernels that all the
+// distributed operators bottom out in: block element-wise ops, matrix
+// multiplication across representations, and the fused-kernel evaluator's
+// masked (sparsity-exploiting) path vs the dense path.
+
+#include <benchmark/benchmark.h>
+
+#include "matrix/block_ops.h"
+#include "matrix/generators.h"
+#include "ops/evaluator.h"
+#include "workloads/queries.h"
+
+namespace fuseme {
+namespace {
+
+void BM_EwiseMulDenseDense(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  Block a = Block::FromDense(RandomDense(n, n, 1, 1.0, 2.0));
+  Block b = Block::FromDense(RandomDense(n, n, 2, 1.0, 2.0));
+  for (auto _ : state) {
+    auto result = EwiseBinary(BinaryFn::kMul, a, b);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(state.iterations() * n * n);
+}
+BENCHMARK(BM_EwiseMulDenseDense)->Arg(64)->Arg(256);
+
+void BM_EwiseMulSparseDense(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  Block a = Block::FromSparse(RandomSparse(n, n, 0.01, 1, 1.0, 2.0));
+  Block b = Block::FromDense(RandomDense(n, n, 2, 1.0, 2.0));
+  for (auto _ : state) {
+    auto result = EwiseBinary(BinaryFn::kMul, a, b);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(state.iterations() * a.nnz());
+}
+BENCHMARK(BM_EwiseMulSparseDense)->Arg(64)->Arg(256);
+
+void BM_MatMulDense(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  Block a = Block::FromDense(RandomDense(n, n, 1, 1.0, 2.0));
+  Block b = Block::FromDense(RandomDense(n, n, 2, 1.0, 2.0));
+  for (auto _ : state) {
+    auto result = MatMul(a, b);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_MatMulDense)->Arg(32)->Arg(128);
+
+void BM_MatMulSparseDense(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  Block a = Block::FromSparse(RandomSparse(n, n, 0.02, 1, 1.0, 2.0));
+  Block b = Block::FromDense(RandomDense(n, n, 2, 1.0, 2.0));
+  for (auto _ : state) {
+    auto result = MatMul(a, b);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * a.nnz() * n);
+}
+BENCHMARK(BM_MatMulSparseDense)->Arg(128)->Arg(256);
+
+void BM_TransposeSparse(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  Block a = Block::FromSparse(RandomSparse(n, n, 0.05, 1, 1.0, 2.0));
+  for (auto _ : state) {
+    auto result = Transpose(a);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_TransposeSparse)->Arg(256);
+
+// The fused kernel of Fig. 8 — dense evaluation vs the sparsity-exploiting
+// masked path on the same block.
+struct EvalSetup {
+  NmfPattern q;
+  PartialPlan plan;
+  std::map<NodeId, BlockedMatrix> data;
+
+  explicit EvalSetup(std::int64_t n, double density)
+      : q(BuildNmfPattern(n, n, 64,
+                          static_cast<std::int64_t>(density * n * n))),
+        plan(&q.dag, {q.vT, q.mm, q.add, q.log, q.mul}, q.mul) {
+    data[q.X] = BlockedMatrix::FromSparse(
+        RandomSparse(n, n, density, 1, 1.0, 2.0), n);
+    data[q.U] = BlockedMatrix::FromDense(RandomDense(n, 64, 2), n);
+    data[q.V] = BlockedMatrix::FromDense(RandomDense(n, 64, 3), n);
+  }
+
+  BlockFetcher Fetcher() {
+    return [this](NodeId id, std::int64_t bi,
+                  std::int64_t bj) -> Result<Block> {
+      return data.at(id).block(bi, bj);
+    };
+  }
+};
+
+void BM_FusedKernelDensePath(benchmark::State& state) {
+  EvalSetup setup(256, 0.01);
+  for (auto _ : state) {
+    KernelEvaluator eval(&setup.plan, 256, setup.Fetcher());
+    auto result = eval.Eval(setup.q.mul, 0, 0);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_FusedKernelDensePath);
+
+void BM_FusedKernelMaskedPath(benchmark::State& state) {
+  EvalSetup setup(256, 0.01);
+  SparseDriver driver = FindSparseDriver(setup.plan, setup.q.mm);
+  for (auto _ : state) {
+    KernelEvaluator eval(&setup.plan, 256, setup.Fetcher());
+    eval.SetSparseDriver(driver);
+    auto result = eval.Eval(setup.q.mul, 0, 0);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_FusedKernelMaskedPath);
+
+}  // namespace
+}  // namespace fuseme
+
+BENCHMARK_MAIN();

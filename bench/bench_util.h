@@ -1,0 +1,52 @@
+// Shared helpers for the experiment harnesses: paper-style cell formatting
+// (numbers, "O.O.M.", "T.O.") and simple aligned tables.
+
+#ifndef FUSEME_BENCH_BENCH_UTIL_H_
+#define FUSEME_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "engine/engine.h"
+
+namespace fuseme::bench {
+
+/// Formats an execution outcome the way the paper's figures label bars:
+/// elapsed seconds, or the failure marker.
+inline std::string ElapsedCell(const ExecutionReport& report) {
+  if (report.status.IsOutOfMemory()) return "O.O.M.";
+  if (report.status.IsTimedOut()) return "T.O.";
+  if (!report.status.ok()) return "ERR";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.1f", report.elapsed_seconds);
+  return buf;
+}
+
+/// Same for communication cost in GB.
+inline std::string BytesCell(const ExecutionReport& report) {
+  if (report.status.IsOutOfMemory()) return "O.O.M.";
+  if (report.status.IsTimedOut()) return "T.O.";
+  if (!report.status.ok()) return "ERR";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.1f",
+                static_cast<double>(report.total_bytes()) / 1e9);
+  return buf;
+}
+
+inline void PrintRow(const std::vector<std::string>& cells, int width = 14) {
+  for (const std::string& cell : cells) {
+    std::printf("%-*s", width, cell.c_str());
+  }
+  std::printf("\n");
+}
+
+inline void PrintRule(std::size_t cells, int width = 14) {
+  std::printf("%s\n",
+              std::string(cells * static_cast<std::size_t>(width), '-')
+                  .c_str());
+}
+
+}  // namespace fuseme::bench
+
+#endif  // FUSEME_BENCH_BENCH_UTIL_H_

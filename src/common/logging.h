@@ -1,0 +1,78 @@
+// Minimal leveled logging + check macros.
+//
+// FUSEME_CHECK aborts on contract violations (programming errors); recoverable
+// conditions use Status instead.  Log level is controlled at runtime via
+// SetLogLevel or the FUSEME_LOG_LEVEL environment variable (0=debug..3=error).
+
+#ifndef FUSEME_COMMON_LOGGING_H_
+#define FUSEME_COMMON_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace fuseme {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Sets the global minimum level that will be emitted.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal_logging {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+class FatalMessage {
+ public:
+  FatalMessage(const char* file, int line, const char* condition);
+  [[noreturn]] ~FatalMessage();
+
+  template <typename T>
+  FatalMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_logging
+}  // namespace fuseme
+
+#define FUSEME_LOG(level)                                               \
+  if (static_cast<int>(::fuseme::LogLevel::k##level) >=                 \
+      static_cast<int>(::fuseme::GetLogLevel()))                        \
+  ::fuseme::internal_logging::LogMessage(::fuseme::LogLevel::k##level,  \
+                                         __FILE__, __LINE__)
+
+#define FUSEME_CHECK(condition)                                       \
+  if (!(condition))                                                   \
+  ::fuseme::internal_logging::FatalMessage(__FILE__, __LINE__, #condition)
+
+#define FUSEME_CHECK_EQ(a, b) FUSEME_CHECK((a) == (b))
+#define FUSEME_CHECK_NE(a, b) FUSEME_CHECK((a) != (b))
+#define FUSEME_CHECK_LT(a, b) FUSEME_CHECK((a) < (b))
+#define FUSEME_CHECK_LE(a, b) FUSEME_CHECK((a) <= (b))
+#define FUSEME_CHECK_GT(a, b) FUSEME_CHECK((a) > (b))
+#define FUSEME_CHECK_GE(a, b) FUSEME_CHECK((a) >= (b))
+
+#define FUSEME_DCHECK(condition) FUSEME_CHECK(condition)
+
+#endif  // FUSEME_COMMON_LOGGING_H_

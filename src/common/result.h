@@ -1,0 +1,69 @@
+// Result<T>: value-or-Status, the return type of fallible producers.
+
+#ifndef FUSEME_COMMON_RESULT_H_
+#define FUSEME_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace fuseme {
+
+/// Holds either a T or a non-OK Status.  Constructing from Status::OK() is a
+/// programming error (there would be no value).
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  Result(Status status)                          // NOLINT(runtime/explicit)
+      : status_(std::move(status)) {
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+  /// Returns the value or `fallback` when this holds an error.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace fuseme
+
+#define FUSEME_CONCAT_IMPL(a, b) a##b
+#define FUSEME_CONCAT(a, b) FUSEME_CONCAT_IMPL(a, b)
+
+/// Assigns the value of a Result-returning expression to `lhs`, or returns
+/// the error from the current function.
+#define FUSEME_ASSIGN_OR_RETURN(lhs, expr)                      \
+  auto FUSEME_CONCAT(_result_, __LINE__) = (expr);              \
+  if (!FUSEME_CONCAT(_result_, __LINE__).ok())                  \
+    return FUSEME_CONCAT(_result_, __LINE__).status();          \
+  lhs = std::move(FUSEME_CONCAT(_result_, __LINE__)).value()
+
+#endif  // FUSEME_COMMON_RESULT_H_

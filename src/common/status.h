@@ -1,0 +1,90 @@
+// Status: error-handling vocabulary for FuseME.
+//
+// FuseME follows the Arrow/RocksDB convention: fallible functions return a
+// Status (or Result<T>, see result.h) instead of throwing.  OutOfMemory and
+// TimedOut are first-class codes because the paper's evaluation reports
+// O.O.M. and T.O. cells as ordinary experimental outcomes (Figs. 12, 14, 15).
+
+#ifndef FUSEME_COMMON_STATUS_H_
+#define FUSEME_COMMON_STATUS_H_
+
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace fuseme {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kOutOfMemory,   // per-task memory estimate exceeded the budget (theta_t)
+  kTimedOut,      // simulated elapsed time exceeded the experiment horizon
+  kNotImplemented,
+  kInternal,
+};
+
+/// Returns a stable human-readable name for a status code ("OutOfMemory"...).
+std::string_view StatusCodeName(StatusCode code);
+
+/// A cheap value type carrying success or an error code plus message.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfMemory(std::string msg) {
+    return Status(StatusCode::kOutOfMemory, std::move(msg));
+  }
+  static Status TimedOut(std::string msg) {
+    return Status(StatusCode::kTimedOut, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  bool IsOutOfMemory() const { return code_ == StatusCode::kOutOfMemory; }
+  bool IsTimedOut() const { return code_ == StatusCode::kTimedOut; }
+  bool IsInvalidArgument() const {
+    return code_ == StatusCode::kInvalidArgument;
+  }
+  bool IsNotImplemented() const {
+    return code_ == StatusCode::kNotImplemented;
+  }
+
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+}  // namespace fuseme
+
+/// Propagates a non-OK Status from the current function.
+#define FUSEME_RETURN_IF_ERROR(expr)                \
+  do {                                              \
+    ::fuseme::Status _st = (expr);                  \
+    if (!_st.ok()) return _st;                      \
+  } while (false)
+
+#endif  // FUSEME_COMMON_STATUS_H_

@@ -1,0 +1,58 @@
+#include "common/string_util.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace fuseme {
+
+std::string HumanBytes(double bytes) {
+  static const char* kUnits[] = {"B", "KB", "MB", "GB", "TB", "PB"};
+  int unit = 0;
+  double v = bytes;
+  while (std::fabs(v) >= 1024.0 && unit < 5) {
+    v /= 1024.0;
+    ++unit;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.2f %s", v, kUnits[unit]);
+  return buf;
+}
+
+std::string HumanSeconds(double seconds) {
+  char buf[64];
+  if (seconds < 1.0) {
+    std::snprintf(buf, sizeof(buf), "%.0f ms", seconds * 1000.0);
+  } else if (seconds < 120.0) {
+    std::snprintf(buf, sizeof(buf), "%.1f sec", seconds);
+  } else if (seconds < 7200.0) {
+    std::snprintf(buf, sizeof(buf), "%.1f min", seconds / 60.0);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2f hr", seconds / 3600.0);
+  }
+  return buf;
+}
+
+std::string WithThousands(std::int64_t value) {
+  std::string digits = std::to_string(value < 0 ? -value : value);
+  std::string out;
+  int count = 0;
+  for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+    if (count != 0 && count % 3 == 0) out.push_back(',');
+    out.push_back(*it);
+    ++count;
+  }
+  if (value < 0) out.push_back('-');
+  return {out.rbegin(), out.rend()};
+}
+
+std::string Join(const std::vector<std::string>& pieces,
+                 const std::string& separator) {
+  std::string out;
+  for (size_t i = 0; i < pieces.size(); ++i) {
+    if (i != 0) out += separator;
+    out += pieces[i];
+  }
+  return out;
+}
+
+}  // namespace fuseme

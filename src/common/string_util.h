@@ -1,0 +1,27 @@
+// Small string helpers used across modules (formatting sizes, joining).
+
+#ifndef FUSEME_COMMON_STRING_UTIL_H_
+#define FUSEME_COMMON_STRING_UTIL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace fuseme {
+
+/// Formats a byte count as a human-readable string, e.g. "1.50 GB".
+std::string HumanBytes(double bytes);
+
+/// Formats a duration in seconds, e.g. "2.5 min" / "36.0 sec" / "120 ms".
+std::string HumanSeconds(double seconds);
+
+/// Formats a count with thousands separators, e.g. "1,000,000".
+std::string WithThousands(std::int64_t value);
+
+/// Joins pieces with a separator.
+std::string Join(const std::vector<std::string>& pieces,
+                 const std::string& separator);
+
+}  // namespace fuseme
+
+#endif  // FUSEME_COMMON_STRING_UTIL_H_

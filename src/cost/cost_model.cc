@@ -1,0 +1,278 @@
+#include "cost/cost_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "common/logging.h"
+#include "fusion/sparsity_analysis.h"
+#include "matrix/block.h"
+#include "matrix/sparsity.h"
+
+namespace fuseme {
+
+std::string Cuboid::ToString() const {
+  return "(" + std::to_string(P) + "," + std::to_string(Q) + "," +
+         std::to_string(R) + ")";
+}
+
+std::int64_t NumOp(const Dag& dag, NodeId id) {
+  const Node& n = dag.node(id);
+  switch (n.kind) {
+    case OpKind::kInput:
+    case OpKind::kScalar:
+      return 0;
+    case OpKind::kUnary: {
+      const Node& in = dag.node(n.inputs[0]);
+      return UnaryPreservesZero(n.unary_fn) ? in.nnz : in.rows * in.cols;
+    }
+    case OpKind::kBinary: {
+      const Node& a = dag.node(n.inputs[0]);
+      const Node& b = dag.node(n.inputs[1]);
+      if (n.binary_fn == BinaryFn::kMul) {
+        return std::min(a.is_matrix() ? a.nnz : b.nnz,
+                        b.is_matrix() ? b.nnz : a.nnz);
+      }
+      return n.rows * n.cols;
+    }
+    case OpKind::kMatMul: {
+      const Node& a = dag.node(n.inputs[0]);
+      const Node& b = dag.node(n.inputs[1]);
+      return EstimateMatMulFlops(a.rows, a.cols, b.cols, a.nnz, b.nnz);
+    }
+    case OpKind::kUnaryAgg: {
+      const Node& in = dag.node(n.inputs[0]);
+      return in.nnz;
+    }
+    case OpKind::kTranspose:
+      return n.nnz;
+  }
+  return 0;
+}
+
+std::int64_t SizeOf(const Dag& dag, NodeId id) {
+  const Node& n = dag.node(id);
+  if (!n.is_matrix()) return 8;
+  return Block::EstimateSizeBytes(n.rows, n.cols, n.nnz);
+}
+
+GridDims CostModel::Grid(const PartialPlan& plan) const {
+  const std::int64_t bs = config_.block_size;
+  auto blocks = [bs](std::int64_t dim) {
+    return std::max<std::int64_t>(1, (dim + bs - 1) / bs);
+  };
+  GridDims g;
+  NodeId mm = plan.MainMatMul();
+  if (mm == kInvalidNode) {
+    const Node& root = plan.dag().node(plan.root());
+    g.I = blocks(root.rows);
+    g.J = blocks(root.cols);
+    g.K = 1;
+    return g;
+  }
+  const Node& n = plan.dag().node(mm);
+  const Node& lhs = plan.dag().node(n.inputs[0]);
+  g.I = blocks(n.rows);
+  g.J = blocks(n.cols);
+  g.K = blocks(lhs.cols);
+  return g;
+}
+
+void CostModel::ChargeExternal(const Dag& dag, NodeId input, double rep,
+                               double div, Accum* acc) const {
+  const Node& n = dag.node(input);
+  if (!n.is_matrix()) return;  // scalars ride along with task metadata
+  const double bytes = static_cast<double>(SizeOf(dag, input));
+  acc->net += rep * bytes;
+  acc->mem += bytes / std::max(1.0, div);
+}
+
+namespace {
+
+/// Collects the members of `plan` lying in `subset` that are reachable
+/// backwards from `start` (the subtree of `start` restricted to `subset`).
+std::vector<NodeId> SubtreeWithin(const Dag& dag,
+                                  const std::set<NodeId>& subset,
+                                  NodeId start) {
+  std::vector<NodeId> out;
+  std::vector<NodeId> frontier = {start};
+  std::set<NodeId> seen;
+  while (!frontier.empty()) {
+    NodeId id = frontier.back();
+    frontier.pop_back();
+    if (subset.count(id) == 0 || !seen.insert(id).second) continue;
+    out.push_back(id);
+    for (NodeId in : dag.node(id).inputs) frontier.push_back(in);
+  }
+  return out;
+}
+
+/// Largest matmul (by I·J·K voxels) among `candidates`, or kInvalidNode.
+NodeId LargestMatMul(const Dag& dag, const std::vector<NodeId>& candidates) {
+  NodeId best = kInvalidNode;
+  std::int64_t best_voxels = -1;
+  for (NodeId id : candidates) {
+    const Node& n = dag.node(id);
+    if (n.kind != OpKind::kMatMul) continue;
+    const std::int64_t voxels =
+        n.rows * n.cols * dag.node(n.inputs[0]).cols;
+    // >= : ties resolve to the downstream matmul (ids are topological).
+    if (voxels >= best_voxels) {
+      best_voxels = voxels;
+      best = id;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+void CostModel::Walk(const PartialPlan& plan, const SparseDriver& driver,
+                     const std::vector<NodeId>& subset, NodeId out_root,
+                     const Cuboid& c, double rep, double div,
+                     Accum* acc) const {
+  if (subset.empty()) return;
+  const Dag& dag = plan.dag();
+  std::set<NodeId> subset_set(subset.begin(), subset.end());
+
+  // Compute scaling from sparsity exploitation: nodes between the plan's
+  // main matmul and a sparse mask only evaluate at the mask's non-zeros.
+  auto compute_scale = [&](NodeId id) {
+    if (!driver.found()) return 1.0;
+    for (NodeId scaled : driver.scaled_nodes) {
+      if (scaled == id) return driver.density;
+    }
+    return 1.0;
+  };
+
+  const NodeId mm = LargestMatMul(dag, subset);
+  if (mm == kInvalidNode) {
+    // Flat space: element-wise / reorganization / aggregation operators all
+    // share the space's partitioning; work replicates `rep` times.
+    for (NodeId id : subset) {
+      acc->com += rep * compute_scale(id) *
+                  static_cast<double>(NumOp(dag, id));
+      for (NodeId in : dag.node(id).inputs) {
+        if (subset_set.count(in) > 0) continue;   // in-space flow
+        if (plan.Contains(in)) continue;          // fused flow across spaces
+        ChargeExternal(dag, in, rep, div, acc);
+      }
+    }
+    return;
+  }
+
+  // The space's main matmul: computed once per replica of this space.
+  acc->com +=
+      rep * compute_scale(mm) * static_cast<double>(NumOp(dag, mm));
+
+  const Node& mm_node = dag.node(mm);
+  const Cuboid c_l{c.P, 1, c.R};
+  const Cuboid c_r{1, c.Q, c.R};
+  const Cuboid c_o{c.P, c.Q, 1};
+
+  std::set<NodeId> consumed = {mm};
+
+  // L side.
+  const NodeId lhs = mm_node.inputs[0];
+  if (subset_set.count(lhs) > 0) {
+    std::vector<NodeId> l_set = SubtreeWithin(dag, subset_set, lhs);
+    consumed.insert(l_set.begin(), l_set.end());
+    Walk(plan, driver, l_set, lhs, c_l, rep * static_cast<double>(c.Q),
+         static_cast<double>(c.P * c.R), acc);
+  } else if (!plan.Contains(lhs)) {
+    ChargeExternal(dag, lhs, rep * static_cast<double>(c.Q),
+                   static_cast<double>(c.P * c.R), acc);
+  }
+
+  // R side.
+  const NodeId rhs = mm_node.inputs[1];
+  if (subset_set.count(rhs) > 0) {
+    std::vector<NodeId> r_set = SubtreeWithin(dag, subset_set, rhs);
+    consumed.insert(r_set.begin(), r_set.end());
+    Walk(plan, driver, r_set, rhs, c_r, rep * static_cast<double>(c.P),
+         static_cast<double>(c.Q * c.R), acc);
+  } else if (!plan.Contains(rhs)) {
+    ChargeExternal(dag, rhs, rep * static_cast<double>(c.P),
+                   static_cast<double>(c.Q * c.R), acc);
+  }
+
+  // O space: whatever remains (ancestors of mm and their side branches).
+  // With the two-phase execution the O-space evaluation happens once per
+  // (p,q) pair on the r=0 tasks, so — unlike Eq. 4/5, which replicate the
+  // whole O-space R times — only the sparse mask (which every k-slice
+  // needs for masked partials) pays the extra R-1 copies; Estimate() adds
+  // that term separately.
+  std::vector<NodeId> o_set;
+  for (NodeId id : subset) {
+    if (consumed.count(id) == 0) o_set.push_back(id);
+  }
+  if (!o_set.empty()) {
+    Walk(plan, driver, o_set, out_root, c_o, rep,
+         static_cast<double>(c.P * c.Q), acc);
+  }
+}
+
+double CostModel::AggBytes(const Cuboid& c, const PartialPlan& plan) const {
+  if (c.R <= 1) return 0.0;
+  const NodeId mm = plan.MainMatMul();
+  if (mm == kInvalidNode) return 0.0;
+  const Dag& dag = plan.dag();
+  const Node& mm_node = dag.node(mm);
+  std::int64_t partial_nnz = mm_node.rows * mm_node.cols;
+  const SparseDriver driver = FindSparseDriver(plan, mm);
+  if (driver.found()) {
+    partial_nnz = std::min(partial_nnz, dag.node(driver.sparse_input).nnz);
+  }
+  return static_cast<double>(c.R - 1) *
+         static_cast<double>(Block::EstimateSizeBytes(
+             mm_node.rows, mm_node.cols, partial_nnz));
+}
+
+CostModel::Estimates CostModel::Estimate(const Cuboid& c,
+                                         const PartialPlan& plan) const {
+  Accum acc;
+  const SparseDriver driver = FindSparseDriver(plan, plan.MainMatMul());
+  // Top-level divisor: a flat (no-matmul) plan partitions its inputs the
+  // same way as its output, P·Q ways.  (When a matmul exists the recursion
+  // replaces this with the per-space divisors before it is ever used.)
+  Walk(plan, driver, plan.members(), plan.root(), c, 1.0,
+       static_cast<double>(c.P * c.Q), &acc);
+  // Output partition of the fused operator (the |O|/T term of Table 1).
+  acc.mem += static_cast<double>(SizeOf(plan.dag(), plan.root())) /
+             static_cast<double>(std::max<std::int64_t>(1, c.P * c.Q));
+  // Masked partial evaluation ships the sparse mask to all R k-slices.
+  if (driver.found() && c.R > 1 &&
+      !plan.Contains(driver.sparse_input)) {
+    acc.net += static_cast<double>(c.R - 1) *
+               static_cast<double>(SizeOf(plan.dag(), driver.sparse_input));
+  }
+  Estimates est;
+  est.mem_per_task = acc.mem;
+  est.net_bytes = acc.net;
+  est.agg_bytes = AggBytes(c, plan);
+  est.flops = acc.com;
+  return est;
+}
+
+double CostModel::MemEst(const Cuboid& c, const PartialPlan& plan) const {
+  return Estimate(c, plan).mem_per_task;
+}
+
+double CostModel::NetEst(const Cuboid& c, const PartialPlan& plan) const {
+  return Estimate(c, plan).net_bytes;
+}
+
+double CostModel::ComEst(const Cuboid& c, const PartialPlan& plan) const {
+  return Estimate(c, plan).flops;
+}
+
+double CostModel::Cost(const Cuboid& c, const PartialPlan& plan) const {
+  const Estimates est = Estimate(c, plan);
+  const double n = static_cast<double>(config_.num_nodes);
+  const double net_time =
+      (est.net_bytes + est.agg_bytes) / (n * config_.net_bandwidth);
+  const double com_time = est.flops / (n * config_.compute_bandwidth);
+  return std::max(net_time, com_time);
+}
+
+}  // namespace fuseme

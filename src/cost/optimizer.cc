@@ -1,0 +1,126 @@
+#include "cost/optimizer.h"
+
+#include <algorithm>
+
+namespace fuseme {
+
+namespace {
+
+/// Deterministic preference among (near-)equal-cost choices: lower cost,
+/// then less network traffic, then smaller volume (fewer replicas), then
+/// smaller R (cheaper aggregation).
+bool Better(const PqrChoice& a, const PqrChoice& b) {
+  constexpr double kEps = 1e-12;
+  if (a.cost + kEps < b.cost) return true;
+  if (b.cost + kEps < a.cost) return false;
+  if (a.net_bytes + kEps < b.net_bytes) return true;
+  if (b.net_bytes + kEps < a.net_bytes) return false;
+  if (a.c.volume() != b.c.volume()) return a.c.volume() < b.c.volume();
+  return a.c.R < b.c.R;
+}
+
+}  // namespace
+
+void PqrOptimizer::Consider(const PartialPlan& plan, const Cuboid& c,
+                            PqrChoice* best) const {
+  ++best->evaluations;
+  const CostModel::Estimates est = model_->Estimate(c, plan);
+  if (est.mem_per_task > static_cast<double>(
+                             model_->config().task_memory_budget)) {
+    return;
+  }
+  PqrChoice candidate;
+  candidate.c = c;
+  candidate.mem_per_task = est.mem_per_task;
+  candidate.net_bytes = est.net_bytes;
+  candidate.agg_bytes = est.agg_bytes;
+  candidate.flops = est.flops;
+  const double n = static_cast<double>(model_->config().num_nodes);
+  candidate.cost = std::max(
+      (est.net_bytes + est.agg_bytes) / (n * model_->config().net_bandwidth),
+      est.flops / (n * model_->config().compute_bandwidth));
+  candidate.feasible = true;
+  if (!best->feasible || Better(candidate, *best)) {
+    const std::int64_t evals = best->evaluations;
+    *best = candidate;
+    best->evaluations = evals;
+  }
+}
+
+PqrChoice PqrOptimizer::Exhaustive(const PartialPlan& plan,
+                                   std::int64_t max_r) const {
+  GridDims g = model_->Grid(plan);
+  if (max_r > 0) g.K = std::min(g.K, max_r);
+  const std::int64_t min_volume = model_->config().total_tasks();
+  PqrChoice best;
+  if (g.I * g.J * g.K < min_volume) {
+    // The grid cannot fill the cluster: use the largest partitioning.
+    Consider(plan, Cuboid{g.I, g.J, g.K}, &best);
+    if (!best.feasible) best.c = Cuboid{g.I, g.J, g.K};
+    return best;
+  }
+  for (std::int64_t p = 1; p <= g.I; ++p) {
+    for (std::int64_t q = 1; q <= g.J; ++q) {
+      for (std::int64_t r = 1; r <= g.K; ++r) {
+        if (p * q * r < min_volume) continue;
+        Consider(plan, Cuboid{p, q, r}, &best);
+      }
+    }
+  }
+  if (!best.feasible) best.c = Cuboid{g.I, g.J, g.K};
+  return best;
+}
+
+PqrChoice PqrOptimizer::Pruned(const PartialPlan& plan,
+                               std::int64_t max_r) const {
+  GridDims g = model_->Grid(plan);
+  if (max_r > 0) g.K = std::min(g.K, max_r);
+  const std::int64_t min_volume = model_->config().total_tasks();
+  PqrChoice best;
+  if (g.I * g.J * g.K < min_volume) {
+    Consider(plan, Cuboid{g.I, g.J, g.K}, &best);
+    if (!best.feasible) best.c = Cuboid{g.I, g.J, g.K};
+    return best;
+  }
+  for (std::int64_t q = 1; q <= g.J; ++q) {
+    for (std::int64_t r = 1; r <= g.K; ++r) {
+      // Smallest P that fills the cluster; cost is nondecreasing in P, so
+      // scan upward and stop at the first memory-feasible point.
+      std::int64_t p0 = (min_volume + q * r - 1) / (q * r);
+      p0 = std::max<std::int64_t>(p0, 1);
+      if (p0 > g.I) continue;
+      for (std::int64_t p = p0; p <= g.I; ++p) {
+        ++best.evaluations;
+        const Cuboid c{p, q, r};
+        const CostModel::Estimates est = model_->Estimate(c, plan);
+        if (est.mem_per_task >
+            static_cast<double>(model_->config().task_memory_budget)) {
+          continue;  // infeasible: a larger P may still fit
+        }
+        // Feasible: anything with larger P costs at least as much.
+        PqrChoice candidate;
+        candidate.c = c;
+        candidate.mem_per_task = est.mem_per_task;
+        candidate.net_bytes = est.net_bytes;
+        candidate.agg_bytes = est.agg_bytes;
+        candidate.flops = est.flops;
+        const double n = static_cast<double>(model_->config().num_nodes);
+        candidate.cost = std::max(
+            (est.net_bytes + est.agg_bytes) /
+                (n * model_->config().net_bandwidth),
+            est.flops / (n * model_->config().compute_bandwidth));
+        candidate.feasible = true;
+        if (!best.feasible || Better(candidate, best)) {
+          const std::int64_t evals = best.evaluations;
+          best = candidate;
+          best.evaluations = evals;
+        }
+        break;
+      }
+    }
+  }
+  if (!best.feasible) best.c = Cuboid{g.I, g.J, g.K};
+  return best;
+}
+
+}  // namespace fuseme

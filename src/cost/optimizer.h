@@ -1,0 +1,61 @@
+// (P*, Q*, R*) search (paper §3.3).
+//
+// The optimizer picks the cuboid parameters with the minimum Cost() (Eq. 2)
+// subject to MemEst ≤ theta_t, over 1 ≤ P ≤ I, 1 ≤ Q ≤ J, 1 ≤ R ≤ K (block
+// grid dims of the plan's main matmul).  Parameter sets whose volume would
+// under-use the cluster (P·Q·R < N·Tc) are pruned unless the whole grid is
+// smaller than the cluster, in which case the largest partitioning is used.
+//
+// Two strategies are provided: the exhaustive scan (DistME's approach) and
+// the paper's pruning search, which exploits that for fixed (Q, R) both
+// NetEst and ComEst are nondecreasing in P while MemEst is nonincreasing —
+// so the smallest feasible P is optimal for that (Q, R) and every larger P
+// can be skipped (and symmetrically for the other axes).
+
+#ifndef FUSEME_COST_OPTIMIZER_H_
+#define FUSEME_COST_OPTIMIZER_H_
+
+#include <cstdint>
+#include <limits>
+
+#include "cost/cost_model.h"
+
+namespace fuseme {
+
+struct PqrChoice {
+  Cuboid c;
+  double cost = std::numeric_limits<double>::infinity();
+  double mem_per_task = 0;
+  double net_bytes = 0;   // consolidation
+  double agg_bytes = 0;   // R>1 partial-aggregation shuffle
+  double flops = 0;
+  bool feasible = false;
+  /// Number of (P,Q,R) points whose estimates were evaluated — the search
+  /// effort compared in Fig. 13(d).
+  std::int64_t evaluations = 0;
+};
+
+class PqrOptimizer {
+ public:
+  explicit PqrOptimizer(const CostModel* model) : model_(model) {}
+
+  /// Full scan of the (P,Q,R) grid.  `max_r` > 0 caps the R axis (used
+  /// when the executor cannot split the common dimension for a plan, e.g.
+  /// when the O-space reshapes the matmul output).
+  PqrChoice Exhaustive(const PartialPlan& plan,
+                       std::int64_t max_r = 0) const;
+
+  /// Monotonicity-based pruning search (the paper's method).
+  PqrChoice Pruned(const PartialPlan& plan, std::int64_t max_r = 0) const;
+
+ private:
+  /// Evaluates one parameter point; updates `best` if feasible and better.
+  void Consider(const PartialPlan& plan, const Cuboid& c,
+                PqrChoice* best) const;
+
+  const CostModel* model_;
+};
+
+}  // namespace fuseme
+
+#endif  // FUSEME_COST_OPTIMIZER_H_

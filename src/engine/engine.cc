@@ -1,0 +1,457 @@
+#include "engine/engine.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "fusion/sparsity_analysis.h"
+#include "matrix/block.h"
+#include "ops/fused_operator.h"
+
+namespace fuseme {
+
+std::string_view SystemModeName(SystemMode mode) {
+  switch (mode) {
+    case SystemMode::kFuseMe:
+      return "FuseME";
+    case SystemMode::kSystemDs:
+      return "SystemDS";
+    case SystemMode::kMatFast:
+      return "MatFast";
+    case SystemMode::kDistMe:
+      return "DistME";
+    case SystemMode::kTensorFlow:
+      return "TensorFlow";
+  }
+  return "?";
+}
+
+std::string ExecutionReport::Summary() const {
+  if (status.IsOutOfMemory()) return "O.O.M. (" + status.message() + ")";
+  if (status.IsTimedOut()) return "T.O. (" + status.message() + ")";
+  if (!status.ok()) return status.ToString();
+  return HumanSeconds(elapsed_seconds) + ", " +
+         HumanBytes(static_cast<double>(total_bytes())) + " shuffled, " +
+         std::to_string(stages.size()) + " stages";
+}
+
+Engine::Engine(EngineOptions options)
+    : options_(std::move(options)), model_(options_.cluster) {}
+
+PqrChoice Engine::Optimize(const PartialPlan& plan) const {
+  PqrOptimizer optimizer(&model_);
+  // Plans whose O-space reshapes the matmul output cannot split the
+  // common dimension (no coordinate-wise partial merge is possible).
+  const std::int64_t max_r = CuboidSupportsKSplit(plan) ? 0 : 1;
+  return options_.pruned_search ? optimizer.Pruned(plan, max_r)
+                                : optimizer.Exhaustive(plan, max_r);
+}
+
+FusionPlanSet Engine::MakePlans(const Dag& dag) const {
+  switch (options_.system) {
+    case SystemMode::kFuseMe: {
+      CfgPlanner planner(&model_);
+      return planner.Plan(dag);
+    }
+    case SystemMode::kSystemDs:
+      return GenPlanner().Plan(dag);
+    case SystemMode::kMatFast:
+    case SystemMode::kTensorFlow:
+      return FoldedPlanner().Plan(dag);
+    case SystemMode::kDistMe:
+      return NoFusionPlanner().Plan(dag);
+  }
+  return NoFusionPlanner().Plan(dag);
+}
+
+OperatorKind Engine::PickOperator(const PartialPlan& plan,
+                                  const FusedInputs& inputs) const {
+  const bool has_matmul = !plan.MatMuls().empty();
+  switch (options_.system) {
+    case SystemMode::kFuseMe:
+    case SystemMode::kDistMe:
+      return OperatorKind::kCfo;
+    case SystemMode::kMatFast:
+    case SystemMode::kTensorFlow:
+      // MatFast (and XLA's data-parallel execution) broadcast the smaller
+      // matmul operand; folded element-wise chains co-partition inputs.
+      return has_matmul ? OperatorKind::kBfo : OperatorKind::kCfo;
+    case SystemMode::kSystemDs: {
+      if (!has_matmul) return OperatorKind::kCfo;
+      // §6.2 selection rule: BFO when the main matrix is repartitioned
+      // into fewer Spark partitions than its block-grid dimensions.
+      const Dag& dag = plan.dag();
+      NodeId main_input = kInvalidNode;
+      std::int64_t main_cells = -1;
+      for (const auto& [id, dm] : inputs) {
+        const Node& n = dag.node(id);
+        const std::int64_t cells = n.rows * n.cols;
+        if (cells > main_cells) {
+          main_cells = cells;
+          main_input = id;
+        }
+      }
+      if (main_input == kInvalidNode) return OperatorKind::kBfo;
+      const Node& main = dag.node(main_input);
+      const std::int64_t main_bytes = SizeOf(dag, main_input);
+      const std::int64_t bs = options_.cluster.block_size;
+      const std::int64_t gi = (main.rows + bs - 1) / bs;
+      const std::int64_t gj = (main.cols + bs - 1) / bs;
+      const std::int64_t parts =
+          EstimateSparkPartitions(main_bytes, gi * gj);
+      if (parts >= gi && parts >= gj) return OperatorKind::kRfo;
+      // SystemDS only picks the broadcast operator when the side matrices
+      // actually fit in a task (mapmm); otherwise it falls back to the
+      // replication-based shuffle operator (cpmm/rmm).
+      std::int64_t side_bytes = 0;
+      for (const auto& [id, dm] : inputs) {
+        if (id != main_input) side_bytes += SizeOf(dag, id);
+      }
+      const bool sides_fit =
+          side_bytes + main_bytes / options_.cluster.total_tasks() <=
+          options_.cluster.task_memory_budget;
+      return sides_fit ? OperatorKind::kBfo : OperatorKind::kCpmm;
+    }
+  }
+  return OperatorKind::kCfo;
+}
+
+/// Smallest R making a (1,1,R) cuboid fit the task budget, or -1.
+static std::int64_t MinFeasibleCpmmR(const CostModel& model,
+                                     const PartialPlan& plan) {
+  const GridDims g = model.Grid(plan);
+  for (std::int64_t r = 1; r <= g.K; ++r) {
+    if (model.MemEst(Cuboid{1, 1, r}, plan) <=
+        static_cast<double>(model.config().task_memory_budget)) {
+      return r;
+    }
+  }
+  return -1;
+}
+
+Result<DistributedMatrix> Engine::RunPlanReal(const PartialPlan& plan,
+                                              OperatorKind kind,
+                                              const FusedInputs& inputs,
+                                              StageContext* ctx) const {
+  switch (kind) {
+    case OperatorKind::kCfo: {
+      const PqrChoice choice = Optimize(plan);
+      if (!choice.feasible) {
+        return Status::OutOfMemory(
+            "no feasible (P,Q,R) for plan " + plan.ToString() +
+            " within the per-task budget");
+      }
+      CuboidOptions cuboid_options;
+      cuboid_options.balance_sparsity = options_.balance_sparsity;
+      return CuboidFusedOperator::Execute(plan, choice.c, inputs, ctx,
+                                          cuboid_options);
+    }
+    case OperatorKind::kBfo:
+      return BroadcastFusedOperator::Execute(plan, inputs, ctx);
+    case OperatorKind::kRfo: {
+      const GridDims g = model_.Grid(plan);
+      return CuboidFusedOperator::Execute(plan, Cuboid{g.I, g.J, 1}, inputs,
+                                          ctx);
+    }
+    case OperatorKind::kCpmm: {
+      const std::int64_t r = MinFeasibleCpmmR(model_, plan);
+      if (r < 0) {
+        return Status::OutOfMemory("cpmm cannot fit " + plan.ToString() +
+                                   " within the per-task budget");
+      }
+      return CuboidFusedOperator::Execute(plan, Cuboid{1, 1, r}, inputs,
+                                          ctx);
+    }
+    case OperatorKind::kAuto:
+      break;
+  }
+  return Status::Internal("unresolved operator kind");
+}
+
+namespace {
+
+/// Total serialized bytes of a plan's matrix-valued external inputs,
+/// split into the largest ("main") one and the rest ("sides").
+struct InputSplit {
+  NodeId main = kInvalidNode;
+  std::int64_t main_bytes = 0;
+  std::int64_t side_bytes = 0;
+};
+
+InputSplit SplitInputs(const PartialPlan& plan) {
+  const Dag& dag = plan.dag();
+  InputSplit split;
+  std::int64_t total = 0;
+  std::int64_t main_cells = -1;
+  for (NodeId ext : plan.ExternalInputs()) {
+    const Node& n = dag.node(ext);
+    if (!n.is_matrix()) continue;
+    const std::int64_t bytes = SizeOf(dag, ext);
+    total += bytes;
+    // Paper §2.2: the main matrix is the one with the most elements.
+    const std::int64_t cells = n.rows * n.cols;
+    if (cells > main_cells) {
+      main_cells = cells;
+      split.main = ext;
+      split.main_bytes = bytes;
+    }
+  }
+  split.side_bytes = total - split.main_bytes;
+  return split;
+}
+
+}  // namespace
+
+Result<DistributedMatrix> Engine::RunPlanAnalytic(const PartialPlan& plan,
+                                                  OperatorKind kind,
+                                                  const FusedInputs& inputs,
+                                                  StageStats* stats) const {
+  (void)inputs;
+  const Dag& dag = plan.dag();
+  const ClusterConfig& cluster = options_.cluster;
+  const Node& root = dag.node(plan.root());
+
+  auto make_output = [&]() {
+    BlockedMatrix meta = BlockedMatrix::MakeMeta(
+        root.rows, root.cols, root.nnz, cluster.block_size);
+    return DistributedMatrix::Create(std::move(meta), PartitionScheme::kGrid,
+                                     cluster.total_tasks());
+  };
+
+  // A matmul-bearing stage shuffle-writes its output for downstream
+  // stages (wide dependency); element-wise stages hand their output over
+  // as a narrow dependency.
+  const std::int64_t output_write =
+      plan.MatMuls().empty() ? 0 : SizeOf(dag, plan.root());
+
+  auto fill_from_cuboid = [&](const Cuboid& c,
+                              const CostModel::Estimates& est) {
+    stats->num_tasks = static_cast<int>(
+        std::min<std::int64_t>(c.volume(), 1 << 24));
+    stats->consolidation_bytes =
+        static_cast<std::int64_t>(est.net_bytes);
+    stats->aggregation_bytes =
+        static_cast<std::int64_t>(est.agg_bytes) + output_write;
+    stats->flops = static_cast<std::int64_t>(est.flops);
+    stats->max_task_memory = static_cast<std::int64_t>(est.mem_per_task);
+  };
+
+  switch (kind) {
+    case OperatorKind::kCfo: {
+      const PqrChoice choice = Optimize(plan);
+      if (!choice.feasible) {
+        return Status::OutOfMemory(
+            "no feasible (P,Q,R) for plan " + plan.ToString() +
+            " within the per-task budget");
+      }
+      CostModel::Estimates est;
+      est.mem_per_task = choice.mem_per_task;
+      est.net_bytes = choice.net_bytes;
+      est.agg_bytes = choice.agg_bytes;
+      est.flops = choice.flops;
+      fill_from_cuboid(choice.c, est);
+      if (plan.MatMuls().empty()) {
+        // Cell stage: same-shaped grid-partitioned inputs are narrow
+        // dependencies (no shuffle); only reshaping inputs (vectors,
+        // transposes) move, and an aggregation root ships its per-task
+        // partials.
+        const bool agg_root = root.kind == OpKind::kUnaryAgg;
+        const Node& grid_node =
+            agg_root ? dag.node(root.inputs[0]) : root;
+        std::int64_t net = 0;
+        for (NodeId ext : plan.ExternalInputs()) {
+          const Node& n = dag.node(ext);
+          if (!n.is_matrix()) continue;
+          if (n.rows == grid_node.rows && n.cols == grid_node.cols) {
+            continue;
+          }
+          net += SizeOf(dag, ext);
+        }
+        stats->consolidation_bytes = net;
+        if (agg_root) {
+          stats->aggregation_bytes = std::min<std::int64_t>(
+              static_cast<std::int64_t>(est.net_bytes),
+              stats->num_tasks * SizeOf(dag, plan.root()));
+        }
+      }
+      return make_output();
+    }
+    case OperatorKind::kRfo: {
+      const GridDims g = model_.Grid(plan);
+      const Cuboid c{g.I, g.J, 1};
+      const CostModel::Estimates est = model_.Estimate(c, plan);
+      if (est.mem_per_task > static_cast<double>(cluster.task_memory_budget)) {
+        return Status::OutOfMemory("RFO exceeds the per-task budget on " +
+                                   plan.ToString());
+      }
+      fill_from_cuboid(c, est);
+      return make_output();
+    }
+    case OperatorKind::kCpmm: {
+      const std::int64_t r = MinFeasibleCpmmR(model_, plan);
+      if (r < 0) {
+        return Status::OutOfMemory("cpmm cannot fit " + plan.ToString() +
+                                   " within the per-task budget");
+      }
+      const Cuboid c{1, 1, r};
+      fill_from_cuboid(c, model_.Estimate(c, plan));
+      // One (p,q) pair but R k-slices: parallelism R.
+      stats->num_tasks = static_cast<int>(r);
+      return make_output();
+    }
+    case OperatorKind::kBfo: {
+      const InputSplit split = SplitInputs(plan);
+      std::int64_t num_tasks = cluster.total_tasks();
+      if (split.main != kInvalidNode) {
+        const Node& main = dag.node(split.main);
+        const std::int64_t bs = cluster.block_size;
+        const std::int64_t blocks = ((main.rows + bs - 1) / bs) *
+                                    ((main.cols + bs - 1) / bs);
+        num_tasks = std::min<std::int64_t>(
+            num_tasks, EstimateSparkPartitions(split.main_bytes, blocks));
+      }
+      num_tasks = std::max<std::int64_t>(num_tasks, 1);
+      const double mem = static_cast<double>(split.main_bytes) / num_tasks +
+                         static_cast<double>(split.side_bytes) +
+                         static_cast<double>(SizeOf(dag, plan.root())) /
+                             num_tasks;
+      if (mem > static_cast<double>(cluster.task_memory_budget)) {
+        return Status::OutOfMemory(
+            "BFO broadcast of " +
+            HumanBytes(static_cast<double>(split.side_bytes)) +
+            " side matrices exceeds the per-task budget on " +
+            plan.ToString());
+      }
+      stats->num_tasks = static_cast<int>(num_tasks);
+      stats->consolidation_bytes =
+          split.main_bytes + num_tasks * split.side_bytes;
+      stats->aggregation_bytes = output_write;
+      // Side-space work repeats on every task (the paper's "BFO executes
+      // the transpose T times"): the cost model at (T, T, 1) captures it.
+      stats->flops = static_cast<std::int64_t>(
+          model_.ComEst(Cuboid{num_tasks, num_tasks, 1}, plan));
+      stats->max_task_memory = static_cast<std::int64_t>(mem);
+      return make_output();
+    }
+    case OperatorKind::kAuto:
+      break;
+  }
+  return Status::Internal("unresolved operator kind");
+}
+
+Engine::RunResult Engine::RunWithPlans(
+    const Dag& dag, const FusionPlanSet& plans,
+    const std::map<NodeId, BlockedMatrix>& inputs,
+    OperatorKind forced) const {
+  RunResult out;
+  out.report.plan_description = plans.description;
+  Simulator sim(options_.cluster);
+
+  std::map<NodeId, DistributedMatrix> materialized;
+  for (const auto& [id, m] : inputs) {
+    FUSEME_CHECK_EQ(m.block_size(), options_.cluster.block_size)
+        << "input block size must match the cluster configuration";
+    materialized.emplace(
+        id, DistributedMatrix::Create(m, PartitionScheme::kGrid,
+                                      options_.cluster.total_tasks()));
+  }
+
+  Status status;
+  for (const PartialPlan& plan : plans.plans) {
+    // Bind external inputs.
+    FusedInputs fin;
+    bool inputs_ok = true;
+    for (NodeId ext : plan.ExternalInputs()) {
+      const Node& n = dag.node(ext);
+      if (!n.is_matrix()) continue;
+      auto it = materialized.find(ext);
+      if (it == materialized.end()) {
+        if (options_.analytic) {
+          BlockedMatrix meta = BlockedMatrix::MakeMeta(
+              n.rows, n.cols, n.nnz, options_.cluster.block_size);
+          it = materialized
+                   .emplace(ext, DistributedMatrix::Create(
+                                     std::move(meta), PartitionScheme::kGrid,
+                                     options_.cluster.total_tasks()))
+                   .first;
+        } else {
+          status = Status::InvalidArgument(
+              "no matrix bound to leaf v" + std::to_string(ext) + " (" +
+              n.name + ")");
+          inputs_ok = false;
+          break;
+        }
+      }
+      fin[ext] = &it->second;
+    }
+    if (!inputs_ok) break;
+
+    OperatorKind kind =
+        forced == OperatorKind::kAuto ? PickOperator(plan, fin) : forced;
+    const char* kind_name = "?";
+    switch (kind) {
+      case OperatorKind::kCfo:
+        kind_name = "CFO";
+        break;
+      case OperatorKind::kBfo:
+        kind_name = "BFO";
+        break;
+      case OperatorKind::kRfo:
+        kind_name = "RFO";
+        break;
+      case OperatorKind::kCpmm:
+        kind_name = "cpmm";
+        break;
+      case OperatorKind::kAuto:
+        break;
+    }
+    const std::string label =
+        plan.ToString() + " [" + kind_name + "]";
+
+    Result<DistributedMatrix> result = Status::Internal("unset");
+    StageStats stats;
+    if (options_.analytic) {
+      stats.label = label;
+      result = RunPlanAnalytic(plan, kind, fin, &stats);
+    } else {
+      StageContext ctx(label, options_.cluster);
+      result = RunPlanReal(plan, kind, fin, &ctx);
+      stats = ctx.Finalize();
+      stats.label = label;
+    }
+    if (!result.ok()) {
+      status = result.status();
+      break;
+    }
+    status = sim.CompleteStage(stats);
+    materialized.emplace(plan.root(), std::move(*result));
+    if (!status.ok()) break;  // timed out
+  }
+
+  out.report.status = status;
+  out.report.elapsed_seconds = sim.elapsed_seconds();
+  out.report.stages = sim.stages();
+  for (const StageStats& s : out.report.stages) {
+    out.report.consolidation_bytes += s.consolidation_bytes;
+    out.report.aggregation_bytes += s.aggregation_bytes;
+    out.report.flops += s.flops;
+    out.report.max_task_memory =
+        std::max(out.report.max_task_memory, s.max_task_memory);
+  }
+  if (status.ok()) {
+    for (NodeId output : dag.outputs()) {
+      auto it = materialized.find(output);
+      if (it != materialized.end()) {
+        out.outputs.emplace(output, std::move(it->second));
+      }
+    }
+  }
+  return out;
+}
+
+Engine::RunResult Engine::Run(
+    const Dag& dag, const std::map<NodeId, BlockedMatrix>& inputs) const {
+  return RunWithPlans(dag, MakePlans(dag), inputs, OperatorKind::kAuto);
+}
+
+}  // namespace fuseme

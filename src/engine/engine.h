@@ -1,0 +1,147 @@
+// Engine: DAG in, fusion plan + distributed execution + report out.
+//
+// The engine reproduces four systems' planning/execution policies on one
+// runtime (paper §6: SystemDS, MatFast, DistME, FuseME):
+//
+//   kFuseMe   CFG planner, every plan as a CFO with optimizer-chosen
+//             (P,Q,R) — the paper's system.
+//   kSystemDs GEN templates; matmul-bearing plans run as BFO or RFO by the
+//             §6.2 selection rule (BFO when the main matrix has fewer
+//             Spark partitions than its block-grid dimensions).
+//   kMatFast  folded element-wise chains; matmuls broadcast the smaller
+//             operand.
+//   kDistMe   no fusion; matmuls use CuboidMM (a single-node CFO plan),
+//             everything else is an operator-at-a-time stage.
+//
+// Two execution paths share all policy code:
+//   real      block-level execution of the physical operators (numeric
+//             results, measured communication/flops);
+//   analytic  closed-form stage statistics from the cost model — used to
+//             run paper-scale experiments in milliseconds.  Matrices are
+//             carried as metadata descriptors.
+//
+// Elapsed time always comes from the Simulator's cluster model; OutOfMemory
+// and TimedOut surface in the report exactly like the paper's O.O.M./T.O.
+// table cells.
+
+#ifndef FUSEME_ENGINE_ENGINE_H_
+#define FUSEME_ENGINE_ENGINE_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "cost/optimizer.h"
+#include "fusion/planners.h"
+#include "ops/fused_operator.h"
+#include "runtime/distributed_matrix.h"
+#include "runtime/simulator.h"
+
+namespace fuseme {
+
+enum class SystemMode {
+  kFuseMe,
+  kSystemDs,
+  kMatFast,
+  kDistMe,
+  /// TensorFlow with XLA (paper §6.5): element-wise chains fuse (the XLA
+  /// fusion pass); matrix multiplications run data-parallel with the
+  /// smaller operand broadcast to every instance.
+  kTensorFlow,
+};
+std::string_view SystemModeName(SystemMode mode);
+
+/// Physical operator selection for a plan.  kAuto applies the SystemMode's
+/// policy; the explicit values force one operator (used by the Fig. 12
+/// benchmark, which compares BFO/RFO/CFO on the same plan).  kCpmm is
+/// SystemDS's k-partitioned shuffle matmul — a (1,1,R) cuboid with the
+/// smallest memory-feasible R — used when neither broadcast nor
+/// replication fits.
+enum class OperatorKind { kAuto, kCfo, kBfo, kRfo, kCpmm };
+
+struct EngineOptions {
+  SystemMode system = SystemMode::kFuseMe;
+  ClusterConfig cluster;
+  /// true: metadata-only analytic execution (no numeric block data).
+  bool analytic = false;
+  /// Use the pruning (P,Q,R) search instead of the exhaustive one.
+  bool pruned_search = true;
+  /// Skew-aware cuboid splits (see CuboidOptions::balance_sparsity).
+  /// Real-mode only: the analytic path models aggregate totals, which
+  /// balancing does not change.
+  bool balance_sparsity = false;
+};
+
+struct ExecutionReport {
+  Status status;
+  double elapsed_seconds = 0.0;
+  std::int64_t consolidation_bytes = 0;
+  std::int64_t aggregation_bytes = 0;
+  std::int64_t flops = 0;
+  std::int64_t max_task_memory = 0;
+  std::vector<StageStats> stages;
+  std::string plan_description;
+
+  std::int64_t total_bytes() const {
+    return consolidation_bytes + aggregation_bytes;
+  }
+  bool ok() const { return status.ok(); }
+  /// One-line outcome: "3.2 min, 17.3 GB shuffled, 12 stages" or the
+  /// failure code ("O.O.M." / "T.O.").
+  std::string Summary() const;
+};
+
+class Engine {
+ public:
+  explicit Engine(EngineOptions options);
+
+  const EngineOptions& options() const { return options_; }
+  const CostModel& cost_model() const { return model_; }
+
+  /// Generates this system's fusion plan set for `dag`.
+  FusionPlanSet MakePlans(const Dag& dag) const;
+
+  struct RunResult {
+    ExecutionReport report;
+    /// Root-node values of dag.outputs() (meta descriptors in analytic
+    /// mode).  Empty when execution failed.
+    std::map<NodeId, DistributedMatrix> outputs;
+  };
+
+  /// Plans and executes the whole DAG.  `inputs` binds leaf nodes to
+  /// matrices; in analytic mode missing leaves are synthesized as
+  /// descriptors from the DAG metadata.
+  RunResult Run(const Dag& dag,
+                const std::map<NodeId, BlockedMatrix>& inputs) const;
+
+  /// Executes a caller-supplied plan set (e.g. the single full-query plan
+  /// of §6.2), optionally forcing the physical operator.
+  RunResult RunWithPlans(const Dag& dag, const FusionPlanSet& plans,
+                         const std::map<NodeId, BlockedMatrix>& inputs,
+                         OperatorKind forced = OperatorKind::kAuto) const;
+
+ private:
+  /// Operator the current SystemMode uses for `plan`.
+  OperatorKind PickOperator(const PartialPlan& plan,
+                            const FusedInputs& inputs) const;
+
+  Result<DistributedMatrix> RunPlanReal(const PartialPlan& plan,
+                                        OperatorKind kind,
+                                        const FusedInputs& inputs,
+                                        StageContext* ctx) const;
+
+  /// Fills `stats` from closed forms and returns the descriptor output.
+  Result<DistributedMatrix> RunPlanAnalytic(const PartialPlan& plan,
+                                            OperatorKind kind,
+                                            const FusedInputs& inputs,
+                                            StageStats* stats) const;
+
+  PqrChoice Optimize(const PartialPlan& plan) const;
+
+  EngineOptions options_;
+  CostModel model_;
+};
+
+}  // namespace fuseme
+
+#endif  // FUSEME_ENGINE_ENGINE_H_

@@ -1,0 +1,103 @@
+#include "engine/reference.h"
+
+#include <vector>
+
+#include "matrix/block_ops.h"
+
+namespace fuseme {
+
+namespace {
+
+Result<Block> EvalNode(const Dag& dag, NodeId id,
+                       const std::map<NodeId, DenseMatrix>& inputs,
+                       std::map<NodeId, Block>* memo) {
+  if (auto it = memo->find(id); it != memo->end()) return it->second;
+  const Node& n = dag.node(id);
+  Result<Block> result = Status::Internal("unset");
+  switch (n.kind) {
+    case OpKind::kInput: {
+      auto it = inputs.find(id);
+      if (it == inputs.end()) {
+        return Status::InvalidArgument("no value bound to leaf '" + n.name +
+                                       "'");
+      }
+      result = Block::FromDense(it->second);
+      break;
+    }
+    case OpKind::kScalar:
+      result = Block::Constant(1, 1, n.scalar);
+      break;
+    case OpKind::kUnary: {
+      FUSEME_ASSIGN_OR_RETURN(Block in, EvalNode(dag, n.inputs[0], inputs,
+                                                 memo));
+      result = Unary(n.unary_fn, in);
+      break;
+    }
+    case OpKind::kBinary: {
+      const Node& a = dag.node(n.inputs[0]);
+      const Node& b = dag.node(n.inputs[1]);
+      if (a.kind == OpKind::kScalar) {
+        FUSEME_ASSIGN_OR_RETURN(Block rhs, EvalNode(dag, n.inputs[1], inputs,
+                                                    memo));
+        result = EwiseScalar(n.binary_fn, rhs, a.scalar,
+                             /*scalar_left=*/true);
+      } else if (b.kind == OpKind::kScalar) {
+        FUSEME_ASSIGN_OR_RETURN(Block lhs, EvalNode(dag, n.inputs[0], inputs,
+                                                    memo));
+        result = EwiseScalar(n.binary_fn, lhs, b.scalar,
+                             /*scalar_left=*/false);
+      } else {
+        FUSEME_ASSIGN_OR_RETURN(Block lhs, EvalNode(dag, n.inputs[0], inputs,
+                                                    memo));
+        FUSEME_ASSIGN_OR_RETURN(Block rhs, EvalNode(dag, n.inputs[1], inputs,
+                                                    memo));
+        result = EwiseBinary(n.binary_fn, lhs, rhs);
+      }
+      break;
+    }
+    case OpKind::kMatMul: {
+      FUSEME_ASSIGN_OR_RETURN(Block lhs, EvalNode(dag, n.inputs[0], inputs,
+                                                  memo));
+      FUSEME_ASSIGN_OR_RETURN(Block rhs, EvalNode(dag, n.inputs[1], inputs,
+                                                  memo));
+      result = MatMul(lhs, rhs);
+      break;
+    }
+    case OpKind::kUnaryAgg: {
+      FUSEME_ASSIGN_OR_RETURN(Block in, EvalNode(dag, n.inputs[0], inputs,
+                                                 memo));
+      switch (n.agg_axis) {
+        case AggAxis::kAll:
+          result = FullAgg(n.agg_fn, in);
+          break;
+        case AggAxis::kRow:
+          result = RowAgg(n.agg_fn, in);
+          break;
+        case AggAxis::kCol:
+          result = ColAgg(n.agg_fn, in);
+          break;
+      }
+      break;
+    }
+    case OpKind::kTranspose: {
+      FUSEME_ASSIGN_OR_RETURN(Block in, EvalNode(dag, n.inputs[0], inputs,
+                                                 memo));
+      result = Transpose(in);
+      break;
+    }
+  }
+  if (result.ok()) memo->emplace(id, *result);
+  return result;
+}
+
+}  // namespace
+
+Result<DenseMatrix> ReferenceEval(
+    const Dag& dag, NodeId target,
+    const std::map<NodeId, DenseMatrix>& inputs) {
+  std::map<NodeId, Block> memo;
+  FUSEME_ASSIGN_OR_RETURN(Block out, EvalNode(dag, target, inputs, &memo));
+  return out.ToDense();
+}
+
+}  // namespace fuseme

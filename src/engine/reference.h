@@ -1,0 +1,25 @@
+// Single-node reference evaluation of a query DAG — the correctness oracle
+// for the distributed operators, and a convenient way for examples to
+// sanity-check small results.
+
+#ifndef FUSEME_ENGINE_REFERENCE_H_
+#define FUSEME_ENGINE_REFERENCE_H_
+
+#include <map>
+
+#include "common/result.h"
+#include "ir/dag.h"
+#include "matrix/dense_matrix.h"
+
+namespace fuseme {
+
+/// Evaluates node `target` of `dag` on one machine, with leaves bound by
+/// `inputs`.  Every intermediate is materialized densely; this is O(cells)
+/// in memory and intended for test-sized data.
+Result<DenseMatrix> ReferenceEval(
+    const Dag& dag, NodeId target,
+    const std::map<NodeId, DenseMatrix>& inputs);
+
+}  // namespace fuseme
+
+#endif  // FUSEME_ENGINE_REFERENCE_H_

@@ -1,0 +1,188 @@
+#include "fusion/partial_plan.h"
+
+#include <algorithm>
+#include <queue>
+#include <set>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace fuseme {
+
+std::string_view SpaceName(PartialPlan::Space space) {
+  switch (space) {
+    case PartialPlan::Space::kL:
+      return "L";
+    case PartialPlan::Space::kR:
+      return "R";
+    case PartialPlan::Space::kMM:
+      return "MM";
+    case PartialPlan::Space::kO:
+      return "O";
+    case PartialPlan::Space::kNone:
+      return "-";
+  }
+  return "?";
+}
+
+PartialPlan::PartialPlan(const Dag* dag, std::vector<NodeId> members,
+                         NodeId root)
+    : dag_(dag), members_(std::move(members)), root_(root) {
+  FUSEME_CHECK(dag_ != nullptr);
+  std::sort(members_.begin(), members_.end());
+  members_.erase(std::unique(members_.begin(), members_.end()),
+                 members_.end());
+  FUSEME_CHECK(Contains(root)) << "root must be a member";
+  for (NodeId id : members_) {
+    const Node& n = dag_->node(id);
+    FUSEME_CHECK(n.kind != OpKind::kInput && n.kind != OpKind::kScalar)
+        << "plan members must be operators, got leaf v" << id;
+  }
+}
+
+bool PartialPlan::Contains(NodeId id) const {
+  return std::binary_search(members_.begin(), members_.end(), id);
+}
+
+std::vector<NodeId> PartialPlan::MatMuls() const {
+  std::vector<NodeId> out;
+  for (NodeId id : members_) {
+    if (dag_->node(id).kind == OpKind::kMatMul) out.push_back(id);
+  }
+  return out;
+}
+
+NodeId PartialPlan::MainMatMul() const {
+  NodeId best = kInvalidNode;
+  std::int64_t best_voxels = -1;
+  for (NodeId id : MatMuls()) {
+    const Node& n = dag_->node(id);
+    const Node& lhs = dag_->node(n.inputs[0]);
+    // I·J·K voxel count: output I×J with common dimension K = lhs.cols.
+    const std::int64_t voxels = n.rows * n.cols * lhs.cols;
+    // >= so that ties resolve to the matmul closest to the root (ids are
+    // topological, so later means downstream).
+    if (voxels >= best_voxels) {
+      best_voxels = voxels;
+      best = id;
+    }
+  }
+  return best;
+}
+
+std::vector<NodeId> PartialPlan::ExternalInputs() const {
+  std::vector<NodeId> out;
+  std::set<NodeId> seen;
+  for (NodeId id : members_) {
+    for (NodeId in : dag_->node(id).inputs) {
+      if (!Contains(in) && seen.insert(in).second) {
+        out.push_back(in);
+      }
+    }
+  }
+  return out;
+}
+
+NodeId PartialPlan::ParentOf(NodeId id) const {
+  FUSEME_CHECK(Contains(id));
+  for (NodeId candidate : members_) {
+    const Node& n = dag_->node(candidate);
+    if (std::find(n.inputs.begin(), n.inputs.end(), id) != n.inputs.end()) {
+      return candidate;
+    }
+  }
+  return kInvalidNode;
+}
+
+std::map<NodeId, PartialPlan::Space> PartialPlan::ClassifySpaces(
+    NodeId main_mm) const {
+  FUSEME_CHECK(Contains(main_mm));
+  FUSEME_CHECK(dag_->node(main_mm).kind == OpKind::kMatMul);
+  std::map<NodeId, Space> spaces;
+  for (NodeId id : members_) spaces[id] = Space::kO;
+  spaces[main_mm] = Space::kMM;
+
+  // Flood the member subtree under each side of the matmul.
+  auto flood = [&](NodeId start, Space space) {
+    if (!Contains(start)) return;
+    std::queue<NodeId> frontier;
+    frontier.push(start);
+    while (!frontier.empty()) {
+      NodeId id = frontier.front();
+      frontier.pop();
+      spaces[id] = space;
+      for (NodeId in : dag_->node(id).inputs) {
+        if (Contains(in)) frontier.push(in);
+      }
+    }
+  };
+  flood(dag_->node(main_mm).inputs[0], Space::kL);
+  flood(dag_->node(main_mm).inputs[1], Space::kR);
+  return spaces;
+}
+
+int PartialPlan::Distance(NodeId a, NodeId b) const {
+  FUSEME_CHECK(Contains(a) && Contains(b));
+  if (a == b) return 0;
+  // BFS over the undirected member tree.
+  std::map<NodeId, int> dist;
+  std::queue<NodeId> frontier;
+  dist[a] = 0;
+  frontier.push(a);
+  while (!frontier.empty()) {
+    NodeId id = frontier.front();
+    frontier.pop();
+    if (id == b) return dist[id];
+    std::vector<NodeId> neighbors;
+    for (NodeId in : dag_->node(id).inputs) {
+      if (Contains(in)) neighbors.push_back(in);
+    }
+    NodeId parent = ParentOf(id);
+    if (parent != kInvalidNode) neighbors.push_back(parent);
+    for (NodeId next : neighbors) {
+      if (dist.emplace(next, dist[id] + 1).second) {
+        frontier.push(next);
+      }
+    }
+  }
+  FUSEME_CHECK(false) << "members are not connected";
+  return -1;
+}
+
+std::pair<PartialPlan, PartialPlan> PartialPlan::SplitAt(NodeId v) const {
+  FUSEME_CHECK(Contains(v));
+  FUSEME_CHECK_NE(v, root_);
+  // F_i: v plus every member in its subtree.
+  std::set<NodeId> subtree;
+  std::queue<NodeId> frontier;
+  frontier.push(v);
+  while (!frontier.empty()) {
+    NodeId id = frontier.front();
+    frontier.pop();
+    if (!subtree.insert(id).second) continue;
+    for (NodeId in : dag_->node(id).inputs) {
+      if (Contains(in)) frontier.push(in);
+    }
+  }
+  std::vector<NodeId> fi_members(subtree.begin(), subtree.end());
+  std::vector<NodeId> fm_members;
+  for (NodeId id : members_) {
+    if (subtree.count(id) == 0) fm_members.push_back(id);
+  }
+  FUSEME_CHECK(!fm_members.empty());
+  return {PartialPlan(dag_, std::move(fm_members), root_),
+          PartialPlan(dag_, std::move(fi_members), v)};
+}
+
+std::string PartialPlan::ToString() const {
+  std::ostringstream os;
+  os << "{";
+  for (std::size_t i = 0; i < members_.size(); ++i) {
+    if (i != 0) os << ",";
+    os << "v" << members_[i];
+  }
+  os << "} root=v" << root_;
+  return os.str();
+}
+
+}  // namespace fuseme

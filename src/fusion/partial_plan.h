@@ -1,0 +1,86 @@
+// PartialPlan: a fused sub-DAG (paper §2.1, §3, §4).
+//
+// A partial fusion plan is a connected set of operator nodes of a query DAG
+// that will execute as one distributed fused operator.  Within a plan the
+// members form a tree rooted at the plan's single output operator (multi-
+// consumer nodes are termination operators and may only appear at the top,
+// so no member other than the root has two consuming edges).
+//
+// The plan knows how to classify its members into the four subspaces of the
+// paper's 3-D model (§3.1) relative to a main matrix multiplication:
+// L-space (feeds the lhs), R-space (feeds the rhs), MM-space (the matmul
+// itself), and O-space (everything downstream plus its side inputs).
+
+#ifndef FUSEME_FUSION_PARTIAL_PLAN_H_
+#define FUSEME_FUSION_PARTIAL_PLAN_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "ir/dag.h"
+
+namespace fuseme {
+
+class PartialPlan {
+ public:
+  enum class Space { kL, kR, kMM, kO, kNone };
+
+  PartialPlan() : dag_(nullptr), root_(kInvalidNode) {}
+  /// `members` must include `root`; all members must be operator nodes of
+  /// `dag` forming a connected tree under `root`.
+  PartialPlan(const Dag* dag, std::vector<NodeId> members, NodeId root);
+
+  const Dag& dag() const { return *dag_; }
+  NodeId root() const { return root_; }
+  const std::vector<NodeId>& members() const { return members_; }
+  std::int64_t size() const {
+    return static_cast<std::int64_t>(members_.size());
+  }
+  bool Contains(NodeId id) const;
+
+  /// Member matmul nodes (ba(×)).
+  std::vector<NodeId> MatMuls() const;
+
+  /// The main matrix multiplication v_mm: the member matmul with the
+  /// largest voxel count I·J·K (paper Alg. 3 line 3).  kInvalidNode when
+  /// the plan has no matmul.
+  NodeId MainMatMul() const;
+
+  /// External inputs: nodes outside the plan (leaf matrices, scalars, or
+  /// outputs of other plans) consumed by members.  Deduplicated, in first-
+  /// use order.
+  std::vector<NodeId> ExternalInputs() const;
+
+  /// Classifies every member relative to `main_mm` (which must be a
+  /// member): its subtree under lhs -> kL, under rhs -> kR, itself -> kMM,
+  /// everything else (downstream + side subtrees) -> kO.
+  std::map<NodeId, Space> ClassifySpaces(NodeId main_mm) const;
+
+  /// Tree distance in hops between two members (paper Alg. 3 line 7).
+  int Distance(NodeId a, NodeId b) const;
+
+  /// Splits at member `v` (paper Alg. 3 line 9): the subtree rooted at `v`
+  /// becomes the second plan F_i; the remainder (with `v` now an external
+  /// input) becomes the first plan F_m.  `v` must not be the root.
+  std::pair<PartialPlan, PartialPlan> SplitAt(NodeId v) const;
+
+  /// The member whose output `id` feeds, or kInvalidNode for the root.
+  NodeId ParentOf(NodeId id) const;
+
+  /// "{v1,v3,v5} root=v5" style rendering.
+  std::string ToString() const;
+
+ private:
+  const Dag* dag_;
+  std::vector<NodeId> members_;  // sorted ascending
+  NodeId root_;
+};
+
+std::string_view SpaceName(PartialPlan::Space space);
+
+}  // namespace fuseme
+
+#endif  // FUSEME_FUSION_PARTIAL_PLAN_H_

@@ -1,0 +1,337 @@
+#include "fusion/planners.h"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+#include <set>
+
+#include "common/logging.h"
+#include "cost/optimizer.h"
+#include "fusion/sparsity_analysis.h"
+
+namespace fuseme {
+
+namespace {
+
+bool IsOperatorNode(const Node& n) {
+  return n.kind != OpKind::kInput && n.kind != OpKind::kScalar;
+}
+
+bool IsEwise(const Node& n) {
+  return n.kind == OpKind::kUnary || n.kind == OpKind::kBinary;
+}
+
+/// Root of a member set: the unique member no other member consumes.
+/// Node ids are topological, so it is the maximum id.
+NodeId RootOf(const std::set<NodeId>& members) {
+  FUSEME_CHECK(!members.empty());
+  return *members.rbegin();
+}
+
+PartialPlan MakePlan(const Dag& dag, const std::set<NodeId>& members) {
+  return PartialPlan(&dag, {members.begin(), members.end()},
+                     RootOf(members));
+}
+
+}  // namespace
+
+bool IsTerminationOperator(const Dag& dag, NodeId id) {
+  const Node& n = dag.node(id);
+  if (!IsOperatorNode(n)) return true;  // leaves never fuse
+  if (dag.FanOut(id) > 1) return true;  // materialization point
+  // Unary aggregations need a shuffle to combine per-task partials, so
+  // they may only terminate a plan (paper §4.1).
+  if (n.kind == OpKind::kUnaryAgg) return true;
+  return false;
+}
+
+FusionPlanSet FinalizePlanSet(const Dag& dag,
+                              std::vector<PartialPlan> plans,
+                              std::string description) {
+  std::set<NodeId> covered;
+  for (const PartialPlan& p : plans) {
+    covered.insert(p.members().begin(), p.members().end());
+  }
+  for (NodeId id : dag.TopologicalOrder()) {
+    const Node& n = dag.node(id);
+    if (!IsOperatorNode(n) || covered.count(id) > 0) continue;
+    plans.emplace_back(&dag, std::vector<NodeId>{id}, id);
+  }
+  // A plan's root id exceeds the root id of every producer plan, so
+  // sorting by root id is a valid execution order.
+  std::sort(plans.begin(), plans.end(),
+            [](const PartialPlan& a, const PartialPlan& b) {
+              return a.root() < b.root();
+            });
+  FusionPlanSet out;
+  out.plans = std::move(plans);
+  out.description = std::move(description);
+  return out;
+}
+
+// --------------------------------------------------------------------------
+// CFG (paper Alg. 2 + Alg. 3)
+// --------------------------------------------------------------------------
+
+std::vector<PartialPlan> CfgPlanner::ExplorationPhase(const Dag& dag) const {
+  std::set<NodeId> workload;
+  for (NodeId id : dag.TopologicalOrder()) {
+    if (IsOperatorNode(dag.node(id))) workload.insert(id);
+  }
+
+  std::vector<PartialPlan> plans;
+  while (true) {
+    // Pick a remaining matmul seed (smallest id for determinism).
+    NodeId seed = kInvalidNode;
+    for (NodeId id : workload) {
+      if (dag.node(id).kind == OpKind::kMatMul) {
+        seed = id;
+        break;
+      }
+    }
+    if (seed == kInvalidNode) break;
+
+    workload.erase(seed);
+    std::set<NodeId> members = {seed};
+    bool top_reached = IsTerminationOperator(dag, seed);
+
+    while (true) {
+      // Adjacent operators of the plan still in the workload: children
+      // always, consumers only while the top has not been reached.
+      std::set<NodeId> adjacent;
+      for (NodeId m : members) {
+        for (NodeId in : dag.node(m).inputs) {
+          if (workload.count(in) > 0) adjacent.insert(in);
+        }
+        if (!top_reached) {
+          for (NodeId c : dag.Consumers(m)) {
+            if (workload.count(c) > 0) adjacent.insert(c);
+          }
+        }
+      }
+      if (adjacent.empty()) break;
+      for (NodeId v : adjacent) {
+        const bool outgoing = members.count(v) == 0 &&
+                              [&] {
+                                for (NodeId in : dag.node(v).inputs) {
+                                  if (members.count(in) > 0) return true;
+                                }
+                                return false;
+                              }();
+        if (!IsTerminationOperator(dag, v)) {
+          members.insert(v);
+        } else if (outgoing && !top_reached) {
+          // A termination operator joins only as the plan's top (root).
+          members.insert(v);
+          top_reached = true;
+        }
+        workload.erase(v);
+      }
+    }
+    plans.push_back(MakePlan(dag, members));
+  }
+  return plans;
+}
+
+std::vector<PartialPlan> CfgPlanner::ExploitationPhase(
+    const Dag& dag, std::vector<PartialPlan> candidates) const {
+  (void)dag;
+  PqrOptimizer optimizer(model_);
+  // Infeasible plans get a large finite sentinel so that a split producing
+  // feasible pieces always reads as an improvement.
+  constexpr double kInfeasible = 1e30;
+  auto plan_cost = [&](const PartialPlan& plan) {
+    PqrChoice choice = optimizer.Pruned(plan);
+    return choice.feasible ? choice.cost : kInfeasible;
+  };
+
+  std::vector<PartialPlan> result;
+  std::deque<PartialPlan> work(candidates.begin(), candidates.end());
+  while (!work.empty()) {
+    PartialPlan plan = std::move(work.front());
+    work.pop_front();
+    std::vector<NodeId> mms = plan.MatMuls();
+    if (mms.size() <= 1) {
+      result.push_back(std::move(plan));
+      continue;
+    }
+    const NodeId vm = plan.MainMatMul();
+    const double cost = plan_cost(plan);
+
+    // Splitting points: every other matmul, most distant from vm first
+    // (paper: the most distant one tends to cause the highest cost).
+    std::vector<NodeId> sp;
+    for (NodeId mm : mms) {
+      if (mm != vm) sp.push_back(mm);
+    }
+    std::sort(sp.begin(), sp.end(), [&](NodeId a, NodeId b) {
+      return plan.Distance(a, vm) > plan.Distance(b, vm);
+    });
+
+    bool split = false;
+    for (NodeId vi : sp) {
+      if (vi == plan.root()) continue;  // cannot split at the root
+      auto [fm, fi] = plan.SplitAt(vi);
+      const double cost_m = plan_cost(fm);
+      const double cost_i = plan_cost(fi);
+      if (cost > cost_m + cost_i) {
+        work.push_back(std::move(fm));
+        work.push_back(std::move(fi));
+        split = true;
+        break;
+      }
+    }
+    if (!split) result.push_back(std::move(plan));
+  }
+  std::sort(result.begin(), result.end(),
+            [](const PartialPlan& a, const PartialPlan& b) {
+              return a.root() < b.root();
+            });
+  return result;
+}
+
+FusionPlanSet CfgPlanner::Plan(const Dag& dag) const {
+  std::vector<PartialPlan> candidates = ExplorationPhase(dag);
+  std::vector<PartialPlan> refined =
+      ExploitationPhase(dag, std::move(candidates));
+  return FinalizePlanSet(dag, std::move(refined), "CFG(explore+exploit)");
+}
+
+// --------------------------------------------------------------------------
+// GEN (SystemDS templates, approximated)
+// --------------------------------------------------------------------------
+
+namespace {
+
+/// Absorbs fanout-1 element-wise subtrees feeding `members` (e.g. the
+/// (X != 0) mask branch of the weighted loss).
+void AbsorbEwiseInputs(const Dag& dag, std::set<NodeId>* members,
+                       std::set<NodeId>* used) {
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    std::vector<NodeId> to_add;
+    for (NodeId m : *members) {
+      for (NodeId in : dag.node(m).inputs) {
+        const Node& n = dag.node(in);
+        if (!IsEwise(n)) continue;
+        if (members->count(in) > 0 || used->count(in) > 0) continue;
+        if (dag.FanOut(in) != 1) continue;
+        to_add.push_back(in);
+      }
+    }
+    for (NodeId id : to_add) {
+      members->insert(id);
+      used->insert(id);
+      changed = true;
+    }
+  }
+}
+
+}  // namespace
+
+FusionPlanSet GenPlanner::Plan(const Dag& dag) const {
+  std::set<NodeId> used;
+  std::vector<PartialPlan> plans;
+
+  // --- Outer template: one matmul + chain + sparse mask multiply. ---
+  for (NodeId mm : dag.MatMulNodes()) {
+    if (used.count(mm) > 0 || dag.FanOut(mm) > 1) continue;
+    std::vector<NodeId> path = {mm};
+    NodeId cur = mm;
+    NodeId mask_mul = kInvalidNode;
+    while (true) {
+      auto consumers = dag.Consumers(cur);
+      if (consumers.size() != 1 || dag.FanOut(cur) != 1) break;
+      const NodeId c = consumers[0];
+      if (used.count(c) > 0) break;
+      const Node& cn = dag.node(c);
+      if (cn.kind == OpKind::kUnaryAgg) {
+        // An aggregation can cap the plan once the mask is found.
+        if (mask_mul != kInvalidNode) path.push_back(c);
+        break;
+      }
+      if (!IsEwise(cn)) break;
+      path.push_back(c);
+      if (cn.kind == OpKind::kBinary && cn.binary_fn == BinaryFn::kMul) {
+        const NodeId other = cn.inputs[0] == cur ? cn.inputs[1]
+                                                 : cn.inputs[0];
+        const Node& on = dag.node(other);
+        if (on.is_matrix() && on.rows == cn.rows && on.cols == cn.cols &&
+            on.density() < kSparseDriverDensityThreshold) {
+          mask_mul = c;  // sparsity exploitation is possible
+        }
+      }
+      cur = c;
+    }
+    if (mask_mul == kInvalidNode) continue;
+    std::set<NodeId> members(path.begin(), path.end());
+    used.insert(members.begin(), members.end());
+    AbsorbEwiseInputs(dag, &members, &used);
+    plans.push_back(MakePlan(dag, members));
+  }
+
+  // --- Cell template: maximal element-wise trees over the rest. ---
+  std::map<NodeId, int> group_of;
+  std::vector<std::set<NodeId>> groups;
+  for (NodeId id : dag.TopologicalOrder()) {
+    const Node& n = dag.node(id);
+    if (!IsEwise(n) || used.count(id) > 0) continue;
+    int g = static_cast<int>(groups.size());
+    groups.push_back({id});
+    group_of[id] = g;
+    for (NodeId in : n.inputs) {
+      auto it = group_of.find(in);
+      if (it == group_of.end() || it->second == g) continue;
+      if (dag.FanOut(in) != 1) continue;
+      // Merge the input's group into this one.
+      int old = it->second;
+      for (NodeId moved : groups[old]) group_of[moved] = g;
+      groups[g].insert(groups[old].begin(), groups[old].end());
+      groups[old].clear();
+    }
+  }
+  for (const auto& g : groups) {
+    if (g.size() < 2) continue;  // singletons are added by Finalize
+    plans.push_back(MakePlan(dag, g));
+  }
+
+  return FinalizePlanSet(dag, std::move(plans), "GEN(outer+cell)");
+}
+
+// --------------------------------------------------------------------------
+// Folded (MatFast) and NoFusion (DistME)
+// --------------------------------------------------------------------------
+
+FusionPlanSet FoldedPlanner::Plan(const Dag& dag) const {
+  std::map<NodeId, int> group_of;
+  std::vector<std::set<NodeId>> groups;
+  for (NodeId id : dag.TopologicalOrder()) {
+    const Node& n = dag.node(id);
+    if (!IsEwise(n)) continue;
+    int g = static_cast<int>(groups.size());
+    groups.push_back({id});
+    group_of[id] = g;
+    for (NodeId in : n.inputs) {
+      auto it = group_of.find(in);
+      if (it == group_of.end() || it->second == g) continue;
+      if (dag.FanOut(in) != 1) continue;
+      int old = it->second;
+      for (NodeId moved : groups[old]) group_of[moved] = g;
+      groups[g].insert(groups[old].begin(), groups[old].end());
+      groups[old].clear();
+    }
+  }
+  std::vector<PartialPlan> plans;
+  for (const auto& g : groups) {
+    if (g.size() < 2) continue;
+    plans.push_back(MakePlan(dag, g));
+  }
+  return FinalizePlanSet(dag, std::move(plans), "Folded(ewise chains)");
+}
+
+FusionPlanSet NoFusionPlanner::Plan(const Dag& dag) const {
+  return FinalizePlanSet(dag, {}, "NoFusion(operator-at-a-time)");
+}
+
+}  // namespace fuseme

@@ -1,0 +1,70 @@
+#include "fusion/sparsity_analysis.h"
+
+namespace fuseme {
+
+namespace {
+
+/// True when the subtree under `id` (restricted to plan members) consists
+/// only of element-wise / transpose operators — i.e. the evaluator can
+/// compute it per element for the masked fast path.
+bool SubtreeIsElementwise(const PartialPlan& plan, NodeId id) {
+  if (!plan.Contains(id)) return true;  // external inputs are fine
+  const Node& n = plan.dag().node(id);
+  switch (n.kind) {
+    case OpKind::kUnary:
+    case OpKind::kBinary:
+    case OpKind::kTranspose:
+      break;
+    default:
+      return false;
+  }
+  for (NodeId in : n.inputs) {
+    if (!SubtreeIsElementwise(plan, in)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+SparseDriver FindSparseDriver(const PartialPlan& plan, NodeId main_mm,
+                              double density_threshold) {
+  SparseDriver driver;
+  if (main_mm == kInvalidNode || !plan.Contains(main_mm)) return driver;
+  const Dag& dag = plan.dag();
+
+  std::vector<NodeId> path = {main_mm};
+  NodeId current = main_mm;
+  while (true) {
+    NodeId parent = plan.ParentOf(current);
+    if (parent == kInvalidNode) break;  // reached the plan root
+    const Node& p = dag.node(parent);
+    // The mask only commutes with element-wise operators.
+    if (p.kind != OpKind::kUnary && p.kind != OpKind::kBinary) break;
+    path.push_back(parent);
+    if (p.kind == OpKind::kBinary && p.binary_fn == BinaryFn::kMul) {
+      // Which operand is the path child?
+      const NodeId other =
+          p.inputs[0] == current ? p.inputs[1] : p.inputs[0];
+      const Node& o = dag.node(other);
+      // The mask may be an external sparse matrix or an in-plan
+      // element-wise expression over one (e.g. the (X != 0) of Fig. 1(a));
+      // both are cheap to evaluate at non-zero positions only.
+      const bool usable =
+          !plan.Contains(other) ||
+          (other != current && SubtreeIsElementwise(plan, other));
+      const bool matrix_shaped =
+          o.is_matrix() && o.rows == p.rows && o.cols == p.cols;
+      if (usable && matrix_shaped && o.density() < density_threshold) {
+        driver.mul_node = parent;
+        driver.sparse_input = other;
+        driver.scaled_nodes = path;
+        driver.density = o.density();
+        return driver;
+      }
+    }
+    current = parent;
+  }
+  return driver;
+}
+
+}  // namespace fuseme

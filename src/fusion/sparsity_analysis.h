@@ -1,0 +1,44 @@
+// Sparsity-exploitation analysis (paper Fig. 1(a), "Outer" pattern, §2.1).
+//
+// When a plan's O-space multiplies the matmul result element-wise by a
+// sparse external matrix X — possibly through a chain of element-wise
+// operators, as in (X != 0) * (X - U×V)^2 — the fused operator only needs
+// to evaluate the matmul (and the chain) at the non-zero positions of X.
+// This analysis finds that pattern so the cost model can scale the compute
+// estimate and the executor can take the per-element kernel path.
+
+#ifndef FUSEME_FUSION_SPARSITY_ANALYSIS_H_
+#define FUSEME_FUSION_SPARSITY_ANALYSIS_H_
+
+#include <vector>
+
+#include "fusion/partial_plan.h"
+
+namespace fuseme {
+
+struct SparseDriver {
+  /// The masking element-wise multiplication b(*).
+  NodeId mul_node = kInvalidNode;
+  /// The sparse external input providing the mask.
+  NodeId sparse_input = kInvalidNode;
+  /// Nodes on the path main_mm -> mul_node (inclusive) whose work scales
+  /// with the mask density instead of the full cell count.
+  std::vector<NodeId> scaled_nodes;
+  /// Density of the mask.
+  double density = 1.0;
+
+  bool found() const { return mul_node != kInvalidNode; }
+};
+
+/// Density below which a mask is worth exploiting.
+inline constexpr double kSparseDriverDensityThreshold = 0.25;
+
+/// Walks upward from `main_mm` through element-wise members looking for a
+/// b(*) whose other operand is a sparse external input of matching shape.
+SparseDriver FindSparseDriver(
+    const PartialPlan& plan, NodeId main_mm,
+    double density_threshold = kSparseDriverDensityThreshold);
+
+}  // namespace fuseme
+
+#endif  // FUSEME_FUSION_SPARSITY_ANALYSIS_H_

@@ -1,0 +1,77 @@
+// Dag: the query plan container (paper §2.1).
+//
+// Leaves are input matrices / scalar literals; inner vertices are matrix
+// operators; edges are matrix flow.  Shape and sparsity are inferred as
+// nodes are added, so invalid queries are rejected at construction time.
+
+#ifndef FUSEME_IR_DAG_H_
+#define FUSEME_IR_DAG_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "ir/node.h"
+
+namespace fuseme {
+
+class Dag {
+ public:
+  Dag() = default;
+
+  /// Leaf matrix with known shape and (estimated) non-zero count.
+  /// nnz < 0 means fully dense.
+  Result<NodeId> AddInput(std::string name, std::int64_t rows,
+                          std::int64_t cols, std::int64_t nnz = -1);
+
+  /// Scalar literal.
+  Result<NodeId> AddScalar(double value);
+
+  Result<NodeId> AddUnary(UnaryFn fn, NodeId input);
+
+  /// Element-wise binary; one side may be a scalar node.
+  Result<NodeId> AddBinary(BinaryFn fn, NodeId lhs, NodeId rhs);
+
+  /// Matrix multiplication (binary aggregation ba(×)).
+  Result<NodeId> AddMatMul(NodeId lhs, NodeId rhs);
+
+  Result<NodeId> AddUnaryAgg(AggFn fn, AggAxis axis, NodeId input);
+
+  Result<NodeId> AddTranspose(NodeId input);
+
+  /// Marks a node as a query output (root).  Multiple outputs are allowed
+  /// (multi-aggregation queries).
+  void MarkOutput(NodeId id);
+
+  const Node& node(NodeId id) const { return nodes_[id]; }
+  std::int64_t num_nodes() const {
+    return static_cast<std::int64_t>(nodes_.size());
+  }
+  const std::vector<NodeId>& outputs() const { return outputs_; }
+
+  /// Node ids of consumers of `id` (nodes listing it as an input).
+  std::vector<NodeId> Consumers(NodeId id) const;
+
+  /// Number of consumers plus 1 if the node is an output (i.e. total
+  /// outgoing edges; >1 means the node is a materialization point, §4.1).
+  int FanOut(NodeId id) const;
+
+  /// Ids in topological order (inputs before consumers).  Node ids are
+  /// already topological by construction, so this is 0..n-1.
+  std::vector<NodeId> TopologicalOrder() const;
+
+  /// All kMatMul node ids.
+  std::vector<NodeId> MatMulNodes() const;
+
+ private:
+  Result<NodeId> Push(Node node);
+  Status CheckId(NodeId id) const;
+
+  std::vector<Node> nodes_;
+  std::vector<NodeId> outputs_;
+};
+
+}  // namespace fuseme
+
+#endif  // FUSEME_IR_DAG_H_

@@ -1,0 +1,125 @@
+#include "ir/expr.h"
+
+namespace fuseme {
+
+namespace {
+
+NodeId Unwrap(Result<NodeId> result) {
+  FUSEME_CHECK(result.ok()) << result.status().ToString();
+  return *result;
+}
+
+Expr Binary(BinaryFn fn, const Expr& a, const Expr& b) {
+  FUSEME_CHECK(a.valid() && b.valid());
+  FUSEME_CHECK_EQ(a.dag(), b.dag());
+  return Expr(a.dag(), Unwrap(a.dag()->AddBinary(fn, a.id(), b.id())));
+}
+
+Expr BinaryScalarRhs(BinaryFn fn, const Expr& a, double s) {
+  Expr scalar = Expr::Scalar(a.dag(), s);
+  return Binary(fn, a, scalar);
+}
+
+Expr BinaryScalarLhs(BinaryFn fn, double s, const Expr& b) {
+  Expr scalar = Expr::Scalar(b.dag(), s);
+  return Binary(fn, scalar, b);
+}
+
+Expr UnaryOp(UnaryFn fn, const Expr& a) {
+  FUSEME_CHECK(a.valid());
+  return Expr(a.dag(), Unwrap(a.dag()->AddUnary(fn, a.id())));
+}
+
+Expr Agg(AggFn fn, AggAxis axis, const Expr& a) {
+  FUSEME_CHECK(a.valid());
+  return Expr(a.dag(), Unwrap(a.dag()->AddUnaryAgg(fn, axis, a.id())));
+}
+
+}  // namespace
+
+Expr Expr::Input(Dag* dag, std::string name, std::int64_t rows,
+                 std::int64_t cols, std::int64_t nnz) {
+  FUSEME_CHECK(dag != nullptr);
+  return Expr(dag, Unwrap(dag->AddInput(std::move(name), rows, cols, nnz)));
+}
+
+Expr Expr::Scalar(Dag* dag, double value) {
+  FUSEME_CHECK(dag != nullptr);
+  return Expr(dag, Unwrap(dag->AddScalar(value)));
+}
+
+Expr operator+(const Expr& a, const Expr& b) {
+  return Binary(BinaryFn::kAdd, a, b);
+}
+Expr operator-(const Expr& a, const Expr& b) {
+  return Binary(BinaryFn::kSub, a, b);
+}
+Expr operator*(const Expr& a, const Expr& b) {
+  return Binary(BinaryFn::kMul, a, b);
+}
+Expr operator/(const Expr& a, const Expr& b) {
+  return Binary(BinaryFn::kDiv, a, b);
+}
+Expr operator+(const Expr& a, double s) {
+  return BinaryScalarRhs(BinaryFn::kAdd, a, s);
+}
+Expr operator+(double s, const Expr& b) {
+  return BinaryScalarLhs(BinaryFn::kAdd, s, b);
+}
+Expr operator-(const Expr& a, double s) {
+  return BinaryScalarRhs(BinaryFn::kSub, a, s);
+}
+Expr operator-(double s, const Expr& b) {
+  return BinaryScalarLhs(BinaryFn::kSub, s, b);
+}
+Expr operator*(const Expr& a, double s) {
+  return BinaryScalarRhs(BinaryFn::kMul, a, s);
+}
+Expr operator*(double s, const Expr& b) {
+  return BinaryScalarLhs(BinaryFn::kMul, s, b);
+}
+Expr operator/(const Expr& a, double s) {
+  return BinaryScalarRhs(BinaryFn::kDiv, a, s);
+}
+Expr operator/(double s, const Expr& b) {
+  return BinaryScalarLhs(BinaryFn::kDiv, s, b);
+}
+Expr Min(const Expr& a, const Expr& b) { return Binary(BinaryFn::kMin, a, b); }
+Expr Max(const Expr& a, const Expr& b) { return Binary(BinaryFn::kMax, a, b); }
+Expr Pow(const Expr& a, const Expr& b) { return Binary(BinaryFn::kPow, a, b); }
+Expr NotEqual(const Expr& a, const Expr& b) {
+  return Binary(BinaryFn::kNotEqual, a, b);
+}
+
+Expr Exp(const Expr& a) { return UnaryOp(UnaryFn::kExp, a); }
+Expr Log(const Expr& a) { return UnaryOp(UnaryFn::kLog, a); }
+Expr Sqrt(const Expr& a) { return UnaryOp(UnaryFn::kSqrt, a); }
+Expr Square(const Expr& a) { return UnaryOp(UnaryFn::kSquare, a); }
+Expr Abs(const Expr& a) { return UnaryOp(UnaryFn::kAbs, a); }
+Expr Sigmoid(const Expr& a) { return UnaryOp(UnaryFn::kSigmoid, a); }
+Expr Relu(const Expr& a) { return UnaryOp(UnaryFn::kRelu, a); }
+Expr NotZero(const Expr& a) { return UnaryOp(UnaryFn::kNotZero, a); }
+Expr Neg(const Expr& a) { return UnaryOp(UnaryFn::kNeg, a); }
+
+Expr MatMul(const Expr& a, const Expr& b) {
+  FUSEME_CHECK(a.valid() && b.valid());
+  FUSEME_CHECK_EQ(a.dag(), b.dag());
+  Result<NodeId> result = a.dag()->AddMatMul(a.id(), b.id());
+  FUSEME_CHECK(result.ok()) << result.status().ToString();
+  return Expr(a.dag(), *result);
+}
+
+Expr T(const Expr& a) {
+  FUSEME_CHECK(a.valid());
+  Result<NodeId> result = a.dag()->AddTranspose(a.id());
+  FUSEME_CHECK(result.ok()) << result.status().ToString();
+  return Expr(a.dag(), *result);
+}
+
+Expr Sum(const Expr& a) { return Agg(AggFn::kSum, AggAxis::kAll, a); }
+Expr RowSums(const Expr& a) { return Agg(AggFn::kSum, AggAxis::kRow, a); }
+Expr ColSums(const Expr& a) { return Agg(AggFn::kSum, AggAxis::kCol, a); }
+Expr MinAgg(const Expr& a) { return Agg(AggFn::kMin, AggAxis::kAll, a); }
+Expr MaxAgg(const Expr& a) { return Agg(AggFn::kMax, AggAxis::kAll, a); }
+
+}  // namespace fuseme

@@ -1,0 +1,91 @@
+// Expr: fluent query-construction API over Dag.
+//
+//   Dag dag;
+//   Expr X = Expr::Input(&dag, "X", 1000, 1000, /*nnz=*/5000);
+//   Expr U = Expr::Input(&dag, "U", 1000, 100);
+//   Expr V = Expr::Input(&dag, "V", 100, 1000);
+//   Expr loss = Sum(NotZero(X) * Square(X - MatMul(U, V)));
+//   loss.MarkOutput();
+//
+// Shape errors CHECK-fail at construction (queries are author-written code,
+// so malformed shapes are programming errors); the underlying Dag::Add*
+// methods return Status for callers that need recoverable validation.
+
+#ifndef FUSEME_IR_EXPR_H_
+#define FUSEME_IR_EXPR_H_
+
+#include <string>
+
+#include "common/logging.h"
+#include "ir/dag.h"
+
+namespace fuseme {
+
+class Expr {
+ public:
+  Expr() : dag_(nullptr), id_(kInvalidNode) {}
+  Expr(Dag* dag, NodeId id) : dag_(dag), id_(id) {}
+
+  static Expr Input(Dag* dag, std::string name, std::int64_t rows,
+                    std::int64_t cols, std::int64_t nnz = -1);
+  static Expr Scalar(Dag* dag, double value);
+
+  Dag* dag() const { return dag_; }
+  NodeId id() const { return id_; }
+  const Node& node() const { return dag_->node(id_); }
+  bool valid() const { return dag_ != nullptr && id_ != kInvalidNode; }
+
+  /// Marks this expression as a query output; returns *this for chaining.
+  Expr MarkOutput() const {
+    dag_->MarkOutput(id_);
+    return *this;
+  }
+
+ private:
+  Dag* dag_;
+  NodeId id_;
+};
+
+// --- element-wise binary operators ---------------------------------------
+Expr operator+(const Expr& a, const Expr& b);
+Expr operator-(const Expr& a, const Expr& b);
+Expr operator*(const Expr& a, const Expr& b);
+Expr operator/(const Expr& a, const Expr& b);
+Expr operator+(const Expr& a, double s);
+Expr operator+(double s, const Expr& b);
+Expr operator-(const Expr& a, double s);
+Expr operator-(double s, const Expr& b);
+Expr operator*(const Expr& a, double s);
+Expr operator*(double s, const Expr& b);
+Expr operator/(const Expr& a, double s);
+Expr operator/(double s, const Expr& b);
+Expr Min(const Expr& a, const Expr& b);
+Expr Max(const Expr& a, const Expr& b);
+Expr Pow(const Expr& a, const Expr& b);
+Expr NotEqual(const Expr& a, const Expr& b);
+
+// --- element-wise unary --------------------------------------------------
+Expr Exp(const Expr& a);
+Expr Log(const Expr& a);
+Expr Sqrt(const Expr& a);
+Expr Square(const Expr& a);
+Expr Abs(const Expr& a);
+Expr Sigmoid(const Expr& a);
+Expr Relu(const Expr& a);
+Expr NotZero(const Expr& a);
+Expr Neg(const Expr& a);
+
+// --- structural ------------------------------------------------------------
+Expr MatMul(const Expr& a, const Expr& b);
+Expr T(const Expr& a);  // transpose
+
+// --- aggregations ----------------------------------------------------------
+Expr Sum(const Expr& a);
+Expr RowSums(const Expr& a);
+Expr ColSums(const Expr& a);
+Expr MinAgg(const Expr& a);
+Expr MaxAgg(const Expr& a);
+
+}  // namespace fuseme
+
+#endif  // FUSEME_IR_EXPR_H_

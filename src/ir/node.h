@@ -1,0 +1,73 @@
+// IR node vocabulary: the paper's five basic operator types (§2.1) plus
+// leaf inputs and scalar literals.
+
+#ifndef FUSEME_IR_NODE_H_
+#define FUSEME_IR_NODE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "matrix/scalar_ops.h"
+
+namespace fuseme {
+
+using NodeId = std::int32_t;
+inline constexpr NodeId kInvalidNode = -1;
+
+/// Operator kinds.  kMatMul is the paper's "binary aggregation" operator
+/// (ba(×)); kTranspose is the reorganization operator (r(T)).
+enum class OpKind {
+  kInput,      // leaf matrix
+  kScalar,     // scalar literal
+  kUnary,      // u(f): element-wise unary
+  kBinary,     // b(f): element-wise binary (either side may be a scalar)
+  kMatMul,     // ba(×): matrix multiplication
+  kUnaryAgg,   // ua(f): sum / rowSums / colSums / min / max
+  kTranspose,  // r(T)
+};
+
+std::string_view OpKindName(OpKind kind);
+
+/// Aggregation direction for kUnaryAgg.
+enum class AggAxis {
+  kAll,  // -> 1×1
+  kRow,  // rowAgg: I×J -> I×1
+  kCol,  // colAgg: I×J -> 1×J
+};
+
+std::string_view AggAxisName(AggAxis axis);
+
+/// One vertex of the query DAG.  Shape and nnz are inferred at build time.
+struct Node {
+  NodeId id = kInvalidNode;
+  OpKind kind = OpKind::kInput;
+
+  UnaryFn unary_fn = UnaryFn::kIdentity;    // kUnary
+  BinaryFn binary_fn = BinaryFn::kAdd;      // kBinary
+  AggFn agg_fn = AggFn::kSum;               // kUnaryAgg
+  AggAxis agg_axis = AggAxis::kAll;         // kUnaryAgg
+
+  std::vector<NodeId> inputs;
+
+  std::string name;      // leaf name, e.g. "X"; empty for operators
+  double scalar = 0.0;   // kScalar literal value
+
+  // Inferred metadata.
+  std::int64_t rows = 0;
+  std::int64_t cols = 0;
+  std::int64_t nnz = 0;  // estimated non-zeros
+
+  bool is_matrix() const { return kind != OpKind::kScalar; }
+  double density() const {
+    return rows * cols == 0 ? 0.0
+                            : static_cast<double>(nnz) / (rows * cols);
+  }
+
+  /// Short label, e.g. "X", "b(*)", "ba(x)", "ua(colSum)".
+  std::string Label() const;
+};
+
+}  // namespace fuseme
+
+#endif  // FUSEME_IR_NODE_H_

@@ -1,0 +1,57 @@
+// A small DML-like expression parser — the textual front end (the paper's
+// system accepts SystemML DML / Scala expressions; this is the analogous
+// layer for this engine).
+//
+//   X * log(U %*% t(V) + 1e-8)
+//   sum((X != 0) * (X - U %*% V)^2)
+//
+// Grammar (precedence low → high):
+//   expr    := cmp ( ('+'|'-') cmp )*
+//   cmp     := term ( ('=='|'!='|'<'|'>') term )*        [comparisons]
+//   term    := power ( ('*'|'/') power )*
+//   power   := matmul ( '^' matmul )*                    [right-assoc]
+//   matmul  := unary ( '%*%' unary )*
+//   unary   := '-' unary | primary
+//   primary := NUMBER | IDENT | FUNC '(' expr (',' expr)* ')' | '(' expr ')'
+//
+// Functions: t, log, exp, sqrt, abs, sigmoid, relu, sq, nz,
+//            sum, rowSums, colSums, min, max, pow.
+// Identifiers resolve against a caller-supplied symbol table of matrix
+// shapes; '^' with a literal 2 lowers to the cheaper u(^2).
+
+#ifndef FUSEME_IR_PARSER_H_
+#define FUSEME_IR_PARSER_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "ir/dag.h"
+
+namespace fuseme {
+
+/// Shape (and optional sparsity) of an input matrix named in a query.
+struct MatrixShape {
+  std::int64_t rows = 0;
+  std::int64_t cols = 0;
+  std::int64_t nnz = -1;  // -1 = dense
+};
+
+struct ParsedQuery {
+  /// The DAG is heap-allocated so ParsedQuery stays movable while Expr
+  /// handles keep pointing at a stable Dag.
+  std::unique_ptr<Dag> dag;
+  std::map<std::string, NodeId> inputs;  // name -> leaf node
+  NodeId root = kInvalidNode;            // marked as the DAG output
+};
+
+/// Parses `text` against `symbols`.  Unknown identifiers, malformed
+/// syntax, and shape errors come back as InvalidArgument with a position.
+Result<ParsedQuery> ParseQuery(
+    std::string_view text, const std::map<std::string, MatrixShape>& symbols);
+
+}  // namespace fuseme
+
+#endif  // FUSEME_IR_PARSER_H_

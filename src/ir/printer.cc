@@ -1,0 +1,85 @@
+#include "ir/printer.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace fuseme {
+
+std::string DagToString(const Dag& dag) {
+  std::ostringstream os;
+  for (NodeId id : dag.TopologicalOrder()) {
+    const Node& n = dag.node(id);
+    os << "v" << id << ": " << n.Label();
+    if (n.is_matrix()) {
+      os << " [" << n.rows << "x" << n.cols;
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), ", d=%.4g", n.density());
+      os << buf << "]";
+    }
+    if (!n.inputs.empty()) {
+      os << " <-";
+      for (NodeId in : n.inputs) os << " v" << in;
+    }
+    const auto& outs = dag.outputs();
+    if (std::find(outs.begin(), outs.end(), id) != outs.end()) {
+      os << "  (output)";
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+std::string DagToDot(const Dag& dag) {
+  std::ostringstream os;
+  os << "digraph query {\n  rankdir=BT;\n";
+  for (NodeId id : dag.TopologicalOrder()) {
+    const Node& n = dag.node(id);
+    const char* shape =
+        n.kind == OpKind::kInput || n.kind == OpKind::kScalar ? "box"
+                                                              : "ellipse";
+    os << "  v" << id << " [label=\"" << n.Label() << "\", shape=" << shape
+       << "];\n";
+    for (NodeId in : n.inputs) {
+      os << "  v" << in << " -> v" << id << ";\n";
+    }
+  }
+  for (NodeId out : dag.outputs()) {
+    os << "  v" << out << " [penwidth=2];\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+std::string ExprToString(const Dag& dag, NodeId id) {
+  const Node& n = dag.node(id);
+  switch (n.kind) {
+    case OpKind::kInput:
+      return n.name;
+    case OpKind::kScalar: {
+      std::ostringstream os;
+      os << n.scalar;
+      return os.str();
+    }
+    case OpKind::kUnary:
+      return std::string(UnaryFnName(n.unary_fn)) + "(" +
+             ExprToString(dag, n.inputs[0]) + ")";
+    case OpKind::kBinary:
+      return "(" + ExprToString(dag, n.inputs[0]) + " " +
+             std::string(BinaryFnName(n.binary_fn)) + " " +
+             ExprToString(dag, n.inputs[1]) + ")";
+    case OpKind::kMatMul:
+      return "(" + ExprToString(dag, n.inputs[0]) + " x " +
+             ExprToString(dag, n.inputs[1]) + ")";
+    case OpKind::kUnaryAgg: {
+      std::string fn(AggFnName(n.agg_fn));
+      if (n.agg_axis == AggAxis::kRow) fn = "row" + fn;
+      if (n.agg_axis == AggAxis::kCol) fn = "col" + fn;
+      return fn + "(" + ExprToString(dag, n.inputs[0]) + ")";
+    }
+    case OpKind::kTranspose:
+      return "T(" + ExprToString(dag, n.inputs[0]) + ")";
+  }
+  return "?";
+}
+
+}  // namespace fuseme

@@ -1,0 +1,24 @@
+// Human-readable renderings of query DAGs (text tree and Graphviz dot).
+
+#ifndef FUSEME_IR_PRINTER_H_
+#define FUSEME_IR_PRINTER_H_
+
+#include <string>
+
+#include "ir/dag.h"
+
+namespace fuseme {
+
+/// One line per node: "v3: b(*) [1000x1000, d=0.01] <- v1, v2".
+std::string DagToString(const Dag& dag);
+
+/// Graphviz dot output for visual inspection.
+std::string DagToDot(const Dag& dag);
+
+/// Infix rendering of the expression rooted at `id`, e.g.
+/// "(X * log((U x T(V)) + 0.5))".
+std::string ExprToString(const Dag& dag, NodeId id);
+
+}  // namespace fuseme
+
+#endif  // FUSEME_IR_PRINTER_H_

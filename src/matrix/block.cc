@@ -1,0 +1,109 @@
+#include "matrix/block.h"
+
+#include <sstream>
+
+namespace fuseme {
+
+Block Block::FromDense(DenseMatrix dense) {
+  Block b(Kind::kDense, dense.rows(), dense.cols(), dense.CountNonZeros());
+  b.dense_ = std::make_shared<const DenseMatrix>(std::move(dense));
+  return b;
+}
+
+Block Block::FromSparse(SparseMatrix sparse) {
+  Block b(Kind::kSparse, sparse.rows(), sparse.cols(), sparse.nnz());
+  b.sparse_ = std::make_shared<const SparseMatrix>(std::move(sparse));
+  return b;
+}
+
+Block Block::Meta(std::int64_t rows, std::int64_t cols, std::int64_t nnz) {
+  FUSEME_CHECK_LE(nnz, rows * cols);
+  return Block(Kind::kMeta, rows, cols, nnz);
+}
+
+Block Block::Constant(std::int64_t rows, std::int64_t cols, double value) {
+  if (value == 0.0) return Zero(rows, cols);
+  DenseMatrix m(rows, cols);
+  m.Fill(value);
+  return FromDense(std::move(m));
+}
+
+double Block::At(std::int64_t i, std::int64_t j) const {
+  FUSEME_CHECK(is_real());
+  FUSEME_CHECK(i >= 0 && i < rows_ && j >= 0 && j < cols_);
+  switch (kind_) {
+    case Kind::kZero:
+      return 0.0;
+    case Kind::kDense:
+      return (*dense_)(i, j);
+    case Kind::kSparse:
+      return sparse_->At(i, j);
+    case Kind::kMeta:
+      break;
+  }
+  FUSEME_CHECK(false) << "At() on meta block";
+  return 0.0;
+}
+
+DenseMatrix Block::ToDense() const {
+  FUSEME_CHECK(is_real());
+  switch (kind_) {
+    case Kind::kZero:
+      return DenseMatrix(rows_, cols_);
+    case Kind::kDense:
+      return *dense_;
+    case Kind::kSparse:
+      return sparse_->ToDense();
+    case Kind::kMeta:
+      break;
+  }
+  FUSEME_CHECK(false) << "ToDense() on meta block";
+  return DenseMatrix();
+}
+
+std::int64_t Block::SizeBytes() const {
+  switch (kind_) {
+    case Kind::kZero:
+      return 16;  // header only
+    case Kind::kDense:
+      return 8 * rows_ * cols_;
+    case Kind::kSparse:
+      return 16 * nnz_ + 8 * (rows_ + 1);
+    case Kind::kMeta:
+      return EstimateSizeBytes(rows_, cols_, nnz_);
+  }
+  return 0;
+}
+
+std::int64_t Block::EstimateSizeBytes(std::int64_t rows, std::int64_t cols,
+                                      std::int64_t nnz) {
+  if (nnz == 0) return 16;
+  double density =
+      rows * cols == 0 ? 0.0 : static_cast<double>(nnz) / (rows * cols);
+  if (density >= kDenseStorageThreshold) return 8 * rows * cols;
+  return 16 * nnz + 8 * (rows + 1);
+}
+
+std::string Block::ToString() const {
+  std::ostringstream os;
+  const char* kind_name = "?";
+  switch (kind_) {
+    case Kind::kZero:
+      kind_name = "zero";
+      break;
+    case Kind::kDense:
+      kind_name = "dense";
+      break;
+    case Kind::kSparse:
+      kind_name = "sparse";
+      break;
+    case Kind::kMeta:
+      kind_name = "meta";
+      break;
+  }
+  os << "Block[" << kind_name << " " << rows_ << "x" << cols_
+     << " nnz=" << nnz_ << "]";
+  return os.str();
+}
+
+}  // namespace fuseme

@@ -1,0 +1,154 @@
+#include "matrix/blocked_matrix.h"
+
+#include <algorithm>
+#include <tuple>
+#include <vector>
+
+namespace fuseme {
+
+namespace {
+
+std::int64_t CeilDiv(std::int64_t a, std::int64_t b) {
+  return (a + b - 1) / b;
+}
+
+}  // namespace
+
+BlockedMatrix::BlockedMatrix(std::int64_t rows, std::int64_t cols,
+                             std::int64_t block_size)
+    : rows_(rows), cols_(cols), block_size_(block_size) {
+  FUSEME_CHECK_GT(block_size, 0);
+  FUSEME_CHECK_GE(rows, 0);
+  FUSEME_CHECK_GE(cols, 0);
+  grid_rows_ = rows == 0 ? 0 : CeilDiv(rows, block_size);
+  grid_cols_ = cols == 0 ? 0 : CeilDiv(cols, block_size);
+  blocks_.reserve(grid_rows_ * grid_cols_);
+  for (std::int64_t bi = 0; bi < grid_rows_; ++bi) {
+    for (std::int64_t bj = 0; bj < grid_cols_; ++bj) {
+      blocks_.push_back(Block::Zero(TileRows(bi), TileCols(bj)));
+    }
+  }
+}
+
+std::int64_t BlockedMatrix::TileRows(std::int64_t bi) const {
+  FUSEME_CHECK(bi >= 0 && bi < grid_rows_);
+  return std::min(block_size_, rows_ - bi * block_size_);
+}
+
+std::int64_t BlockedMatrix::TileCols(std::int64_t bj) const {
+  FUSEME_CHECK(bj >= 0 && bj < grid_cols_);
+  return std::min(block_size_, cols_ - bj * block_size_);
+}
+
+void BlockedMatrix::set_block(std::int64_t bi, std::int64_t bj, Block block) {
+  FUSEME_CHECK_EQ(block.rows(), TileRows(bi));
+  FUSEME_CHECK_EQ(block.cols(), TileCols(bj));
+  blocks_[Index(bi, bj)] = std::move(block);
+}
+
+BlockedMatrix BlockedMatrix::FromDense(const DenseMatrix& dense,
+                                       std::int64_t block_size) {
+  BlockedMatrix out(dense.rows(), dense.cols(), block_size);
+  for (std::int64_t bi = 0; bi < out.grid_rows_; ++bi) {
+    for (std::int64_t bj = 0; bj < out.grid_cols_; ++bj) {
+      const std::int64_t r0 = bi * block_size, c0 = bj * block_size;
+      DenseMatrix tile(out.TileRows(bi), out.TileCols(bj));
+      for (std::int64_t i = 0; i < tile.rows(); ++i) {
+        for (std::int64_t j = 0; j < tile.cols(); ++j) {
+          tile(i, j) = dense(r0 + i, c0 + j);
+        }
+      }
+      if (tile.CountNonZeros() > 0) {
+        out.set_block(bi, bj, Block::FromDense(std::move(tile)));
+      }
+    }
+  }
+  return out;
+}
+
+BlockedMatrix BlockedMatrix::FromSparse(const SparseMatrix& sparse,
+                                        std::int64_t block_size) {
+  BlockedMatrix out(sparse.rows(), sparse.cols(), block_size);
+  // Bucket triplets per tile, then build CSR tiles.
+  std::vector<std::vector<std::tuple<std::int64_t, std::int64_t, double>>>
+      buckets(out.num_blocks());
+  sparse.ForEach([&](std::int64_t i, std::int64_t j, double v) {
+    const std::int64_t bi = i / block_size, bj = j / block_size;
+    buckets[out.Index(bi, bj)].emplace_back(i - bi * block_size,
+                                            j - bj * block_size, v);
+  });
+  for (std::int64_t bi = 0; bi < out.grid_rows_; ++bi) {
+    for (std::int64_t bj = 0; bj < out.grid_cols_; ++bj) {
+      auto& bucket = buckets[out.Index(bi, bj)];
+      if (bucket.empty()) continue;
+      SparseMatrix tile = SparseMatrix::FromTriplets(
+          out.TileRows(bi), out.TileCols(bj), std::move(bucket));
+      if (tile.density() >= kDenseStorageThreshold) {
+        out.set_block(bi, bj, Block::FromDense(tile.ToDense()));
+      } else {
+        out.set_block(bi, bj, Block::FromSparse(std::move(tile)));
+      }
+    }
+  }
+  return out;
+}
+
+BlockedMatrix BlockedMatrix::MakeMeta(std::int64_t rows, std::int64_t cols,
+                                      std::int64_t nnz,
+                                      std::int64_t block_size) {
+  BlockedMatrix out(rows, cols, block_size);
+  FUSEME_CHECK_LE(nnz, rows * cols);
+  const double density =
+      rows * cols == 0 ? 0.0 : static_cast<double>(nnz) / (rows * cols);
+  for (std::int64_t bi = 0; bi < out.grid_rows_; ++bi) {
+    for (std::int64_t bj = 0; bj < out.grid_cols_; ++bj) {
+      const std::int64_t cells = out.TileRows(bi) * out.TileCols(bj);
+      const auto tile_nnz =
+          static_cast<std::int64_t>(density * static_cast<double>(cells));
+      out.set_block(bi, bj,
+                    Block::Meta(out.TileRows(bi), out.TileCols(bj),
+                                std::min(tile_nnz, cells)));
+    }
+  }
+  return out;
+}
+
+std::int64_t BlockedMatrix::nnz() const {
+  std::int64_t total = 0;
+  for (const Block& b : blocks_) total += b.nnz();
+  return total;
+}
+
+std::int64_t BlockedMatrix::SizeBytes() const {
+  std::int64_t total = 0;
+  for (const Block& b : blocks_) total += b.SizeBytes();
+  return total;
+}
+
+bool BlockedMatrix::IsReal() const {
+  for (const Block& b : blocks_) {
+    if (!b.is_real()) return false;
+  }
+  return true;
+}
+
+DenseMatrix BlockedMatrix::ToDense() const {
+  DenseMatrix out(rows_, cols_);
+  for (std::int64_t bi = 0; bi < grid_rows_; ++bi) {
+    for (std::int64_t bj = 0; bj < grid_cols_; ++bj) {
+      const Block& b = block(bi, bj);
+      FUSEME_CHECK(b.is_real()) << "ToDense on meta matrix";
+      const std::int64_t r0 = bi * block_size_, c0 = bj * block_size_;
+      if (b.is_zero()) continue;
+      DenseMatrix tile = b.ToDense();
+      for (std::int64_t i = 0; i < tile.rows(); ++i) {
+        for (std::int64_t j = 0; j < tile.cols(); ++j) {
+          out(r0 + i, c0 + j) = tile(i, j);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace fuseme

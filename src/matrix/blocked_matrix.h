@@ -1,0 +1,92 @@
+// BlockedMatrix: a logical matrix stored as a grid of Blocks (paper §2.2).
+
+#ifndef FUSEME_MATRIX_BLOCKED_MATRIX_H_
+#define FUSEME_MATRIX_BLOCKED_MATRIX_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/logging.h"
+#include "matrix/block.h"
+
+namespace fuseme {
+
+/// Coordinates of a block within the grid.
+struct BlockCoord {
+  std::int64_t bi = 0;
+  std::int64_t bj = 0;
+
+  bool operator==(const BlockCoord&) const = default;
+  bool operator<(const BlockCoord& o) const {
+    return bi != o.bi ? bi < o.bi : bj < o.bj;
+  }
+};
+
+/// A matrix as a grid of fixed-size tiles.  Edge tiles are smaller when the
+/// dimensions are not multiples of block_size.  The grid itself lives on one
+/// host; DistributedMatrix (runtime/) adds task placement on top.
+class BlockedMatrix {
+ public:
+  BlockedMatrix() : BlockedMatrix(0, 0, 1) {}
+
+  /// Creates an all-zero matrix.
+  BlockedMatrix(std::int64_t rows, std::int64_t cols,
+                std::int64_t block_size);
+
+  static BlockedMatrix FromDense(const DenseMatrix& dense,
+                                 std::int64_t block_size);
+  static BlockedMatrix FromSparse(const SparseMatrix& sparse,
+                                  std::int64_t block_size);
+  /// Descriptor-only matrix with `nnz` spread uniformly over the tiles.
+  static BlockedMatrix MakeMeta(std::int64_t rows, std::int64_t cols,
+                                std::int64_t nnz, std::int64_t block_size);
+
+  std::int64_t rows() const { return rows_; }
+  std::int64_t cols() const { return cols_; }
+  std::int64_t block_size() const { return block_size_; }
+  std::int64_t grid_rows() const { return grid_rows_; }
+  std::int64_t grid_cols() const { return grid_cols_; }
+  std::int64_t num_blocks() const { return grid_rows_ * grid_cols_; }
+
+  /// Row count of tile row `bi` (block_size except possibly the last).
+  std::int64_t TileRows(std::int64_t bi) const;
+  /// Column count of tile column `bj`.
+  std::int64_t TileCols(std::int64_t bj) const;
+
+  const Block& block(std::int64_t bi, std::int64_t bj) const {
+    return blocks_[Index(bi, bj)];
+  }
+  const Block& block(BlockCoord c) const { return block(c.bi, c.bj); }
+  void set_block(std::int64_t bi, std::int64_t bj, Block block);
+
+  /// Total stored non-zeros across tiles.
+  std::int64_t nnz() const;
+  double density() const {
+    return rows_ * cols_ == 0
+               ? 0.0
+               : static_cast<double>(nnz()) / (rows_ * cols_);
+  }
+  /// Sum of tile footprints (see Block::SizeBytes).
+  std::int64_t SizeBytes() const;
+  /// True when every tile carries real values.
+  bool IsReal() const;
+
+  DenseMatrix ToDense() const;
+
+ private:
+  std::int64_t Index(std::int64_t bi, std::int64_t bj) const {
+    FUSEME_CHECK(bi >= 0 && bi < grid_rows_ && bj >= 0 && bj < grid_cols_);
+    return bi * grid_cols_ + bj;
+  }
+
+  std::int64_t rows_;
+  std::int64_t cols_;
+  std::int64_t block_size_;
+  std::int64_t grid_rows_;
+  std::int64_t grid_cols_;
+  std::vector<Block> blocks_;
+};
+
+}  // namespace fuseme
+
+#endif  // FUSEME_MATRIX_BLOCKED_MATRIX_H_

@@ -1,0 +1,40 @@
+#include "matrix/dense_matrix.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace fuseme {
+
+std::int64_t DenseMatrix::CountNonZeros() const {
+  std::int64_t nnz = 0;
+  for (double v : data_) {
+    if (v != 0.0) ++nnz;
+  }
+  return nnz;
+}
+
+void DenseMatrix::Fill(double value) {
+  std::fill(data_.begin(), data_.end(), value);
+}
+
+DenseMatrix DenseMatrix::Transposed() const {
+  DenseMatrix out(cols_, rows_);
+  for (std::int64_t i = 0; i < rows_; ++i) {
+    for (std::int64_t j = 0; j < cols_; ++j) {
+      out(j, i) = (*this)(i, j);
+    }
+  }
+  return out;
+}
+
+double DenseMatrix::MaxAbsDiff(const DenseMatrix& a, const DenseMatrix& b) {
+  FUSEME_CHECK_EQ(a.rows(), b.rows());
+  FUSEME_CHECK_EQ(a.cols(), b.cols());
+  double max_diff = 0.0;
+  for (std::int64_t i = 0; i < a.size(); ++i) {
+    max_diff = std::max(max_diff, std::fabs(a.data()[i] - b.data()[i]));
+  }
+  return max_diff;
+}
+
+}  // namespace fuseme

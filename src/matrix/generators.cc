@@ -1,0 +1,54 @@
+#include "matrix/generators.h"
+
+#include <random>
+#include <tuple>
+#include <vector>
+
+namespace fuseme {
+
+DenseMatrix RandomDense(std::int64_t rows, std::int64_t cols,
+                        std::uint64_t seed, double lo, double hi) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> dist(lo, hi);
+  DenseMatrix out(rows, cols);
+  for (std::int64_t i = 0; i < out.size(); ++i) out.data()[i] = dist(rng);
+  return out;
+}
+
+SparseMatrix RandomSparse(std::int64_t rows, std::int64_t cols,
+                          double density, std::uint64_t seed, double lo,
+                          double hi) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> coin(0.0, 1.0);
+  std::uniform_real_distribution<double> value(lo, hi);
+  std::vector<std::tuple<std::int64_t, std::int64_t, double>> triplets;
+  triplets.reserve(
+      static_cast<std::size_t>(density * static_cast<double>(rows * cols)) +
+      16);
+  for (std::int64_t i = 0; i < rows; ++i) {
+    for (std::int64_t j = 0; j < cols; ++j) {
+      if (coin(rng) < density) {
+        double v = value(rng);
+        if (v == 0.0) v = (lo + hi) / 2.0 + 1e-9;  // keep nnz exact
+        triplets.emplace_back(i, j, v);
+      }
+    }
+  }
+  return SparseMatrix::FromTriplets(rows, cols, std::move(triplets));
+}
+
+BlockedMatrix RandomDenseBlocked(std::int64_t rows, std::int64_t cols,
+                                 std::int64_t block_size, std::uint64_t seed,
+                                 double lo, double hi) {
+  return BlockedMatrix::FromDense(RandomDense(rows, cols, seed, lo, hi),
+                                  block_size);
+}
+
+BlockedMatrix RandomSparseBlocked(std::int64_t rows, std::int64_t cols,
+                                  double density, std::int64_t block_size,
+                                  std::uint64_t seed, double lo, double hi) {
+  return BlockedMatrix::FromSparse(
+      RandomSparse(rows, cols, density, seed, lo, hi), block_size);
+}
+
+}  // namespace fuseme

@@ -1,0 +1,38 @@
+// Random matrix generators for tests, examples, and benchmarks.
+//
+// The paper's synthetic datasets are "randomly and uniformly distributed
+// non-zero elements" (§6.1); RandomSparse reproduces that.
+
+#ifndef FUSEME_MATRIX_GENERATORS_H_
+#define FUSEME_MATRIX_GENERATORS_H_
+
+#include <cstdint>
+
+#include "matrix/blocked_matrix.h"
+#include "matrix/dense_matrix.h"
+#include "matrix/sparse_matrix.h"
+
+namespace fuseme {
+
+/// Dense matrix with i.i.d. uniform values in [lo, hi].
+DenseMatrix RandomDense(std::int64_t rows, std::int64_t cols,
+                        std::uint64_t seed, double lo = 0.0, double hi = 1.0);
+
+/// Sparse matrix with ~density fraction of cells set to uniform values in
+/// (lo, hi]; values are never exactly zero so nnz is deterministic per cell.
+SparseMatrix RandomSparse(std::int64_t rows, std::int64_t cols,
+                          double density, std::uint64_t seed, double lo = 0.0,
+                          double hi = 1.0);
+
+/// Blocked convenience wrappers.
+BlockedMatrix RandomDenseBlocked(std::int64_t rows, std::int64_t cols,
+                                 std::int64_t block_size, std::uint64_t seed,
+                                 double lo = 0.0, double hi = 1.0);
+BlockedMatrix RandomSparseBlocked(std::int64_t rows, std::int64_t cols,
+                                  double density, std::int64_t block_size,
+                                  std::uint64_t seed, double lo = 0.0,
+                                  double hi = 1.0);
+
+}  // namespace fuseme
+
+#endif  // FUSEME_MATRIX_GENERATORS_H_

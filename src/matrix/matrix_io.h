@@ -1,0 +1,32 @@
+// Binary matrix persistence — the engine's analogue of the paper's
+// parquet-on-HDFS matrix storage (§5).
+//
+// Format (little-endian, versioned):
+//   header: magic "FMEM", u32 version, i64 rows, cols, block_size,
+//           i64 block_count
+//   per block: i64 bi, bj, u8 kind (0 zero, 1 dense, 2 sparse),
+//              payload (dense: row-major doubles; sparse: nnz, then
+//              row_ptr/col_idx/values arrays)
+//
+// Meta (descriptor-only) matrices are not serializable.
+
+#ifndef FUSEME_MATRIX_MATRIX_IO_H_
+#define FUSEME_MATRIX_MATRIX_IO_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "matrix/blocked_matrix.h"
+
+namespace fuseme {
+
+/// Writes `matrix` to `path`, overwriting.  Fails on meta blocks or I/O
+/// errors.
+Status SaveMatrix(const BlockedMatrix& matrix, const std::string& path);
+
+/// Reads a matrix written by SaveMatrix.
+Result<BlockedMatrix> LoadMatrix(const std::string& path);
+
+}  // namespace fuseme
+
+#endif  // FUSEME_MATRIX_MATRIX_IO_H_

@@ -1,0 +1,158 @@
+#include "matrix/scalar_ops.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace fuseme {
+
+double ApplyUnary(UnaryFn fn, double x) {
+  switch (fn) {
+    case UnaryFn::kIdentity:
+      return x;
+    case UnaryFn::kNeg:
+      return -x;
+    case UnaryFn::kExp:
+      return std::exp(x);
+    case UnaryFn::kLog:
+      return std::log(x);
+    case UnaryFn::kSqrt:
+      return std::sqrt(x);
+    case UnaryFn::kSquare:
+      return x * x;
+    case UnaryFn::kAbs:
+      return std::fabs(x);
+    case UnaryFn::kSigmoid:
+      return 1.0 / (1.0 + std::exp(-x));
+    case UnaryFn::kRelu:
+      return x > 0.0 ? x : 0.0;
+    case UnaryFn::kSin:
+      return std::sin(x);
+    case UnaryFn::kCos:
+      return std::cos(x);
+    case UnaryFn::kNotZero:
+      return x != 0.0 ? 1.0 : 0.0;
+    case UnaryFn::kReciprocal:
+      return 1.0 / x;
+  }
+  return x;
+}
+
+double ApplyBinary(BinaryFn fn, double x, double y) {
+  switch (fn) {
+    case BinaryFn::kAdd:
+      return x + y;
+    case BinaryFn::kSub:
+      return x - y;
+    case BinaryFn::kMul:
+      return x * y;
+    case BinaryFn::kDiv:
+      return x / y;
+    case BinaryFn::kMin:
+      return std::min(x, y);
+    case BinaryFn::kMax:
+      return std::max(x, y);
+    case BinaryFn::kPow:
+      return std::pow(x, y);
+    case BinaryFn::kEqual:
+      return x == y ? 1.0 : 0.0;
+    case BinaryFn::kNotEqual:
+      return x != y ? 1.0 : 0.0;
+    case BinaryFn::kGreater:
+      return x > y ? 1.0 : 0.0;
+    case BinaryFn::kLess:
+      return x < y ? 1.0 : 0.0;
+  }
+  return 0.0;
+}
+
+bool UnaryPreservesZero(UnaryFn fn) {
+  switch (fn) {
+    case UnaryFn::kIdentity:
+    case UnaryFn::kNeg:
+    case UnaryFn::kSqrt:
+    case UnaryFn::kSquare:
+    case UnaryFn::kAbs:
+    case UnaryFn::kRelu:
+    case UnaryFn::kSin:
+    case UnaryFn::kNotZero:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool BinaryZeroDominant(BinaryFn fn) { return fn == BinaryFn::kMul; }
+
+std::string_view UnaryFnName(UnaryFn fn) {
+  switch (fn) {
+    case UnaryFn::kIdentity:
+      return "id";
+    case UnaryFn::kNeg:
+      return "neg";
+    case UnaryFn::kExp:
+      return "exp";
+    case UnaryFn::kLog:
+      return "log";
+    case UnaryFn::kSqrt:
+      return "sqrt";
+    case UnaryFn::kSquare:
+      return "^2";
+    case UnaryFn::kAbs:
+      return "abs";
+    case UnaryFn::kSigmoid:
+      return "sigmoid";
+    case UnaryFn::kRelu:
+      return "relu";
+    case UnaryFn::kSin:
+      return "sin";
+    case UnaryFn::kCos:
+      return "cos";
+    case UnaryFn::kNotZero:
+      return "!=0";
+    case UnaryFn::kReciprocal:
+      return "recip";
+  }
+  return "?";
+}
+
+std::string_view BinaryFnName(BinaryFn fn) {
+  switch (fn) {
+    case BinaryFn::kAdd:
+      return "+";
+    case BinaryFn::kSub:
+      return "-";
+    case BinaryFn::kMul:
+      return "*";
+    case BinaryFn::kDiv:
+      return "/";
+    case BinaryFn::kMin:
+      return "min";
+    case BinaryFn::kMax:
+      return "max";
+    case BinaryFn::kPow:
+      return "pow";
+    case BinaryFn::kEqual:
+      return "==";
+    case BinaryFn::kNotEqual:
+      return "!=";
+    case BinaryFn::kGreater:
+      return ">";
+    case BinaryFn::kLess:
+      return "<";
+  }
+  return "?";
+}
+
+std::string_view AggFnName(AggFn fn) {
+  switch (fn) {
+    case AggFn::kSum:
+      return "sum";
+    case AggFn::kMin:
+      return "min";
+    case AggFn::kMax:
+      return "max";
+  }
+  return "?";
+}
+
+}  // namespace fuseme

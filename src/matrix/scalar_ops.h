@@ -1,0 +1,72 @@
+// Scalar operation vocabulary shared by the local kernels and the IR.
+//
+// The paper's operator taxonomy (§2.1) has five operator types; unary and
+// binary operators are parameterized by a scalar function from this file.
+
+#ifndef FUSEME_MATRIX_SCALAR_OPS_H_
+#define FUSEME_MATRIX_SCALAR_OPS_H_
+
+#include <string_view>
+
+namespace fuseme {
+
+/// Element-wise unary functions, e.g. u(log), u(^2) in the paper's figures.
+enum class UnaryFn {
+  kIdentity,
+  kNeg,
+  kExp,
+  kLog,
+  kSqrt,
+  kSquare,        // ^2 — the ALS weighted-loss example (Fig. 1(a))
+  kAbs,
+  kSigmoid,
+  kRelu,
+  kSin,
+  kCos,
+  kNotZero,       // (x != 0) — sparsity indicator used by weighted loss
+  kReciprocal,
+};
+
+/// Element-wise binary functions, e.g. b(*), b(/) in the paper's figures.
+enum class BinaryFn {
+  kAdd,
+  kSub,
+  kMul,
+  kDiv,
+  kMin,
+  kMax,
+  kPow,
+  kEqual,
+  kNotEqual,
+  kGreater,
+  kLess,
+};
+
+/// Aggregation functions for unary aggregations (sum / rowSums / colSums)
+/// and the reduction side of binary aggregation (matrix multiply uses kSum).
+enum class AggFn {
+  kSum,
+  kMin,
+  kMax,
+};
+
+/// Applies a unary scalar function.
+double ApplyUnary(UnaryFn fn, double x);
+
+/// Applies a binary scalar function.
+double ApplyBinary(BinaryFn fn, double x, double y);
+
+/// True when fn(0) == 0, i.e. the function preserves sparsity.
+bool UnaryPreservesZero(UnaryFn fn);
+
+/// True when fn(0, y) == 0 for all y (kMul only among the supported set
+/// guarantees this for the *left* operand being zero AND right arbitrary).
+bool BinaryZeroDominant(BinaryFn fn);
+
+std::string_view UnaryFnName(UnaryFn fn);
+std::string_view BinaryFnName(BinaryFn fn);
+std::string_view AggFnName(AggFn fn);
+
+}  // namespace fuseme
+
+#endif  // FUSEME_MATRIX_SCALAR_OPS_H_

@@ -1,0 +1,91 @@
+#include "matrix/sparse_matrix.h"
+
+#include <algorithm>
+#include <tuple>
+
+#include "common/logging.h"
+
+namespace fuseme {
+
+SparseMatrix SparseMatrix::FromTriplets(
+    std::int64_t rows, std::int64_t cols,
+    std::vector<std::tuple<std::int64_t, std::int64_t, double>> triplets) {
+  std::sort(triplets.begin(), triplets.end(),
+            [](const auto& a, const auto& b) {
+              return std::tie(std::get<0>(a), std::get<1>(a)) <
+                     std::tie(std::get<0>(b), std::get<1>(b));
+            });
+  SparseMatrix out(rows, cols);
+  out.col_idx_.reserve(triplets.size());
+  out.values_.reserve(triplets.size());
+  std::int64_t last_i = -1, last_j = -1;
+  for (const auto& [i, j, v] : triplets) {
+    FUSEME_CHECK(i >= 0 && i < rows && j >= 0 && j < cols);
+    if (i == last_i && j == last_j) {
+      out.values_.back() += v;  // duplicate (i, j): accumulate
+      continue;
+    }
+    out.col_idx_.push_back(j);
+    out.values_.push_back(v);
+    out.row_ptr_[i + 1] = static_cast<std::int64_t>(out.col_idx_.size());
+    last_i = i;
+    last_j = j;
+  }
+  // Prefix-max to make row_ptr monotone (rows with no entries).
+  for (std::int64_t r = 1; r <= rows; ++r) {
+    out.row_ptr_[r] = std::max(out.row_ptr_[r], out.row_ptr_[r - 1]);
+  }
+  return out;
+}
+
+SparseMatrix SparseMatrix::FromDense(const DenseMatrix& dense) {
+  SparseMatrix out(dense.rows(), dense.cols());
+  for (std::int64_t i = 0; i < dense.rows(); ++i) {
+    for (std::int64_t j = 0; j < dense.cols(); ++j) {
+      double v = dense(i, j);
+      if (v != 0.0) {
+        out.col_idx_.push_back(j);
+        out.values_.push_back(v);
+      }
+    }
+    out.row_ptr_[i + 1] = static_cast<std::int64_t>(out.col_idx_.size());
+  }
+  return out;
+}
+
+double SparseMatrix::At(std::int64_t i, std::int64_t j) const {
+  FUSEME_CHECK(i >= 0 && i < rows_ && j >= 0 && j < cols_);
+  auto begin = col_idx_.begin() + row_ptr_[i];
+  auto end = col_idx_.begin() + row_ptr_[i + 1];
+  auto it = std::lower_bound(begin, end, j);
+  if (it != end && *it == j) {
+    return values_[it - col_idx_.begin()];
+  }
+  return 0.0;
+}
+
+DenseMatrix SparseMatrix::ToDense() const {
+  DenseMatrix out(rows_, cols_);
+  ForEach([&](std::int64_t i, std::int64_t j, double v) { out(i, j) = v; });
+  return out;
+}
+
+SparseMatrix SparseMatrix::Transposed() const {
+  // Counting sort by column for O(nnz + cols).
+  SparseMatrix out(cols_, rows_);
+  out.col_idx_.resize(nnz());
+  out.values_.resize(nnz());
+  std::vector<std::int64_t> count(cols_ + 1, 0);
+  for (std::int64_t j : col_idx_) ++count[j + 1];
+  for (std::int64_t j = 0; j < cols_; ++j) count[j + 1] += count[j];
+  out.row_ptr_.assign(count.begin(), count.end());
+  std::vector<std::int64_t> next(count.begin(), count.end() - 1);
+  ForEach([&](std::int64_t i, std::int64_t j, double v) {
+    std::int64_t pos = next[j]++;
+    out.col_idx_[pos] = i;
+    out.values_[pos] = v;
+  });
+  return out;
+}
+
+}  // namespace fuseme

@@ -1,0 +1,70 @@
+// SparseMatrix: CSR (compressed sparse row) double matrix.
+
+#ifndef FUSEME_MATRIX_SPARSE_MATRIX_H_
+#define FUSEME_MATRIX_SPARSE_MATRIX_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "matrix/dense_matrix.h"
+
+namespace fuseme {
+
+/// CSR sparse matrix.  Column indices within each row are strictly
+/// increasing; explicitly stored zeros are allowed but discouraged.
+class SparseMatrix {
+ public:
+  SparseMatrix() : rows_(0), cols_(0), row_ptr_(1, 0) {}
+  SparseMatrix(std::int64_t rows, std::int64_t cols)
+      : rows_(rows), cols_(cols), row_ptr_(rows + 1, 0) {}
+
+  /// Builds from triplets (i, j, v); duplicates are summed.
+  static SparseMatrix FromTriplets(
+      std::int64_t rows, std::int64_t cols,
+      std::vector<std::tuple<std::int64_t, std::int64_t, double>> triplets);
+
+  /// Converts a dense matrix, dropping exact zeros.
+  static SparseMatrix FromDense(const DenseMatrix& dense);
+
+  std::int64_t rows() const { return rows_; }
+  std::int64_t cols() const { return cols_; }
+  std::int64_t nnz() const {
+    return static_cast<std::int64_t>(values_.size());
+  }
+  double density() const {
+    return rows_ * cols_ == 0
+               ? 0.0
+               : static_cast<double>(nnz()) / (rows_ * cols_);
+  }
+
+  const std::vector<std::int64_t>& row_ptr() const { return row_ptr_; }
+  const std::vector<std::int64_t>& col_idx() const { return col_idx_; }
+  const std::vector<double>& values() const { return values_; }
+
+  /// Element lookup by binary search within the row: O(log nnz(row)).
+  double At(std::int64_t i, std::int64_t j) const;
+
+  DenseMatrix ToDense() const;
+  SparseMatrix Transposed() const;
+
+  /// Visits each stored entry in row-major order.
+  template <typename Fn>  // Fn(int64 i, int64 j, double v)
+  void ForEach(Fn&& fn) const {
+    for (std::int64_t i = 0; i < rows_; ++i) {
+      for (std::int64_t p = row_ptr_[i]; p < row_ptr_[i + 1]; ++p) {
+        fn(i, col_idx_[p], values_[p]);
+      }
+    }
+  }
+
+ private:
+  std::int64_t rows_;
+  std::int64_t cols_;
+  std::vector<std::int64_t> row_ptr_;
+  std::vector<std::int64_t> col_idx_;
+  std::vector<double> values_;
+};
+
+}  // namespace fuseme
+
+#endif  // FUSEME_MATRIX_SPARSE_MATRIX_H_

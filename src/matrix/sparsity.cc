@@ -1,0 +1,82 @@
+#include "matrix/sparsity.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace fuseme {
+
+namespace {
+
+std::int64_t Clamp(double nnz, std::int64_t cells) {
+  if (nnz < 0.0) return 0;
+  if (nnz > static_cast<double>(cells)) return cells;
+  return static_cast<std::int64_t>(std::llround(nnz));
+}
+
+}  // namespace
+
+std::int64_t EstimateEwiseBinaryNnz(BinaryFn fn, std::int64_t rows,
+                                    std::int64_t cols, std::int64_t nnz_a,
+                                    std::int64_t nnz_b) {
+  const std::int64_t cells = rows * cols;
+  if (cells == 0) return 0;
+  const double da = static_cast<double>(nnz_a) / cells;
+  const double db = static_cast<double>(nnz_b) / cells;
+  switch (fn) {
+    case BinaryFn::kMul:
+      return Clamp(da * db * cells, cells);
+    case BinaryFn::kAdd:
+    case BinaryFn::kSub:
+      return Clamp((da + db - da * db) * cells, cells);
+    case BinaryFn::kMin:
+    case BinaryFn::kMax:
+      // min/max of two non-negative-ish supports: union is a safe estimate.
+      return Clamp((da + db - da * db) * cells, cells);
+    default:
+      return cells;  // div, pow, comparisons: assume dense output
+  }
+}
+
+std::int64_t EstimateEwiseScalarNnz(BinaryFn fn, std::int64_t rows,
+                                    std::int64_t cols, std::int64_t nnz,
+                                    double scalar, bool scalar_left) {
+  const std::int64_t cells = rows * cols;
+  if (cells == 0) return 0;
+  // Zero-preserving iff fn(0, scalar) == 0 (matrix on the left) or
+  // fn(scalar, 0) == 0 (scalar on the left).
+  const double probe = scalar_left ? ApplyBinary(fn, scalar, 0.0)
+                                   : ApplyBinary(fn, 0.0, scalar);
+  if (probe == 0.0) return nnz;
+  return cells;
+}
+
+std::int64_t EstimateUnaryNnz(UnaryFn fn, std::int64_t rows,
+                              std::int64_t cols, std::int64_t nnz) {
+  return UnaryPreservesZero(fn) ? nnz : rows * cols;
+}
+
+std::int64_t EstimateMatMulNnz(std::int64_t m, std::int64_t k, std::int64_t n,
+                               std::int64_t nnz_a, std::int64_t nnz_b) {
+  if (m == 0 || k == 0 || n == 0) return 0;
+  const double da = static_cast<double>(nnz_a) / (m * k);
+  const double db = static_cast<double>(nnz_b) / (k * n);
+  const double d_out = 1.0 - std::pow(1.0 - da * db, static_cast<double>(k));
+  return Clamp(d_out * m * n, m * n);
+}
+
+std::int64_t EstimateMatMulFlops(std::int64_t m, std::int64_t k,
+                                 std::int64_t n, std::int64_t nnz_a,
+                                 std::int64_t nnz_b) {
+  const std::int64_t dense_a = m * k;
+  const std::int64_t dense_b = k * n;
+  // 2 flops (mul + add) per scalar product actually formed.
+  const double frac_a =
+      dense_a == 0 ? 0.0 : static_cast<double>(nnz_a) / dense_a;
+  const double frac_b =
+      dense_b == 0 ? 0.0 : static_cast<double>(nnz_b) / dense_b;
+  const double products = 2.0 * frac_a * frac_b * static_cast<double>(m) *
+                          static_cast<double>(k) * static_cast<double>(n);
+  return static_cast<std::int64_t>(products);
+}
+
+}  // namespace fuseme

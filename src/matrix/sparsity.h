@@ -1,0 +1,45 @@
+// Sparsity (nnz) estimators used for meta blocks and IR shape inference.
+//
+// These follow the SystemML/SystemDS convention: treat non-zero positions
+// of the two operands as independent uniform draws.
+
+#ifndef FUSEME_MATRIX_SPARSITY_H_
+#define FUSEME_MATRIX_SPARSITY_H_
+
+#include <cstdint>
+
+#include "matrix/scalar_ops.h"
+
+namespace fuseme {
+
+/// nnz estimate for an element-wise binary op on rows×cols operands with
+/// nnz_a / nnz_b non-zeros.  kMul intersects supports, kAdd/kSub union
+/// them, and non-zero-preserving ops (div, comparisons, ...) are dense.
+std::int64_t EstimateEwiseBinaryNnz(BinaryFn fn, std::int64_t rows,
+                                    std::int64_t cols, std::int64_t nnz_a,
+                                    std::int64_t nnz_b);
+
+/// nnz estimate for op-with-scalar: zero-preserving only if fn(x, s)
+/// maps 0 to 0 for the given scalar (e.g. x*s, x/s with s != 0).
+std::int64_t EstimateEwiseScalarNnz(BinaryFn fn, std::int64_t rows,
+                                    std::int64_t cols, std::int64_t nnz,
+                                    double scalar, bool scalar_left);
+
+/// nnz estimate for a unary op (dense unless the function preserves zero).
+std::int64_t EstimateUnaryNnz(UnaryFn fn, std::int64_t rows,
+                              std::int64_t cols, std::int64_t nnz);
+
+/// nnz estimate for (m×k)·(k×n) matrix multiplication:
+/// density 1 - (1 - dA·dB)^k.
+std::int64_t EstimateMatMulNnz(std::int64_t m, std::int64_t k, std::int64_t n,
+                               std::int64_t nnz_a, std::int64_t nnz_b);
+
+/// Floating-point-operation estimate for (m×k)·(k×n) given operand nnz:
+/// 2·min over the sparse structure (sparse A ⇒ 2·nnz_a·n, etc.).
+std::int64_t EstimateMatMulFlops(std::int64_t m, std::int64_t k,
+                                 std::int64_t n, std::int64_t nnz_a,
+                                 std::int64_t nnz_b);
+
+}  // namespace fuseme
+
+#endif  // FUSEME_MATRIX_SPARSITY_H_

@@ -1,0 +1,120 @@
+// KernelEvaluator: executes one fused "kernel" (paper Fig. 8) — the
+// computation of one output block of a partial fusion plan — on local
+// blocks, without materializing any cross-task intermediate.
+//
+// The evaluator interprets the plan's sub-DAG bottom-up at block
+// granularity.  Three features make it the engine of every distributed
+// fused operator:
+//
+//  * k-restriction: the main matrix multiplication can be confined to a
+//    block range [k_begin, k_end), producing the partial result a cuboid
+//    D_{p,q,r} owns (§2.3);
+//  * value injection: a pre-computed block can be bound to a node, which is
+//    how the R>1 two-phase execution feeds aggregated matmul partials back
+//    into the O-space evaluation;
+//  * sparse-driver element path: when a sparse mask gates the matmul
+//    (Fig. 1(a)), the evaluator computes dot products only at the mask's
+//    non-zero positions instead of materializing the dense product.
+//
+// External input blocks are pulled through a caller-provided fetcher; the
+// caller (the distributed operator) charges communication and memory there.
+
+#ifndef FUSEME_OPS_EVALUATOR_H_
+#define FUSEME_OPS_EVALUATOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <tuple>
+
+#include "common/result.h"
+#include "fusion/partial_plan.h"
+#include "fusion/sparsity_analysis.h"
+#include "matrix/block.h"
+
+namespace fuseme {
+
+/// Pulls block (bi, bj) of external node `id` into the current task.
+using BlockFetcher =
+    std::function<Result<Block>(NodeId id, std::int64_t bi, std::int64_t bj)>;
+
+/// Block-grid geometry of one node under a fixed block size.
+struct NodeGrid {
+  std::int64_t rows = 0;
+  std::int64_t cols = 0;
+  std::int64_t block_size = 1;
+
+  std::int64_t grid_rows() const {
+    return rows == 0 ? 0 : (rows + block_size - 1) / block_size;
+  }
+  std::int64_t grid_cols() const {
+    return cols == 0 ? 0 : (cols + block_size - 1) / block_size;
+  }
+  std::int64_t TileRows(std::int64_t bi) const {
+    return std::min(block_size, rows - bi * block_size);
+  }
+  std::int64_t TileCols(std::int64_t bj) const {
+    return std::min(block_size, cols - bj * block_size);
+  }
+};
+
+class KernelEvaluator {
+ public:
+  KernelEvaluator(const PartialPlan* plan, std::int64_t block_size,
+                  BlockFetcher fetcher);
+
+  /// Confines matmul node `mm` to inner block range [k_begin, k_end).
+  void RestrictK(NodeId mm, std::int64_t k_begin, std::int64_t k_end);
+
+  /// Binds a precomputed block to (node, bi, bj); Eval returns it directly.
+  void Inject(NodeId node, std::int64_t bi, std::int64_t bj, Block block);
+
+  /// Enables the sparse-driver element path for `driver`.
+  void SetSparseDriver(const SparseDriver& driver) { driver_ = driver; }
+
+  /// Evaluates block (bi, bj) of `node` (a plan member or input).
+  Result<Block> Eval(NodeId node, std::int64_t bi, std::int64_t bj);
+
+  /// Evaluates block (bi, bj) of `value_node` only at the non-zero
+  /// positions of the same block of `mask_node` (an external sparse
+  /// input), returning a sparse block.  Used for the R>1 first phase: the
+  /// masked *partial* matmul under the current k-restriction.
+  Result<Block> EvalMaskedNode(NodeId value_node, NodeId mask_node,
+                               std::int64_t bi, std::int64_t bj);
+
+  /// Geometry of `node` under the evaluator's block size.
+  NodeGrid Grid(NodeId node) const;
+
+  /// FLOPs executed since construction / the last ResetFlops.
+  std::int64_t flops() const { return flops_; }
+  void ResetFlops() { flops_ = 0; }
+
+  /// Drops memoized blocks (injected values are kept).
+  void ClearCache();
+
+ private:
+  using Key = std::tuple<NodeId, std::int64_t, std::int64_t>;
+
+  Result<Block> EvalUncached(NodeId node, std::int64_t bi, std::int64_t bj);
+  Result<Block> EvalMaskedMul(const Node& n, std::int64_t bi,
+                              std::int64_t bj);
+  /// Element (gi, gj) — global coordinates — of `node`'s value.
+  Result<double> EvalElement(NodeId node, std::int64_t gi, std::int64_t gj);
+
+  const PartialPlan* plan_;
+  std::int64_t block_size_;
+  BlockFetcher fetcher_;
+  SparseDriver driver_;
+
+  NodeId restricted_mm_ = kInvalidNode;
+  std::int64_t k_begin_ = 0;
+  std::int64_t k_end_ = 0;
+
+  std::map<Key, Block> cache_;
+  std::map<Key, Block> injected_;
+  std::int64_t flops_ = 0;
+};
+
+}  // namespace fuseme
+
+#endif  // FUSEME_OPS_EVALUATOR_H_

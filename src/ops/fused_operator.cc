@@ -1,0 +1,459 @@
+#include "ops/fused_operator.h"
+
+#include <algorithm>
+#include <memory>
+#include <set>
+#include <tuple>
+#include <vector>
+
+#include "common/logging.h"
+#include "matrix/block_ops.h"
+#include "ops/evaluator.h"
+
+namespace fuseme {
+
+namespace {
+
+using Coord = std::pair<std::int64_t, std::int64_t>;
+
+/// Balanced split of [0, n) into at most `parts` contiguous ranges.
+std::vector<std::pair<std::int64_t, std::int64_t>> SplitRange(
+    std::int64_t n, std::int64_t parts) {
+  parts = std::max<std::int64_t>(1, std::min(parts, std::max<std::int64_t>(
+                                                        n, 1)));
+  std::vector<std::pair<std::int64_t, std::int64_t>> out;
+  out.reserve(parts);
+  for (std::int64_t p = 0; p < parts; ++p) {
+    out.emplace_back(p * n / parts, (p + 1) * n / parts);
+  }
+  return out;
+}
+
+/// Weighted split of [0, weights.size()) into at most `parts` contiguous
+/// ranges with roughly equal total weight (greedy cumulative targets).
+std::vector<std::pair<std::int64_t, std::int64_t>> SplitRangeWeighted(
+    const std::vector<std::int64_t>& weights, std::int64_t parts) {
+  const std::int64_t n = static_cast<std::int64_t>(weights.size());
+  parts = std::max<std::int64_t>(1, std::min(parts, std::max<std::int64_t>(
+                                                        n, 1)));
+  std::int64_t total = 0;
+  for (std::int64_t w : weights) total += w;
+  if (total == 0) return SplitRange(n, parts);
+  std::vector<std::pair<std::int64_t, std::int64_t>> out;
+  out.reserve(parts);
+  std::int64_t begin = 0, accumulated = 0;
+  for (std::int64_t p = 0; p < parts; ++p) {
+    // Leave at least one index for each remaining part.
+    const std::int64_t max_end = n - (parts - 1 - p);
+    const double target =
+        static_cast<double>(total) * static_cast<double>(p + 1) /
+        static_cast<double>(parts);
+    std::int64_t end = begin;
+    while (end < max_end &&
+           (end < begin + 1 ||
+            static_cast<double>(accumulated) < target)) {
+      accumulated += weights[end];
+      ++end;
+    }
+    out.emplace_back(begin, end);
+    begin = end;
+  }
+  out.back().second = n;
+  return out;
+}
+
+/// Per-tile-row (axis=0) or per-tile-column (axis=1) nnz of a matrix.
+std::vector<std::int64_t> TileAxisNnz(const BlockedMatrix& m, int axis) {
+  std::vector<std::int64_t> out(
+      static_cast<std::size_t>(axis == 0 ? m.grid_rows() : m.grid_cols()),
+      0);
+  for (std::int64_t bi = 0; bi < m.grid_rows(); ++bi) {
+    for (std::int64_t bj = 0; bj < m.grid_cols(); ++bj) {
+      out[static_cast<std::size_t>(axis == 0 ? bi : bj)] +=
+          m.block(bi, bj).nnz();
+    }
+  }
+  return out;
+}
+
+/// Per-task fetch dedup + accounting.
+class TaskFetcher {
+ public:
+  TaskFetcher(const FusedInputs* inputs, StageContext* ctx)
+      : inputs_(inputs), ctx_(ctx) {}
+
+  /// A fetcher closure for `task`.  First fetch of a block charges its
+  /// bytes as live task memory, and as consolidation traffic unless the
+  /// block already lives on this task (a narrow dependency — the owning
+  /// task of a co-partitioned input is the consuming task).
+  BlockFetcher For(int task) {
+    return [this, task](NodeId id, std::int64_t bi,
+                        std::int64_t bj) -> Result<Block> {
+      auto it = inputs_->find(id);
+      if (it == inputs_->end()) {
+        return Status::Internal("missing input matrix for node v" +
+                                std::to_string(id));
+      }
+      const BlockedMatrix& m = it->second->blocks();
+      if (bi < 0 || bi >= m.grid_rows() || bj < 0 || bj >= m.grid_cols()) {
+        return Status::Internal("block coordinate out of range for v" +
+                                std::to_string(id));
+      }
+      const Block& block = m.block(bi, bj);
+      if (fetched_[task].insert({id, bi, bj}).second) {
+        const std::int64_t bytes = block.SizeBytes();
+        if (it->second->Owner(bi, bj) != task) {
+          ctx_->ChargeConsolidation(task, bytes);
+        }
+        FUSEME_RETURN_IF_ERROR(ctx_->ChargeMemory(task, bytes));
+      }
+      return block;
+    };
+  }
+
+  /// Marks a block as already resident on `task` (broadcast pre-charge).
+  void MarkResident(int task, NodeId id, std::int64_t bi, std::int64_t bj) {
+    fetched_[task].insert({id, bi, bj});
+  }
+
+ private:
+  const FusedInputs* inputs_;
+  StageContext* ctx_;
+  std::map<int, std::set<std::tuple<NodeId, std::int64_t, std::int64_t>>>
+      fetched_;
+};
+
+/// Where a partial aggregate of input block (bi, bj) lands in the output
+/// grid of an aggregation root.
+Coord AggTarget(const Node& agg, std::int64_t bi, std::int64_t bj) {
+  switch (agg.agg_axis) {
+    case AggAxis::kAll:
+      return {0, 0};
+    case AggAxis::kRow:
+      return {bi, 0};
+    case AggAxis::kCol:
+      return {0, bj};
+  }
+  return {0, 0};
+}
+
+/// Accumulates per-output-block partial aggregates across tasks, charging
+/// shuffle bytes for partials shipped to the (first-writer) owner task.
+class AggMerger {
+ public:
+  AggMerger(const Node& agg, StageContext* ctx) : agg_(agg), ctx_(ctx) {}
+
+  Status Add(int task, std::int64_t in_bi, std::int64_t in_bj,
+             const Block& partial) {
+    const Coord target = AggTarget(agg_, in_bi, in_bj);
+    auto it = merged_.find(target);
+    if (it == merged_.end()) {
+      merged_.emplace(target, std::make_pair(partial, task));
+      FUSEME_RETURN_IF_ERROR(ctx_->ChargeMemory(task, partial.SizeBytes()));
+      return Status::OK();
+    }
+    auto& [block, owner] = it->second;
+    if (task != owner) {
+      // The partial travels to the owner in the matrix aggregation step.
+      ctx_->ChargeAggregation(task, partial.SizeBytes());
+    }
+    FUSEME_ASSIGN_OR_RETURN(block,
+                            MergeAgg(agg_.agg_fn, block, partial, nullptr));
+    return Status::OK();
+  }
+
+  Result<DistributedMatrix> Finish(std::int64_t block_size, int num_tasks) {
+    BlockedMatrix out(agg_.rows, agg_.cols, block_size);
+    for (auto& [coord, entry] : merged_) {
+      out.set_block(coord.first, coord.second, std::move(entry.first));
+    }
+    return DistributedMatrix::Create(std::move(out), PartitionScheme::kGrid,
+                                     num_tasks);
+  }
+
+ private:
+  const Node& agg_;
+  StageContext* ctx_;
+  std::map<Coord, std::pair<Block, int>> merged_;
+};
+
+}  // namespace
+
+bool CuboidSupportsKSplit(const PartialPlan& plan) {
+  const NodeId mm = plan.MainMatMul();
+  if (mm == kInvalidNode) return false;
+  const Dag& dag = plan.dag();
+  const Node& root = dag.node(plan.root());
+  const Node& grid_node = root.kind == OpKind::kUnaryAgg
+                              ? dag.node(root.inputs[0])
+                              : root;
+  const Node& mm_node = dag.node(mm);
+  return mm_node.rows == grid_node.rows && mm_node.cols == grid_node.cols;
+}
+
+Result<DistributedMatrix> CuboidFusedOperator::Execute(
+    const PartialPlan& plan, const Cuboid& c, const FusedInputs& inputs,
+    StageContext* ctx, const CuboidOptions& options) {
+  const Dag& dag = plan.dag();
+  const std::int64_t bs = ctx->config().block_size;
+  const Node& root = dag.node(plan.root());
+  const bool agg_root = root.kind == OpKind::kUnaryAgg;
+  const NodeId eval_grid_node = agg_root ? root.inputs[0] : plan.root();
+  const Node& grid_node = dag.node(eval_grid_node);
+
+  const NodeId mm = plan.MainMatMul();
+  const SparseDriver driver = FindSparseDriver(plan, mm);
+
+  const NodeGrid out_grid{grid_node.rows, grid_node.cols, bs};
+  std::int64_t k_blocks = 1;
+  if (mm != kInvalidNode) {
+    const Node& mm_lhs = dag.node(dag.node(mm).inputs[0]);
+    k_blocks = (mm_lhs.cols + bs - 1) / bs;
+    if (c.R > 1) {
+      const Node& mm_node = dag.node(mm);
+      if (mm_node.rows != grid_node.rows || mm_node.cols != grid_node.cols) {
+        return Status::NotImplemented(
+            "R>1 requires the O-space to preserve the matmul's shape");
+      }
+    }
+  } else if (c.R > 1) {
+    return Status::InvalidArgument("R>1 requires a matrix multiplication");
+  }
+
+  auto i_parts = SplitRange(out_grid.grid_rows(), c.P);
+  auto j_parts = SplitRange(out_grid.grid_cols(), c.Q);
+  const auto k_parts = SplitRange(k_blocks, c.R);
+  if (options.balance_sparsity && driver.found() &&
+      !plan.Contains(driver.sparse_input)) {
+    // Weight the i/j splits by the mask's tile-row/column non-zeros so
+    // every cuboid gets a similar number of exploitable positions.
+    auto it = inputs.find(driver.sparse_input);
+    if (it != inputs.end()) {
+      const BlockedMatrix& mask = it->second->blocks();
+      if (mask.grid_rows() == out_grid.grid_rows() &&
+          mask.grid_cols() == out_grid.grid_cols()) {
+        i_parts = SplitRangeWeighted(TileAxisNnz(mask, 0), c.P);
+        j_parts = SplitRangeWeighted(TileAxisNnz(mask, 1), c.Q);
+      }
+    }
+  }
+  const std::int64_t eff_p = static_cast<std::int64_t>(i_parts.size());
+  const std::int64_t eff_q = static_cast<std::int64_t>(j_parts.size());
+  const std::int64_t eff_r = static_cast<std::int64_t>(k_parts.size());
+
+  TaskFetcher fetchers(&inputs, ctx);
+  BlockedMatrix out_blocks(root.rows, root.cols, bs);
+  AggMerger agg_merger(root, ctx);
+
+  auto task_id = [&](std::int64_t p, std::int64_t q, std::int64_t r) {
+    return static_cast<int>((p * eff_q + q) * eff_r + r);
+  };
+
+  if (mm == kInvalidNode) {
+    // Cell fusion: no model space to partition.  Output blocks are
+    // round-robin over P·Q tasks — the same placement as kGrid-partitioned
+    // inputs, so same-shaped inputs are consumed as narrow dependencies
+    // (no shuffle).
+    const int num_tasks = static_cast<int>(eff_p * eff_q);
+    std::map<int, std::unique_ptr<KernelEvaluator>> evals;
+    for (std::int64_t bi = 0; bi < out_grid.grid_rows(); ++bi) {
+      for (std::int64_t bj = 0; bj < out_grid.grid_cols(); ++bj) {
+        const int task = static_cast<int>(
+            (bi * out_grid.grid_cols() + bj) % num_tasks);
+        auto& eval = evals[task];
+        if (eval == nullptr) {
+          eval = std::make_unique<KernelEvaluator>(&plan, bs,
+                                                   fetchers.For(task));
+        }
+        const std::int64_t before = eval->flops();
+        FUSEME_ASSIGN_OR_RETURN(Block result,
+                                eval->Eval(plan.root(), bi, bj));
+        ctx->ChargeFlops(task, eval->flops() - before);
+        if (agg_root) {
+          FUSEME_RETURN_IF_ERROR(agg_merger.Add(task, bi, bj, result));
+        } else {
+          FUSEME_RETURN_IF_ERROR(
+              ctx->ChargeMemory(task, result.SizeBytes()));
+          out_blocks.set_block(bi, bj, std::move(result));
+        }
+      }
+    }
+    if (agg_root) return agg_merger.Finish(bs, num_tasks);
+    return DistributedMatrix::Create(std::move(out_blocks),
+                                     PartitionScheme::kGrid, num_tasks);
+  }
+
+  for (std::int64_t p = 0; p < eff_p; ++p) {
+    for (std::int64_t q = 0; q < eff_q; ++q) {
+      const auto [i0, i1] = i_parts[p];
+      const auto [j0, j1] = j_parts[q];
+      if (i0 == i1 || j0 == j1) continue;
+
+      // --- Phase 1 (R > 1 only): per-k-slice partial matmuls. ---
+      std::map<Coord, Block> mm_partials;
+      if (eff_r > 1) {
+        for (std::int64_t r = 0; r < eff_r; ++r) {
+          const int task = task_id(p, q, r);
+          const auto [k0, k1] = k_parts[r];
+          if (k0 == k1) continue;
+          KernelEvaluator eval(&plan, bs, fetchers.For(task));
+          eval.RestrictK(mm, k0, k1);
+          if (driver.found()) eval.SetSparseDriver(driver);
+          for (std::int64_t bi = i0; bi < i1; ++bi) {
+            for (std::int64_t bj = j0; bj < j1; ++bj) {
+              Result<Block> partial =
+                  driver.found()
+                      ? eval.EvalMaskedNode(mm, driver.sparse_input, bi, bj)
+                      : eval.Eval(mm, bi, bj);
+              FUSEME_RETURN_IF_ERROR(partial.status());
+              if (r != 0) {
+                // Shuffle to the r=0 task in the aggregation step.
+                ctx->ChargeAggregation(task, partial->SizeBytes());
+              }
+              auto it = mm_partials.find({bi, bj});
+              if (it == mm_partials.end()) {
+                FUSEME_RETURN_IF_ERROR(ctx->ChargeMemory(
+                    task_id(p, q, 0), partial->SizeBytes()));
+                mm_partials.emplace(Coord{bi, bj}, std::move(*partial));
+              } else {
+                FUSEME_ASSIGN_OR_RETURN(
+                    it->second,
+                    MergeAgg(AggFn::kSum, it->second, *partial, nullptr));
+              }
+            }
+          }
+          ctx->ChargeFlops(task, eval.flops());
+        }
+      }
+
+      // --- Phase 2 (or the only phase when R == 1): evaluate the root. ---
+      const int task = task_id(p, q, 0);
+      KernelEvaluator eval(&plan, bs, fetchers.For(task));
+      if (driver.found()) eval.SetSparseDriver(driver);
+      if (eff_r > 1) {
+        for (auto& [coord, block] : mm_partials) {
+          eval.Inject(mm, coord.first, coord.second, std::move(block));
+        }
+      } else if (mm != kInvalidNode) {
+        eval.RestrictK(mm, 0, k_blocks);
+      }
+      for (std::int64_t bi = i0; bi < i1; ++bi) {
+        for (std::int64_t bj = j0; bj < j1; ++bj) {
+          FUSEME_ASSIGN_OR_RETURN(Block result,
+                                  eval.Eval(plan.root(), bi, bj));
+          if (agg_root) {
+            FUSEME_RETURN_IF_ERROR(agg_merger.Add(task, bi, bj, result));
+          } else {
+            FUSEME_RETURN_IF_ERROR(
+                ctx->ChargeMemory(task, result.SizeBytes()));
+            out_blocks.set_block(bi, bj, std::move(result));
+          }
+        }
+      }
+      ctx->ChargeFlops(task, eval.flops());
+    }
+  }
+
+  const int num_tasks = static_cast<int>(eff_p * eff_q * eff_r);
+  if (agg_root) {
+    return agg_merger.Finish(bs, num_tasks);
+  }
+  return DistributedMatrix::Create(std::move(out_blocks),
+                                   PartitionScheme::kGrid, num_tasks);
+}
+
+Result<DistributedMatrix> BroadcastFusedOperator::Execute(
+    const PartialPlan& plan, const FusedInputs& inputs, StageContext* ctx) {
+  const Dag& dag = plan.dag();
+  const std::int64_t bs = ctx->config().block_size;
+  const Node& root = dag.node(plan.root());
+  const bool agg_root = root.kind == OpKind::kUnaryAgg;
+  const NodeId eval_grid_node = agg_root ? root.inputs[0] : plan.root();
+  const Node& grid_node = dag.node(eval_grid_node);
+
+  const NodeId mm = plan.MainMatMul();
+  const SparseDriver driver = FindSparseDriver(plan, mm);
+
+  // Main matrix = the external input with the most *elements* (paper
+  // §2.2); everything else is broadcast.
+  NodeId main_input = kInvalidNode;
+  std::int64_t main_cells = -1;
+  for (NodeId ext : plan.ExternalInputs()) {
+    const Node& n = dag.node(ext);
+    if (!n.is_matrix()) continue;
+    if (inputs.find(ext) == inputs.end()) {
+      return Status::Internal("missing input matrix for node v" +
+                              std::to_string(ext));
+    }
+    const std::int64_t cells = n.rows * n.cols;
+    if (cells > main_cells) {
+      main_cells = cells;
+      main_input = ext;
+    }
+  }
+
+  // Parallelism: the number of Spark partitions of the main matrix caps
+  // the number of tasks (paper §6.2 "overall analysis": a small sparse X
+  // yields few partitions and BFO cannot use the full cluster).
+  int num_tasks = ctx->config().total_tasks();
+  if (main_input != kInvalidNode) {
+    num_tasks = static_cast<int>(std::min<std::int64_t>(
+        num_tasks, inputs.at(main_input)->SparkPartitions()));
+  }
+  num_tasks = std::max(num_tasks, 1);
+
+  TaskFetcher fetchers(&inputs, ctx);
+
+  // Broadcast: every task receives every block of every side input.
+  for (NodeId ext : plan.ExternalInputs()) {
+    if (!dag.node(ext).is_matrix() || ext == main_input) continue;
+    const BlockedMatrix& side = inputs.at(ext)->blocks();
+    for (int task = 0; task < num_tasks; ++task) {
+      for (std::int64_t bi = 0; bi < side.grid_rows(); ++bi) {
+        for (std::int64_t bj = 0; bj < side.grid_cols(); ++bj) {
+          const std::int64_t bytes = side.block(bi, bj).SizeBytes();
+          ctx->ChargeConsolidation(task, bytes);
+          FUSEME_RETURN_IF_ERROR(ctx->ChargeMemory(task, bytes));
+          fetchers.MarkResident(task, ext, bi, bj);
+        }
+      }
+    }
+  }
+
+  BlockedMatrix out_blocks(root.rows, root.cols, bs);
+  AggMerger agg_merger(root, ctx);
+  const NodeGrid out_grid{grid_node.rows, grid_node.cols, bs};
+
+  // Output blocks round-robin over the tasks; the main matrix blocks each
+  // task needs are fetched (repartition traffic).
+  std::vector<KernelEvaluator> evals;
+  evals.reserve(num_tasks);
+  for (int t = 0; t < num_tasks; ++t) {
+    evals.emplace_back(&plan, bs, fetchers.For(t));
+    if (driver.found()) evals.back().SetSparseDriver(driver);
+  }
+  for (std::int64_t bi = 0; bi < out_grid.grid_rows(); ++bi) {
+    for (std::int64_t bj = 0; bj < out_grid.grid_cols(); ++bj) {
+      const int task = static_cast<int>(
+          (bi * out_grid.grid_cols() + bj) % num_tasks);
+      KernelEvaluator& eval = evals[task];
+      const std::int64_t before = eval.flops();
+      FUSEME_ASSIGN_OR_RETURN(Block result, eval.Eval(plan.root(), bi, bj));
+      ctx->ChargeFlops(task, eval.flops() - before);
+      if (agg_root) {
+        FUSEME_RETURN_IF_ERROR(agg_merger.Add(task, bi, bj, result));
+      } else {
+        FUSEME_RETURN_IF_ERROR(ctx->ChargeMemory(task, result.SizeBytes()));
+        out_blocks.set_block(bi, bj, std::move(result));
+      }
+    }
+  }
+
+  if (agg_root) {
+    return agg_merger.Finish(bs, num_tasks);
+  }
+  return DistributedMatrix::Create(std::move(out_blocks),
+                                   PartitionScheme::kGrid, num_tasks);
+}
+
+}  // namespace fuseme

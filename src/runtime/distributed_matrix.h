@@ -1,0 +1,63 @@
+// DistributedMatrix: a BlockedMatrix plus a block -> task placement.
+//
+// This is the runtime's analogue of a partitioned Spark RDD of
+// ((bi, bj) -> Block) records.  Moving a block to a task other than its
+// owner is what the physical operators charge as network communication.
+
+#ifndef FUSEME_RUNTIME_DISTRIBUTED_MATRIX_H_
+#define FUSEME_RUNTIME_DISTRIBUTED_MATRIX_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "matrix/blocked_matrix.h"
+
+namespace fuseme {
+
+/// Block placement schemes (FuseME extends the RDD partitioner with row,
+/// column, and grid schemes — paper §5).
+enum class PartitionScheme {
+  kRow,   // all blocks of a tile-row share a task
+  kCol,   // all blocks of a tile-column share a task
+  kGrid,  // round-robin over tiles
+};
+
+/// Models how Spark would split a materialized matrix into RDD partitions:
+/// one partition per 128 MB of serialized data, at most one per block.
+/// SystemDS picks BFO vs RFO by comparing this count with the grid
+/// dimensions (paper §6.2).
+std::int64_t EstimateSparkPartitions(std::int64_t size_bytes,
+                                     std::int64_t num_blocks);
+
+class DistributedMatrix {
+ public:
+  DistributedMatrix() = default;
+
+  /// Distributes `blocks` over `num_tasks` tasks with the given scheme.
+  static DistributedMatrix Create(BlockedMatrix blocks,
+                                  PartitionScheme scheme, int num_tasks);
+
+  const BlockedMatrix& blocks() const { return blocks_; }
+  BlockedMatrix& mutable_blocks() { return blocks_; }
+
+  int num_tasks() const { return num_tasks_; }
+  PartitionScheme scheme() const { return scheme_; }
+
+  /// Task owning tile (bi, bj).
+  int Owner(std::int64_t bi, std::int64_t bj) const;
+
+  /// Number of distinct tasks that own at least one non-empty tile.
+  int NumActiveTasks() const;
+
+  /// Spark-style partition count of this matrix's data (see above).
+  std::int64_t SparkPartitions() const;
+
+ private:
+  BlockedMatrix blocks_;
+  PartitionScheme scheme_ = PartitionScheme::kGrid;
+  int num_tasks_ = 1;
+};
+
+}  // namespace fuseme
+
+#endif  // FUSEME_RUNTIME_DISTRIBUTED_MATRIX_H_

@@ -1,0 +1,59 @@
+#include "runtime/simulator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/string_util.h"
+
+namespace fuseme {
+
+double Simulator::EstimateStageSeconds(const StageStats& stats) const {
+  if (stats.num_tasks == 0) return 0.0;
+  const int slots = config_.total_tasks();
+  const int used_slots = std::min(stats.num_tasks, slots);
+  const int used_nodes = std::min(
+      (used_slots + config_.tasks_per_node - 1) / config_.tasks_per_node,
+      config_.num_nodes);
+
+  const double net_time =
+      static_cast<double>(stats.total_bytes()) /
+      (static_cast<double>(used_nodes) * config_.net_bandwidth);
+  const double comp_time =
+      static_cast<double>(stats.flops) /
+      (static_cast<double>(used_slots) * config_.per_task_compute());
+
+  // Network transfers burn CPU on the shuffle path; when communication
+  // dominates, the cores it occupies stretch the stage beyond pure
+  // max(net, comp).
+  const double stretched_net = net_time * (1.0 + config_.shuffle_cpu_factor);
+  const double busy = std::max(stretched_net, comp_time);
+
+  const int waves = (stats.num_tasks + slots - 1) / slots;
+  return busy + static_cast<double>(waves) * config_.task_launch_overhead;
+}
+
+Status Simulator::CompleteStage(StageStats stats) {
+  stats.elapsed_seconds = EstimateStageSeconds(stats);
+  elapsed_seconds_ += stats.elapsed_seconds;
+  stages_.push_back(std::move(stats));
+  if (elapsed_seconds_ > config_.timeout_seconds) {
+    return Status::TimedOut(
+        "simulated elapsed " + HumanSeconds(elapsed_seconds_) +
+        " exceeded horizon " + HumanSeconds(config_.timeout_seconds));
+  }
+  return Status::OK();
+}
+
+std::int64_t Simulator::total_bytes() const {
+  std::int64_t total = 0;
+  for (const StageStats& s : stages_) total += s.total_bytes();
+  return total;
+}
+
+std::int64_t Simulator::total_flops() const {
+  std::int64_t total = 0;
+  for (const StageStats& s : stages_) total += s.flops;
+  return total;
+}
+
+}  // namespace fuseme

@@ -1,0 +1,61 @@
+// Simulator: turns per-stage accounting into modeled elapsed time.
+//
+// Model (one stage): tasks are scheduled in waves over the N·Tc slots.
+//
+//   net_time  = total bytes moved / (nodes_used · B̂n)
+//   comp_time = total FLOPs / (slots_used · per-slot compute)
+//   elapsed   = max(net_time · (1 + shuffle_cpu_factor·overlap), comp_time)
+//               + waves · task_launch_overhead
+//
+// Communication and computation overlap (paper Eq. 2 takes the max), but
+// Spark's shuffle burns CPU while moving data, which the paper calls out as
+// the reason elapsed-time gaps exceed communication gaps; shuffle_cpu_factor
+// models that.  The clock accumulates across stages and trips the timeout.
+
+#ifndef FUSEME_RUNTIME_SIMULATOR_H_
+#define FUSEME_RUNTIME_SIMULATOR_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "runtime/cluster_config.h"
+#include "runtime/stage.h"
+
+namespace fuseme {
+
+class Simulator {
+ public:
+  explicit Simulator(const ClusterConfig& config) : config_(config) {}
+
+  const ClusterConfig& config() const { return config_; }
+
+  /// Computes stats->elapsed_seconds, appends the stage to the history, and
+  /// advances the clock.  Returns TimedOut when the cumulative clock passes
+  /// the configured horizon.
+  Status CompleteStage(StageStats stats);
+
+  /// Modeled elapsed for a stage without committing it to the clock.
+  double EstimateStageSeconds(const StageStats& stats) const;
+
+  double elapsed_seconds() const { return elapsed_seconds_; }
+  const std::vector<StageStats>& stages() const { return stages_; }
+
+  /// Sum of consolidation+aggregation bytes over completed stages — the
+  /// paper's "communication cost".
+  std::int64_t total_bytes() const;
+  std::int64_t total_flops() const;
+
+  void Reset() {
+    elapsed_seconds_ = 0;
+    stages_.clear();
+  }
+
+ private:
+  ClusterConfig config_;
+  double elapsed_seconds_ = 0.0;
+  std::vector<StageStats> stages_;
+};
+
+}  // namespace fuseme
+
+#endif  // FUSEME_RUNTIME_SIMULATOR_H_

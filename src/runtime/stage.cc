@@ -1,0 +1,71 @@
+#include "runtime/stage.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace fuseme {
+
+TaskAccounting& StageContext::GrowTo(int task) {
+  FUSEME_CHECK_GE(task, 0);
+  if (task >= static_cast<int>(tasks_.size())) {
+    tasks_.resize(task + 1);
+  }
+  return tasks_[task];
+}
+
+void StageContext::ChargeConsolidation(int task, std::int64_t bytes) {
+  GrowTo(task).consolidation_bytes += bytes;
+}
+
+void StageContext::ChargeAggregation(int task, std::int64_t bytes) {
+  GrowTo(task).aggregation_bytes += bytes;
+}
+
+void StageContext::ChargeFlops(int task, std::int64_t flops) {
+  GrowTo(task).flops += flops;
+}
+
+Status StageContext::ChargeMemory(int task, std::int64_t bytes) {
+  TaskAccounting& acct = GrowTo(task);
+  acct.memory_used += bytes;
+  acct.memory_peak = std::max(acct.memory_peak, acct.memory_used);
+  if (acct.memory_used > config_.task_memory_budget) {
+    return Status::OutOfMemory(
+        label_ + ": task " + std::to_string(task) + " needs " +
+        HumanBytes(static_cast<double>(acct.memory_used)) +
+        " > budget " +
+        HumanBytes(static_cast<double>(config_.task_memory_budget)));
+  }
+  return Status::OK();
+}
+
+void StageContext::ReleaseMemory(int task, std::int64_t bytes) {
+  TaskAccounting& acct = GrowTo(task);
+  acct.memory_used -= bytes;
+  FUSEME_CHECK_GE(acct.memory_used, 0);
+}
+
+const TaskAccounting& StageContext::task(int task_id) const {
+  static const TaskAccounting kEmpty;
+  if (task_id < 0 || task_id >= static_cast<int>(tasks_.size())) {
+    return kEmpty;
+  }
+  return tasks_[task_id];
+}
+
+StageStats StageContext::Finalize() const {
+  StageStats stats;
+  stats.label = label_;
+  stats.num_tasks = static_cast<int>(tasks_.size());
+  for (const TaskAccounting& t : tasks_) {
+    stats.consolidation_bytes += t.consolidation_bytes;
+    stats.aggregation_bytes += t.aggregation_bytes;
+    stats.flops += t.flops;
+    stats.max_task_memory = std::max(stats.max_task_memory, t.memory_peak);
+  }
+  return stats;
+}
+
+}  // namespace fuseme

@@ -1,0 +1,80 @@
+// Per-stage accounting: every distributed operator executes as one stage
+// (matrix consolidation -> local operation -> matrix aggregation, §2.2) and
+// records, per task, the bytes it received, the bytes it emitted into the
+// aggregation shuffle, the FLOPs it executed, and its peak memory.
+
+#ifndef FUSEME_RUNTIME_STAGE_H_
+#define FUSEME_RUNTIME_STAGE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "runtime/cluster_config.h"
+
+namespace fuseme {
+
+/// Accumulators for one logical task within a stage.
+struct TaskAccounting {
+  std::int64_t consolidation_bytes = 0;
+  std::int64_t aggregation_bytes = 0;
+  std::int64_t flops = 0;
+  std::int64_t memory_used = 0;
+  std::int64_t memory_peak = 0;
+};
+
+/// Aggregated result of a finished stage.
+struct StageStats {
+  std::string label;
+  int num_tasks = 0;
+  std::int64_t consolidation_bytes = 0;
+  std::int64_t aggregation_bytes = 0;
+  std::int64_t flops = 0;
+  std::int64_t max_task_memory = 0;
+  double elapsed_seconds = 0.0;  // filled in by the Simulator
+
+  std::int64_t total_bytes() const {
+    return consolidation_bytes + aggregation_bytes;
+  }
+};
+
+/// Mutable accounting context handed to a physical operator while it runs.
+/// Task ids are logical (0..num_tasks-1 for the stage); the context grows on
+/// demand.  Memory charges are validated against the per-task budget so an
+/// operator that over-replicates reports OutOfMemory exactly like the
+/// paper's failed BFO/RFO runs.
+class StageContext {
+ public:
+  StageContext(std::string label, const ClusterConfig& config)
+      : label_(std::move(label)), config_(config) {}
+
+  const ClusterConfig& config() const { return config_; }
+
+  void ChargeConsolidation(int task, std::int64_t bytes);
+  void ChargeAggregation(int task, std::int64_t bytes);
+  void ChargeFlops(int task, std::int64_t flops);
+
+  /// Charges `bytes` of live memory on `task`; fails with OutOfMemory when
+  /// the running total would exceed the task budget.
+  Status ChargeMemory(int task, std::int64_t bytes);
+  /// Releases previously charged memory (peak is retained).
+  void ReleaseMemory(int task, std::int64_t bytes);
+
+  int num_tasks() const { return static_cast<int>(tasks_.size()); }
+  const TaskAccounting& task(int task_id) const;
+
+  /// Rolls the per-task accumulators into a StageStats (elapsed not set).
+  StageStats Finalize() const;
+
+ private:
+  TaskAccounting& GrowTo(int task);
+
+  std::string label_;
+  ClusterConfig config_;
+  std::vector<TaskAccounting> tasks_;
+};
+
+}  // namespace fuseme
+
+#endif  // FUSEME_RUNTIME_STAGE_H_

@@ -1,0 +1,55 @@
+#include "workloads/autoencoder.h"
+
+#include "common/logging.h"
+#include "ir/expr.h"
+
+namespace fuseme {
+
+AutoEncoderQuery BuildAutoEncoder(std::int64_t batch, std::int64_t features,
+                                  std::int64_t h1, std::int64_t h2) {
+  AutoEncoderQuery q;
+  Dag* dag = &q.dag;
+  Expr X = Expr::Input(dag, "X", batch, features);
+  Expr W1 = Expr::Input(dag, "W1", h1, features);
+  Expr W2 = Expr::Input(dag, "W2", h2, h1);
+  Expr W3 = Expr::Input(dag, "W3", h1, h2);
+  Expr W4 = Expr::Input(dag, "W4", features, h1);
+  q.X = X.id();
+  q.W1 = W1.id();
+  q.W2 = W2.id();
+  q.W3 = W3.id();
+  q.W4 = W4.id();
+
+  // Forward: encoder (H1, H2), decoder (H3, Xhat).
+  Expr H1 = Sigmoid(MatMul(X, T(W1)));    // batch × h1
+  Expr H2 = Sigmoid(MatMul(H1, T(W2)));   // batch × h2
+  Expr H3 = Sigmoid(MatMul(H2, T(W3)));   // batch × h1
+  Expr Xhat = Sigmoid(MatMul(H3, T(W4)));  // batch × features
+  q.H1 = H1.id();
+  q.H2 = H2.id();
+  q.H3 = H3.id();
+  q.Xhat = Xhat.id();
+
+  // Loss: squared reconstruction error.
+  Expr E = Xhat - X;
+  Expr loss = Sum(Square(E)).MarkOutput();
+  q.loss = loss.id();
+
+  // Backward: sigmoid'(a) = a * (1 - a).
+  auto sig_grad = [](const Expr& a) { return a * (1.0 - a); };
+  Expr D4 = E * sig_grad(Xhat);                 // batch × features
+  Expr gW4 = MatMul(T(D4), H3).MarkOutput();    // features × h1
+  Expr D3 = MatMul(D4, W4) * sig_grad(H3);      // batch × h1
+  Expr gW3 = MatMul(T(D3), H2).MarkOutput();    // h1 × h2
+  Expr D2 = MatMul(D3, W3) * sig_grad(H2);      // batch × h2
+  Expr gW2 = MatMul(T(D2), H1).MarkOutput();    // h2 × h1
+  Expr D1 = MatMul(D2, W2) * sig_grad(H1);      // batch × h1
+  Expr gW1 = MatMul(T(D1), X).MarkOutput();     // h1 × features
+  q.gW4 = gW4.id();
+  q.gW3 = gW3.id();
+  q.gW2 = gW2.id();
+  q.gW1 = gW1.id();
+  return q;
+}
+
+}  // namespace fuseme

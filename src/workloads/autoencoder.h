@@ -1,0 +1,33 @@
+// AutoEncoder workload (paper §6.5): a 2-layer encoder / 2-layer decoder
+// with sigmoid activations, one DAG per mini-batch step covering the
+// forward pass, squared-error loss, and the full backward pass (weight
+// gradients).  Bias terms are omitted (they need row-broadcast adds, which
+// neither the cost model nor the comparison depends on).
+
+#ifndef FUSEME_WORKLOADS_AUTOENCODER_H_
+#define FUSEME_WORKLOADS_AUTOENCODER_H_
+
+#include <cstdint>
+
+#include "ir/dag.h"
+
+namespace fuseme {
+
+struct AutoEncoderQuery {
+  Dag dag;
+  // Leaves.
+  NodeId X;                    // batch × features
+  NodeId W1, W2, W3, W4;       // h1×f, h2×h1, h1×h2, f×h1
+  // Forward activations.
+  NodeId H1, H2, H3, Xhat;
+  // Loss and gradients (all outputs).
+  NodeId loss;                 // sum((Xhat - X)^2)
+  NodeId gW1, gW2, gW3, gW4;
+};
+
+AutoEncoderQuery BuildAutoEncoder(std::int64_t batch, std::int64_t features,
+                                  std::int64_t h1, std::int64_t h2);
+
+}  // namespace fuseme
+
+#endif  // FUSEME_WORKLOADS_AUTOENCODER_H_

@@ -1,0 +1,51 @@
+#include "workloads/datasets.h"
+
+#include <cstdio>
+
+namespace fuseme {
+
+const std::vector<RatingDataset>& PaperDatasets() {
+  static const std::vector<RatingDataset>& datasets =
+      *new std::vector<RatingDataset>{
+          {"MovieLens", 283228, 58098, 27753444},
+          {"Netflix", 480189, 17770, 100480507},
+          {"YahooMusic", 1823179, 136736, 717872016},
+      };
+  return datasets;
+}
+
+const RatingDataset* FindDataset(const std::string& name) {
+  for (const RatingDataset& d : PaperDatasets()) {
+    if (d.name == name) return &d;
+  }
+  return nullptr;
+}
+
+std::vector<SyntheticSpec> VaryTwoLargeDimensions() {
+  std::vector<SyntheticSpec> out;
+  for (std::int64_t n : {100000, 250000, 500000, 750000}) {
+    out.push_back({std::to_string(n / 1000) + "K", n, n, 2000, 0.001});
+  }
+  return out;
+}
+
+std::vector<SyntheticSpec> VaryCommonDimension() {
+  std::vector<SyntheticSpec> out;
+  for (std::int64_t n : {2000, 5000, 10000, 50000}) {
+    out.push_back(
+        {std::to_string(n / 1000) + "K", 100000, 100000, n, 0.2});
+  }
+  return out;
+}
+
+std::vector<SyntheticSpec> VaryDensity() {
+  std::vector<SyntheticSpec> out;
+  for (double d : {0.05, 0.1, 0.5, 1.0}) {
+    char label[16];
+    std::snprintf(label, sizeof(label), "%.2f", d);
+    out.push_back({label, 100000, 100000, 2000, d});
+  }
+  return out;
+}
+
+}  // namespace fuseme

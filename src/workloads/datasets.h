@@ -1,0 +1,58 @@
+// Dataset descriptors for the paper's evaluation (Table 2) and synthetic
+// dataset specs (Table 3 / §6.2).
+
+#ifndef FUSEME_WORKLOADS_DATASETS_H_
+#define FUSEME_WORKLOADS_DATASETS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace fuseme {
+
+/// A rating-matrix dataset: users × items with nnz ratings.
+struct RatingDataset {
+  std::string name;
+  std::int64_t users = 0;
+  std::int64_t items = 0;
+  std::int64_t ratings = 0;
+
+  double density() const {
+    return static_cast<double>(ratings) /
+           (static_cast<double>(users) * static_cast<double>(items));
+  }
+};
+
+/// Paper Table 2: MovieLens (small), Netflix (medium), YahooMusic (large).
+/// The raw rating files are proprietary/offline; experiments use these
+/// exact shapes with uniformly distributed non-zeros (the paper itself
+/// uses uniform synthetic data for §6.2/§6.3).
+const std::vector<RatingDataset>& PaperDatasets();
+
+/// Looks up a paper dataset by name ("MovieLens", "Netflix", "YahooMusic").
+const RatingDataset* FindDataset(const std::string& name);
+
+/// Synthetic dataset spec for the §6.2 operator comparison: X is i×j with
+/// the given density, U is i×k and V is j×k dense.
+struct SyntheticSpec {
+  std::string label;
+  std::int64_t i = 0;
+  std::int64_t j = 0;
+  std::int64_t k = 0;
+  double density = 1.0;
+
+  std::int64_t x_nnz() const {
+    return static_cast<std::int64_t>(density * static_cast<double>(i) *
+                                     static_cast<double>(j));
+  }
+};
+
+/// The three §6.2 sweeps: two large dimensions (n×2K×n), a common large
+/// dimension (100K×n×100K), and density (100K×2K×100K).
+std::vector<SyntheticSpec> VaryTwoLargeDimensions();
+std::vector<SyntheticSpec> VaryCommonDimension();
+std::vector<SyntheticSpec> VaryDensity();
+
+}  // namespace fuseme
+
+#endif  // FUSEME_WORKLOADS_DATASETS_H_

@@ -1,0 +1,132 @@
+#include "workloads/queries.h"
+
+#include "common/logging.h"
+
+namespace fuseme {
+
+namespace {
+
+NodeId Must(Result<NodeId> result) {
+  FUSEME_CHECK(result.ok()) << result.status().ToString();
+  return *result;
+}
+
+}  // namespace
+
+GnmfQuery BuildGnmf(std::int64_t m, std::int64_t n, std::int64_t k,
+                    std::int64_t x_nnz, bool matrix_chain_opt) {
+  GnmfQuery q;
+  q.X = Must(q.dag.AddInput("X", m, n, x_nnz));
+  q.V = Must(q.dag.AddInput("V", m, k));
+  q.U = Must(q.dag.AddInput("U", k, n));
+
+  // U' = U * (Vᵀ×X) / (Vᵀ×V×U)
+  q.vT = Must(q.dag.AddTranspose(q.V));            // k×m, fanout 2
+  q.a1 = Must(q.dag.AddMatMul(q.vT, q.X));         // k×n
+  q.a2 = Must(q.dag.AddMatMul(q.vT, q.V));         // k×k
+  q.a3 = Must(q.dag.AddBinary(BinaryFn::kMul, q.U, q.a1));
+  q.a4 = Must(q.dag.AddMatMul(q.a2, q.U));         // k×n
+  q.a5 = Must(q.dag.AddBinary(BinaryFn::kDiv, q.a3, q.a4));
+  q.dag.MarkOutput(q.a5);
+
+  // V' = V * (X×Uᵀ) / (V×(U×Uᵀ)) — the denominator chain is associated
+  // through the tiny k×k product, mirroring the Vᵀ×V×U side (Fig. 10).
+  q.uT = Must(q.dag.AddTranspose(q.U));            // n×k, fanout 2
+  q.b1 = Must(q.dag.AddMatMul(q.X, q.uT));         // m×k
+  q.b2 = Must(q.dag.AddBinary(BinaryFn::kMul, q.V, q.b1));
+  if (matrix_chain_opt) {
+    q.b3 = Must(q.dag.AddMatMul(q.U, q.uT));       // k×k
+    q.b4 = Must(q.dag.AddMatMul(q.V, q.b3));       // m×k
+  } else {
+    q.b3 = Must(q.dag.AddMatMul(q.V, q.U));        // m×n (!)
+    q.b4 = Must(q.dag.AddMatMul(q.b3, q.uT));      // m×k
+  }
+  q.b5 = Must(q.dag.AddBinary(BinaryFn::kDiv, q.b2, q.b4));
+  q.dag.MarkOutput(q.b5);
+  return q;
+}
+
+NmfPattern BuildNmfPattern(std::int64_t i, std::int64_t j, std::int64_t k,
+                           std::int64_t x_nnz, double eps) {
+  NmfPattern q;
+  q.X = Must(q.dag.AddInput("X", i, j, x_nnz));
+  q.U = Must(q.dag.AddInput("U", i, k));
+  q.V = Must(q.dag.AddInput("V", j, k));
+  q.vT = Must(q.dag.AddTranspose(q.V));          // k×j
+  q.mm = Must(q.dag.AddMatMul(q.U, q.vT));       // i×j
+  NodeId eps_node = Must(q.dag.AddScalar(eps));
+  q.add = Must(q.dag.AddBinary(BinaryFn::kAdd, q.mm, eps_node));
+  q.log = Must(q.dag.AddUnary(UnaryFn::kLog, q.add));
+  q.mul = Must(q.dag.AddBinary(BinaryFn::kMul, q.X, q.log));
+  q.dag.MarkOutput(q.mul);
+  return q;
+}
+
+AlsLossQuery BuildAlsLoss(std::int64_t m, std::int64_t n, std::int64_t k,
+                          std::int64_t x_nnz) {
+  AlsLossQuery q;
+  q.X = Must(q.dag.AddInput("X", m, n, x_nnz));
+  q.U = Must(q.dag.AddInput("U", m, k));
+  q.V = Must(q.dag.AddInput("V", k, n));
+  q.mm = Must(q.dag.AddMatMul(q.U, q.V));
+  q.mask = Must(q.dag.AddUnary(UnaryFn::kNotZero, q.X));
+  q.sub = Must(q.dag.AddBinary(BinaryFn::kSub, q.X, q.mm));
+  q.sq = Must(q.dag.AddUnary(UnaryFn::kSquare, q.sub));
+  q.mul = Must(q.dag.AddBinary(BinaryFn::kMul, q.mask, q.sq));
+  q.loss = Must(q.dag.AddUnaryAgg(AggFn::kSum, AggAxis::kAll, q.mul));
+  q.dag.MarkOutput(q.loss);
+  return q;
+}
+
+KlLossQuery BuildKlLoss(std::int64_t m, std::int64_t n, std::int64_t k,
+                        std::int64_t x_nnz) {
+  KlLossQuery q;
+  q.X = Must(q.dag.AddInput("X", m, n, x_nnz));
+  q.U = Must(q.dag.AddInput("U", m, k));
+  q.V = Must(q.dag.AddInput("V", k, n));
+  q.mm = Must(q.dag.AddMatMul(q.U, q.V));
+  NodeId mask = Must(q.dag.AddUnary(UnaryFn::kNotZero, q.X));
+  // Guard the ratio so unfused evaluation never forms 0·log(0): at X's
+  // zeros the ratio becomes 1/(U×V) and the X· factor annihilates it.
+  NodeId zero = Must(q.dag.AddScalar(0.0));
+  NodeId is_zero = Must(q.dag.AddBinary(BinaryFn::kEqual, q.X, zero));
+  NodeId safe_x = Must(q.dag.AddBinary(BinaryFn::kAdd, q.X, is_zero));
+  NodeId ratio = Must(q.dag.AddBinary(BinaryFn::kDiv, safe_x, q.mm));
+  NodeId lg = Must(q.dag.AddUnary(UnaryFn::kLog, ratio));
+  NodeId xlog = Must(q.dag.AddBinary(BinaryFn::kMul, q.X, lg));
+  NodeId minus_x = Must(q.dag.AddBinary(BinaryFn::kSub, xlog, q.X));
+  NodeId plus_uv = Must(q.dag.AddBinary(BinaryFn::kAdd, minus_x, q.mm));
+  NodeId masked = Must(q.dag.AddBinary(BinaryFn::kMul, mask, plus_uv));
+  q.loss = Must(q.dag.AddUnaryAgg(AggFn::kSum, AggAxis::kAll, masked));
+  q.dag.MarkOutput(q.loss);
+  return q;
+}
+
+PcaPattern BuildPcaPattern(std::int64_t m, std::int64_t n) {
+  PcaPattern q;
+  q.X = Must(q.dag.AddInput("X", m, n));
+  q.S = Must(q.dag.AddInput("S", n, 1));
+  q.mm1 = Must(q.dag.AddMatMul(q.X, q.S));   // m×1
+  q.t = Must(q.dag.AddTranspose(q.mm1));     // 1×m
+  q.mm2 = Must(q.dag.AddMatMul(q.t, q.X));   // 1×n
+  q.dag.MarkOutput(q.mm2);
+  return q;
+}
+
+Fig1cQuery BuildFig1c(std::int64_t m, std::int64_t n, std::int64_t k,
+                      std::int64_t x_nnz) {
+  Fig1cQuery q;
+  q.X = Must(q.dag.AddInput("X", m, n, x_nnz));
+  q.U = Must(q.dag.AddInput("U", m, k));
+  q.V = Must(q.dag.AddInput("V", k, n));
+  NodeId vT = Must(q.dag.AddTranspose(q.V));          // n×k, fanout 2
+  NodeId num_mm = Must(q.dag.AddMatMul(q.X, vT));     // m×k
+  NodeId num = Must(q.dag.AddBinary(BinaryFn::kMul, num_mm, q.U));
+  NodeId vvT = Must(q.dag.AddMatMul(q.V, vT));        // k×k
+  NodeId den = Must(q.dag.AddMatMul(q.U, vvT));       // m×k
+  q.out = Must(q.dag.AddBinary(BinaryFn::kDiv, num, den));
+  q.dag.MarkOutput(q.out);
+  return q;
+}
+
+}  // namespace fuseme

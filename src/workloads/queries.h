@@ -1,0 +1,111 @@
+// Query builders for the paper's workloads.
+//
+// Each builder returns the DAG plus named node handles so tests can pin the
+// plan shapes the paper reports (Fig. 10) and benches can locate inputs.
+
+#ifndef FUSEME_WORKLOADS_QUERIES_H_
+#define FUSEME_WORKLOADS_QUERIES_H_
+
+#include <cstdint>
+
+#include "ir/dag.h"
+
+namespace fuseme {
+
+/// One GNMF update step (paper Eq. 6, Fig. 10):
+///   U' = U * (Vᵀ×X) / (Vᵀ×V×U),   V' = V * (X×Uᵀ) / (V×U×Uᵀ)
+/// with X: m×n (sparse ratings), V: m×k, U: k×n.
+///
+/// Node names follow the paper's Fig. 10 modulo relabeling: vT/uT are the
+/// shared transposes (materialization points), a1..a5 the U-side operators,
+/// b1..b5 the V-side operators.
+struct GnmfQuery {
+  Dag dag;
+  NodeId X, U, V;
+  NodeId vT;              // r(T) of V, fanout 2
+  NodeId a1;              // ba(x): Vᵀ × X        (U-side main matmul)
+  NodeId a2;              // ba(x): Vᵀ × V        (the distant matmul)
+  NodeId a3;              // b(*):  U * a1
+  NodeId a4;              // ba(x): a2 × U
+  NodeId a5;              // b(/):  a3 / a4       (U', output)
+  NodeId uT;              // r(T) of U, fanout 2
+  NodeId b1;              // ba(x): X × Uᵀ        (V-side main matmul)
+  NodeId b2;              // b(*):  V * b1
+  NodeId b3;              // ba(x): U × Uᵀ       (the distant matmul)
+  NodeId b4;              // ba(x): V × b3
+  NodeId b5;              // b(/):  b2 / b4       (V', output)
+};
+/// `matrix_chain_opt` controls the association of the V-side denominator
+/// V×U×Uᵀ: optimized systems (SystemDS, FuseME, DistME) compute it through
+/// the tiny k×k product V×(U×Uᵀ); systems without matrix-chain
+/// optimization (MatFast) execute it as written, ((V×U)×Uᵀ), materializing
+/// the enormous m×n product — the source of its Fig. 14 T.O./O.O.M. cells.
+GnmfQuery BuildGnmf(std::int64_t m, std::int64_t n, std::int64_t k,
+                    std::int64_t x_nnz, bool matrix_chain_opt = true);
+
+/// The running example of §2.2/§3.2: O = X * log(U × Vᵀ + eps), X: I×J
+/// sparse, U: I×K, V: J×K dense.
+struct NmfPattern {
+  Dag dag;
+  NodeId X, U, V;
+  NodeId vT;   // r(T) of V
+  NodeId mm;   // ba(x): U × Vᵀ
+  NodeId add;  // b(+eps)
+  NodeId log;  // u(log)
+  NodeId mul;  // b(*) with X — the sparse driver
+};
+NmfPattern BuildNmfPattern(std::int64_t i, std::int64_t j, std::int64_t k,
+                           std::int64_t x_nnz, double eps = 1e-8);
+
+/// ALS weighted squared loss (Fig. 1(a)): sum((X != 0) * (X - U×V)^2),
+/// X: m×n sparse, U: m×k, V: k×n.
+struct AlsLossQuery {
+  Dag dag;
+  NodeId X, U, V;
+  NodeId mm;    // ba(x): U × V
+  NodeId mask;  // u(!=0) of X
+  NodeId sub;   // b(-): X - mm
+  NodeId sq;    // u(^2)
+  NodeId mul;   // b(*): mask * sq
+  NodeId loss;  // ua(sum) — output
+};
+AlsLossQuery BuildAlsLoss(std::int64_t m, std::int64_t n, std::int64_t k,
+                          std::int64_t x_nnz);
+
+/// Generalized KL-divergence loss (paper §2.1 cites it as an Outer-fusion
+/// client): sum((X != 0) * (X * log(X / (U×V)) - X + U×V)) for sparse X.
+/// Only the masked positions contribute, so the fused operator evaluates
+/// U×V at X's non-zeros only.
+struct KlLossQuery {
+  Dag dag;
+  NodeId X, U, V;
+  NodeId mm;    // ba(x): U × V
+  NodeId loss;  // ua(sum) — output
+};
+KlLossQuery BuildKlLoss(std::int64_t m, std::int64_t n, std::int64_t k,
+                        std::int64_t x_nnz);
+
+/// PCA pattern (Fig. 2(b), Row fusion): (X × S)ᵀ × X, X: m×n, S: n×1.
+struct PcaPattern {
+  Dag dag;
+  NodeId X, S;
+  NodeId mm1;  // ba(x): X × S
+  NodeId t;    // r(T)
+  NodeId mm2;  // ba(x): t × X — output
+};
+PcaPattern BuildPcaPattern(std::int64_t m, std::int64_t n);
+
+/// GNMF-style expression used by Fig. 1(c): (X×Vᵀ*U) / (Vᵀ×V×U).
+/// X: m×n, V: n×k ... simplified to the paper's operator shape with
+/// U: m×k, V: k×n (so X×T(V): m×k elementwise U, and T(V)×V: k... )
+struct Fig1cQuery {
+  Dag dag;
+  NodeId X, U, V;
+  NodeId out;
+};
+Fig1cQuery BuildFig1c(std::int64_t m, std::int64_t n, std::int64_t k,
+                      std::int64_t x_nnz);
+
+}  // namespace fuseme
+
+#endif  // FUSEME_WORKLOADS_QUERIES_H_

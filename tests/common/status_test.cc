@@ -1,0 +1,88 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/result.h"
+
+namespace fuseme {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kOk);
+  EXPECT_EQ(st.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoryConstructorsCarryCodeAndMessage) {
+  Status oom = Status::OutOfMemory("task 3 exceeded 10GB");
+  EXPECT_FALSE(oom.ok());
+  EXPECT_TRUE(oom.IsOutOfMemory());
+  EXPECT_EQ(oom.message(), "task 3 exceeded 10GB");
+  EXPECT_EQ(oom.ToString(), "OutOfMemory: task 3 exceeded 10GB");
+
+  EXPECT_TRUE(Status::TimedOut("x").IsTimedOut());
+  EXPECT_TRUE(Status::InvalidArgument("x").IsInvalidArgument());
+  EXPECT_TRUE(Status::NotImplemented("x").IsNotImplemented());
+  EXPECT_FALSE(Status::Internal("x").ok());
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::OK(), Status());
+  EXPECT_EQ(Status::OutOfMemory("a"), Status::OutOfMemory("a"));
+  EXPECT_FALSE(Status::OutOfMemory("a") == Status::OutOfMemory("b"));
+  EXPECT_FALSE(Status::OutOfMemory("a") == Status::TimedOut("a"));
+}
+
+TEST(StatusTest, CodeNamesAreStable) {
+  EXPECT_EQ(StatusCodeName(StatusCode::kOk), "OK");
+  EXPECT_EQ(StatusCodeName(StatusCode::kOutOfMemory), "OutOfMemory");
+  EXPECT_EQ(StatusCodeName(StatusCode::kTimedOut), "TimedOut");
+  EXPECT_EQ(StatusCodeName(StatusCode::kInvalidArgument), "InvalidArgument");
+}
+
+TEST(StatusTest, ReturnIfErrorPropagates) {
+  auto fails = [] { return Status::Internal("inner"); };
+  auto outer = [&]() -> Status {
+    FUSEME_RETURN_IF_ERROR(fails());
+    return Status::OK();
+  };
+  EXPECT_EQ(outer(), Status::Internal("inner"));
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_EQ(r.value_or(7), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::OutOfMemory("boom"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsOutOfMemory());
+  EXPECT_EQ(r.value_or(7), 7);
+}
+
+TEST(ResultTest, AssignOrReturnUnwraps) {
+  auto produce = []() -> Result<int> { return 5; };
+  auto fail = []() -> Result<int> { return Status::TimedOut("slow"); };
+  auto chain = [&](bool ok) -> Result<int> {
+    FUSEME_ASSIGN_OR_RETURN(int v, ok ? produce() : fail());
+    return v + 1;
+  };
+  EXPECT_EQ(*chain(true), 6);
+  EXPECT_TRUE(chain(false).status().IsTimedOut());
+}
+
+TEST(ResultTest, MoveOnlyValue) {
+  Result<std::unique_ptr<int>> r(std::make_unique<int>(9));
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = std::move(r).value();
+  EXPECT_EQ(*v, 9);
+}
+
+}  // namespace
+}  // namespace fuseme

@@ -1,0 +1,37 @@
+#include "common/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace fuseme {
+namespace {
+
+TEST(StringUtilTest, HumanBytes) {
+  EXPECT_EQ(HumanBytes(0), "0.00 B");
+  EXPECT_EQ(HumanBytes(512), "512.00 B");
+  EXPECT_EQ(HumanBytes(1536), "1.50 KB");
+  EXPECT_EQ(HumanBytes(3.0 * 1024 * 1024 * 1024), "3.00 GB");
+}
+
+TEST(StringUtilTest, HumanSeconds) {
+  EXPECT_EQ(HumanSeconds(0.12), "120 ms");
+  EXPECT_EQ(HumanSeconds(36.0), "36.0 sec");
+  EXPECT_EQ(HumanSeconds(600.0), "10.0 min");
+  EXPECT_EQ(HumanSeconds(7200.0), "2.00 hr");
+}
+
+TEST(StringUtilTest, WithThousands) {
+  EXPECT_EQ(WithThousands(0), "0");
+  EXPECT_EQ(WithThousands(999), "999");
+  EXPECT_EQ(WithThousands(1000), "1,000");
+  EXPECT_EQ(WithThousands(1234567), "1,234,567");
+  EXPECT_EQ(WithThousands(-1234567), "-1,234,567");
+}
+
+TEST(StringUtilTest, Join) {
+  EXPECT_EQ(Join({}, ", "), "");
+  EXPECT_EQ(Join({"a"}, ", "), "a");
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+}
+
+}  // namespace
+}  // namespace fuseme

@@ -1,0 +1,213 @@
+// Validates the cost model against the closed forms of paper Table 1 for
+// the running example O = X * log(U×Vᵀ + eps).
+
+#include "cost/cost_model.h"
+
+#include <gtest/gtest.h>
+
+#include "workloads/queries.h"
+
+namespace fuseme {
+namespace {
+
+ClusterConfig PaperCluster() {
+  ClusterConfig config;
+  config.num_nodes = 8;
+  config.tasks_per_node = 12;
+  config.block_size = 100;
+  return config;
+}
+
+struct NmfSizes {
+  double x, u, v, o;
+};
+
+NmfSizes Sizes(const NmfPattern& q) {
+  NmfSizes s;
+  s.x = static_cast<double>(SizeOf(q.dag, q.X));
+  s.u = static_cast<double>(SizeOf(q.dag, q.U));
+  s.v = static_cast<double>(SizeOf(q.dag, q.V));
+  s.o = static_cast<double>(SizeOf(q.dag, q.mul));
+  return s;
+}
+
+PartialPlan NmfPlan(const NmfPattern& q) {
+  return PartialPlan(&q.dag, {q.vT, q.mm, q.add, q.log, q.mul}, q.mul);
+}
+
+TEST(CostModelTest, NetEstMatchesTable1) {
+  // Table 1 CFO row: communication = R·|X| + Q·|U| + P·|V|.
+  NmfPattern q = BuildNmfPattern(2000, 2000, 200, /*x_nnz=*/40000);
+  PartialPlan plan = NmfPlan(q);
+  CostModel model(PaperCluster());
+  NmfSizes s = Sizes(q);
+  for (const Cuboid c : {Cuboid{4, 3, 2}, Cuboid{2, 2, 1}, Cuboid{8, 1, 5}}) {
+    const double expected = static_cast<double>(c.R) * s.x +
+                            static_cast<double>(c.Q) * s.u +
+                            static_cast<double>(c.P) * s.v;
+    EXPECT_DOUBLE_EQ(model.NetEst(c, plan), expected) << c.ToString();
+  }
+}
+
+TEST(CostModelTest, MemEstMatchesTable1) {
+  // Table 1 CFO row (with T = P·Q·R):
+  //   mem = R·|X|/T + Q·|U|/T + P·|V|/T + |O|/T
+  //       = |X|/(P·Q) + |U|/(P·R) + |V|/(Q·R) + |O|/(P·Q).
+  NmfPattern q = BuildNmfPattern(2000, 2000, 200, /*x_nnz=*/40000);
+  PartialPlan plan = NmfPlan(q);
+  CostModel model(PaperCluster());
+  NmfSizes s = Sizes(q);
+  for (const Cuboid c : {Cuboid{4, 3, 2}, Cuboid{2, 2, 1}, Cuboid{8, 1, 5}}) {
+    const double expected =
+        s.x / static_cast<double>(c.P * c.Q) +
+        s.u / static_cast<double>(c.P * c.R) +
+        s.v / static_cast<double>(c.Q * c.R) +
+        s.o / static_cast<double>(c.P * c.Q);
+    EXPECT_NEAR(model.MemEst(c, plan), expected, expected * 1e-12)
+        << c.ToString();
+  }
+}
+
+TEST(CostModelTest, BfoAndRfoAreSpecialCases) {
+  // Paper §3.2: BFO behaves like (T, T, 1) and RFO like (I, J, 1).
+  NmfPattern q = BuildNmfPattern(2000, 2000, 200, 40000);
+  PartialPlan plan = NmfPlan(q);
+  CostModel model(PaperCluster());
+  NmfSizes s = Sizes(q);
+  const double T = PaperCluster().total_tasks();
+
+  // BFO: |X| + T·(|U| + |V|).
+  Cuboid bfo{static_cast<std::int64_t>(T), static_cast<std::int64_t>(T), 1};
+  EXPECT_DOUBLE_EQ(model.NetEst(bfo, plan), s.x + T * (s.u + s.v));
+
+  // RFO: |X| + J·|U| + I·|V| with I=J=20 blocks (2000/100).
+  Cuboid rfo{20, 20, 1};
+  EXPECT_DOUBLE_EQ(model.NetEst(rfo, plan), s.x + 20 * s.u + 20 * s.v);
+}
+
+TEST(CostModelTest, GridDimsFromMainMatMul) {
+  NmfPattern q = BuildNmfPattern(2000, 1500, 250, 40000);
+  PartialPlan plan = NmfPlan(q);
+  CostModel model(PaperCluster());
+  GridDims g = model.Grid(plan);
+  EXPECT_EQ(g.I, 20);  // 2000/100
+  EXPECT_EQ(g.J, 15);  // 1500/100
+  EXPECT_EQ(g.K, 3);   // ceil(250/100)
+}
+
+TEST(CostModelTest, GridDimsWithoutMatMul) {
+  Dag dag;
+  NodeId x = *dag.AddInput("X", 250, 130);
+  NodeId u = *dag.AddUnary(UnaryFn::kExp, x);
+  PartialPlan plan(&dag, {u}, u);
+  CostModel model(PaperCluster());
+  GridDims g = model.Grid(plan);
+  EXPECT_EQ(g.I, 3);
+  EXPECT_EQ(g.J, 2);
+  EXPECT_EQ(g.K, 1);
+}
+
+TEST(CostModelTest, RGrowsAggregationNotOSpaceWork) {
+  // Two-phase execution evaluates the O-space once on the r=0 tasks, so
+  // growing R leaves ComEst unchanged but adds partial-aggregation bytes
+  // ((R-1)·|MM output|) — this is what steers the optimizer away from
+  // large R on dense outputs.
+  NmfPattern q = BuildNmfPattern(1000, 1000, 100, /*x_nnz=*/1000000);
+  PartialPlan plan = NmfPlan(q);
+  CostModel model(PaperCluster());
+  EXPECT_DOUBLE_EQ(model.ComEst(Cuboid{4, 4, 1}, plan),
+                   model.ComEst(Cuboid{4, 4, 2}, plan));
+  EXPECT_DOUBLE_EQ(model.AggBytes(Cuboid{4, 4, 1}, plan), 0.0);
+  EXPECT_DOUBLE_EQ(model.AggBytes(Cuboid{4, 4, 3}, plan),
+                   2.0 * 8 * 1000 * 1000);  // 2 dense partial copies
+}
+
+TEST(CostModelTest, SparseMaskShipsToEveryKSlice) {
+  // With a sparse driver, the mask must reach all R k-slices: NetEst gains
+  // (R-1)·|mask|, while the aggregation partials stay mask-sized.
+  NmfPattern q = BuildNmfPattern(1000, 1000, 100, /*x_nnz=*/10000);
+  PartialPlan plan = NmfPlan(q);
+  CostModel model(PaperCluster());
+  const double mask_bytes = static_cast<double>(SizeOf(q.dag, q.X));
+  EXPECT_NEAR(model.NetEst(Cuboid{4, 4, 3}, plan) -
+                  model.NetEst(Cuboid{4, 4, 1}, plan),
+              2.0 * mask_bytes, 1.0);
+  EXPECT_LE(model.AggBytes(Cuboid{4, 4, 3}, plan), 2.0 * mask_bytes);
+}
+
+TEST(CostModelTest, SparseDriverScalesMatMulCompute) {
+  // With a 0.001-density mask, the fused operator evaluates the matmul
+  // only at X's non-zeros: compute drops by orders of magnitude.
+  NmfPattern dense_q = BuildNmfPattern(4000, 4000, 100, 16000000);
+  NmfPattern sparse_q = BuildNmfPattern(4000, 4000, 100, 16000);
+  CostModel model(PaperCluster());
+  double dense_com = model.ComEst(Cuboid{4, 4, 1}, NmfPlan(dense_q));
+  double sparse_com = model.ComEst(Cuboid{4, 4, 1}, NmfPlan(sparse_q));
+  EXPECT_LT(sparse_com, dense_com / 100.0);
+}
+
+TEST(CostModelTest, CostIsMaxOfNormalizedTerms) {
+  NmfPattern q = BuildNmfPattern(2000, 2000, 200, 40000);
+  PartialPlan plan = NmfPlan(q);
+  ClusterConfig config = PaperCluster();
+  CostModel model(config);
+  Cuboid c{4, 3, 2};
+  const double n = config.num_nodes;
+  double expected = std::max(
+      (model.NetEst(c, plan) + model.AggBytes(c, plan)) /
+          (n * config.net_bandwidth),
+      model.ComEst(c, plan) / (n * config.compute_bandwidth));
+  EXPECT_DOUBLE_EQ(model.Cost(c, plan), expected);
+}
+
+TEST(CostModelTest, NestedMatMulReplicationCompounds) {
+  // GNMF F1 (Fig. 11): the distant matmul a2's inputs replicate by Q·R
+  // while a4's side input replicates by P·R; splitting a2 off reduces cost.
+  GnmfQuery q = BuildGnmf(10000, 8000, 200, /*x_nnz=*/80000);
+  PartialPlan f1(&q.dag, {q.a1, q.a2, q.a3, q.a4, q.a5}, q.a5);
+  CostModel model(PaperCluster());
+
+  // vT feeds both the main matmul (L side, ×Q) and the nested a2 (deeper,
+  // compounded) — growing Q must grow NetEst superlinearly vs the same
+  // plan without a2.
+  auto [fm, fi] = f1.SplitAt(q.a2);
+  Cuboid narrow{2, 2, 1};
+  Cuboid wide_q{2, 8, 1};
+  const double full_growth =
+      model.NetEst(wide_q, f1) / model.NetEst(narrow, f1);
+  const double split_growth =
+      model.NetEst(wide_q, fm) / model.NetEst(narrow, fm);
+  EXPECT_GT(full_growth, split_growth);
+}
+
+TEST(NumOpTest, PerOperatorEstimates) {
+  Dag dag;
+  NodeId x = *dag.AddInput("X", 100, 100, 500);
+  NodeId u = *dag.AddInput("U", 100, 100);
+  EXPECT_EQ(NumOp(dag, x), 0);
+  // Zero-preserving unary touches nnz; densifying unary touches cells.
+  EXPECT_EQ(NumOp(dag, *dag.AddUnary(UnaryFn::kSquare, x)), 500);
+  EXPECT_EQ(NumOp(dag, *dag.AddUnary(UnaryFn::kExp, x)), 10000);
+  // Mul exploits the sparser side.
+  EXPECT_EQ(NumOp(dag, *dag.AddBinary(BinaryFn::kMul, x, u)), 500);
+  EXPECT_EQ(NumOp(dag, *dag.AddBinary(BinaryFn::kAdd, x, u)), 10000);
+  // MatMul: sparse A scales flops.
+  NodeId mm = *dag.AddMatMul(x, u);
+  EXPECT_EQ(NumOp(dag, mm), 2 * 500 * 100);
+  EXPECT_EQ(NumOp(dag, *dag.AddTranspose(x)), 500);
+  EXPECT_EQ(NumOp(dag, *dag.AddUnaryAgg(AggFn::kSum, AggAxis::kAll, x)),
+            500);
+}
+
+TEST(SizeOfTest, PicksStorageFormat) {
+  Dag dag;
+  NodeId dense = *dag.AddInput("D", 100, 100);
+  NodeId sparse = *dag.AddInput("S", 100, 100, 100);
+  EXPECT_EQ(SizeOf(dag, dense), 8 * 100 * 100);
+  EXPECT_EQ(SizeOf(dag, sparse), 16 * 100 + 8 * 101);
+  NodeId scalar = *dag.AddScalar(2.0);
+  EXPECT_EQ(SizeOf(dag, scalar), 8);
+}
+
+}  // namespace
+}  // namespace fuseme

@@ -1,0 +1,142 @@
+#include "cost/optimizer.h"
+
+#include <gtest/gtest.h>
+#include <cmath>
+
+#include "workloads/queries.h"
+
+namespace fuseme {
+namespace {
+
+ClusterConfig SmallCluster() {
+  ClusterConfig config;
+  config.num_nodes = 2;
+  config.tasks_per_node = 4;     // T = 8
+  config.block_size = 100;
+  config.task_memory_budget = 512LL * 1024 * 1024;
+  return config;
+}
+
+PartialPlan NmfPlan(const NmfPattern& q) {
+  return PartialPlan(&q.dag, {q.vT, q.mm, q.add, q.log, q.mul}, q.mul);
+}
+
+TEST(OptimizerTest, PrunedMatchesExhaustive) {
+  NmfPattern q = BuildNmfPattern(2000, 1600, 300, /*x_nnz=*/64000);
+  PartialPlan plan = NmfPlan(q);
+  CostModel model(SmallCluster());
+  PqrOptimizer opt(&model);
+  PqrChoice ex = opt.Exhaustive(plan);
+  PqrChoice pr = opt.Pruned(plan);
+  ASSERT_TRUE(ex.feasible);
+  ASSERT_TRUE(pr.feasible);
+  EXPECT_NEAR(pr.cost, ex.cost, ex.cost * 1e-9);
+  EXPECT_EQ(pr.c, ex.c);
+}
+
+TEST(OptimizerTest, PrunedEvaluatesFarFewerPoints) {
+  NmfPattern q = BuildNmfPattern(5000, 5000, 500, /*x_nnz=*/250000);
+  PartialPlan plan = NmfPlan(q);
+  CostModel model(SmallCluster());
+  PqrOptimizer opt(&model);
+  PqrChoice ex = opt.Exhaustive(plan);
+  PqrChoice pr = opt.Pruned(plan);
+  EXPECT_NEAR(pr.cost, ex.cost, ex.cost * 1e-9);
+  EXPECT_LT(pr.evaluations, ex.evaluations / 10);
+}
+
+TEST(OptimizerTest, RespectsParallelismFloor) {
+  NmfPattern q = BuildNmfPattern(2000, 1600, 300, 64000);
+  PartialPlan plan = NmfPlan(q);
+  CostModel model(SmallCluster());
+  PqrOptimizer opt(&model);
+  PqrChoice choice = opt.Pruned(plan);
+  ASSERT_TRUE(choice.feasible);
+  EXPECT_GE(choice.c.volume(), SmallCluster().total_tasks());
+}
+
+TEST(OptimizerTest, SmallGridUsesLargestPartitioning) {
+  // Grid 2x2x1 < T=8: parameters become (I, J, K).
+  NmfPattern q = BuildNmfPattern(200, 150, 80, 3000);
+  PartialPlan plan = NmfPlan(q);
+  CostModel model(SmallCluster());
+  PqrOptimizer opt(&model);
+  PqrChoice choice = opt.Pruned(plan);
+  EXPECT_EQ(choice.c.P, 2);
+  EXPECT_EQ(choice.c.Q, 2);
+  EXPECT_EQ(choice.c.R, 1);
+}
+
+TEST(OptimizerTest, InfeasibleWhenBudgetTiny) {
+  ClusterConfig config = SmallCluster();
+  config.task_memory_budget = 1024;  // 1 KB: nothing fits
+  NmfPattern q = BuildNmfPattern(2000, 1600, 300, 64000);
+  PartialPlan plan = NmfPlan(q);
+  CostModel model(config);
+  PqrOptimizer opt(&model);
+  PqrChoice choice = opt.Pruned(plan);
+  EXPECT_FALSE(choice.feasible);
+  // Alg. 3: infeasible plans report (I, J, K) and infinite cost.
+  EXPECT_EQ(choice.c.P, 20);
+  EXPECT_EQ(choice.c.Q, 16);
+  EXPECT_EQ(choice.c.R, 3);
+  EXPECT_TRUE(std::isinf(choice.cost));
+}
+
+TEST(OptimizerTest, TighterBudgetNeverLowersCost) {
+  NmfPattern q = BuildNmfPattern(4000, 4000, 400, /*x_nnz=*/1600000);
+  PartialPlan plan = NmfPlan(q);
+  double prev_cost = 0.0;
+  for (std::int64_t budget_mb : {4096, 512, 128}) {
+    ClusterConfig config = SmallCluster();
+    config.task_memory_budget = budget_mb * 1024 * 1024;
+    CostModel model(config);
+    PqrOptimizer opt(&model);
+    PqrChoice choice = opt.Pruned(plan);
+    if (!choice.feasible) break;
+    EXPECT_GE(choice.cost, prev_cost);
+    EXPECT_LE(choice.mem_per_task,
+              static_cast<double>(config.task_memory_budget));
+    prev_cost = choice.cost;
+  }
+}
+
+TEST(OptimizerTest, ChosenPointIsGridMinimum) {
+  // Sweep the whole feasible grid by hand and verify the optimizer's pick
+  // is never beaten (the Fig. 13(a-c) property).
+  NmfPattern q = BuildNmfPattern(1000, 900, 200, 45000);
+  PartialPlan plan = NmfPlan(q);
+  CostModel model(SmallCluster());
+  PqrOptimizer opt(&model);
+  PqrChoice choice = opt.Pruned(plan);
+  ASSERT_TRUE(choice.feasible);
+  GridDims g = model.Grid(plan);
+  for (std::int64_t p = 1; p <= g.I; ++p) {
+    for (std::int64_t q2 = 1; q2 <= g.J; ++q2) {
+      for (std::int64_t r = 1; r <= g.K; ++r) {
+        Cuboid c{p, q2, r};
+        if (c.volume() < SmallCluster().total_tasks()) continue;
+        if (model.MemEst(c, plan) >
+            static_cast<double>(SmallCluster().task_memory_budget)) {
+          continue;
+        }
+        EXPECT_GE(model.Cost(c, plan) + 1e-12, choice.cost)
+            << c.ToString();
+      }
+    }
+  }
+}
+
+TEST(OptimizerTest, GnmfPlanOptimizes) {
+  GnmfQuery q = BuildGnmf(3000, 2500, 200, /*x_nnz=*/150000);
+  PartialPlan f1(&q.dag, {q.a1, q.a2, q.a3, q.a4, q.a5}, q.a5);
+  CostModel model(SmallCluster());
+  PqrOptimizer opt(&model);
+  PqrChoice choice = opt.Pruned(f1);
+  ASSERT_TRUE(choice.feasible);
+  EXPECT_GT(choice.cost, 0.0);
+  EXPECT_GT(choice.evaluations, 0);
+}
+
+}  // namespace
+}  // namespace fuseme

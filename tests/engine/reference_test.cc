@@ -1,0 +1,73 @@
+#include "engine/reference.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "ir/expr.h"
+#include "matrix/generators.h"
+
+namespace fuseme {
+namespace {
+
+TEST(ReferenceEvalTest, ScalarArithmetic) {
+  Dag dag;
+  Expr a = Expr::Input(&dag, "A", 2, 2);
+  Expr out = 2.0 * a + 1.0;
+  DenseMatrix av(2, 2, {1, 2, 3, 4});
+  auto result = ReferenceEval(dag, out.id(), {{a.id(), av}});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ((*result)(0, 0), 3.0);
+  EXPECT_EQ((*result)(1, 1), 9.0);
+}
+
+TEST(ReferenceEvalTest, MatMulChain) {
+  Dag dag;
+  Expr a = Expr::Input(&dag, "A", 3, 4);
+  Expr b = Expr::Input(&dag, "B", 4, 2);
+  Expr out = MatMul(a, b);
+  DenseMatrix av = RandomDense(3, 4, 1);
+  DenseMatrix bv = RandomDense(4, 2, 2);
+  auto result = ReferenceEval(dag, out.id(), {{a.id(), av}, {b.id(), bv}});
+  ASSERT_TRUE(result.ok());
+  for (int i = 0; i < 3; ++i) {
+    for (int j = 0; j < 2; ++j) {
+      double acc = 0;
+      for (int k = 0; k < 4; ++k) acc += av(i, k) * bv(k, j);
+      EXPECT_NEAR((*result)(i, j), acc, 1e-12);
+    }
+  }
+}
+
+TEST(ReferenceEvalTest, TransposeAndAgg) {
+  Dag dag;
+  Expr a = Expr::Input(&dag, "A", 2, 3);
+  Expr out = Sum(T(a));
+  DenseMatrix av(2, 3, {1, 2, 3, 4, 5, 6});
+  auto result = ReferenceEval(dag, out.id(), {{a.id(), av}});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ((*result)(0, 0), 21.0);
+}
+
+TEST(ReferenceEvalTest, MissingInputIsError) {
+  Dag dag;
+  Expr a = Expr::Input(&dag, "A", 2, 2);
+  auto result = ReferenceEval(dag, a.id(), {});
+  EXPECT_TRUE(result.status().IsInvalidArgument());
+}
+
+TEST(ReferenceEvalTest, SharedSubexpressionEvaluatedOnce) {
+  // exp(A) used twice: memoization means deterministic single value.
+  Dag dag;
+  Expr a = Expr::Input(&dag, "A", 2, 2);
+  Expr e = Exp(a);
+  Expr out = e + e;
+  DenseMatrix av(2, 2, {0, 1, 2, 3});
+  auto result = ReferenceEval(dag, out.id(), {{a.id(), av}});
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR((*result)(0, 0), 2.0, 1e-12);
+  EXPECT_NEAR((*result)(1, 1), 2.0 * std::exp(3.0), 1e-9);
+}
+
+}  // namespace
+}  // namespace fuseme

@@ -1,0 +1,141 @@
+#include "fusion/partial_plan.h"
+
+#include <gtest/gtest.h>
+
+#include "workloads/queries.h"
+
+namespace fuseme {
+namespace {
+
+using Space = PartialPlan::Space;
+
+// U-side GNMF plan {a1, a2, a3, a4, a5}: the paper's F1 (Fig. 10(a)).
+PartialPlan GnmfF1(const GnmfQuery& q) {
+  return PartialPlan(&q.dag, {q.a1, q.a2, q.a3, q.a4, q.a5}, q.a5);
+}
+
+TEST(PartialPlanTest, MembershipAndRoot) {
+  GnmfQuery q = BuildGnmf(1000, 800, 20, 4000);
+  PartialPlan plan = GnmfF1(q);
+  EXPECT_EQ(plan.size(), 5);
+  EXPECT_TRUE(plan.Contains(q.a1));
+  EXPECT_TRUE(plan.Contains(q.a5));
+  EXPECT_FALSE(plan.Contains(q.vT));
+  EXPECT_FALSE(plan.Contains(q.b1));
+  EXPECT_EQ(plan.root(), q.a5);
+}
+
+TEST(PartialPlanTest, MatMulsAndMain) {
+  GnmfQuery q = BuildGnmf(1000, 800, 20, 4000);
+  PartialPlan plan = GnmfF1(q);
+  auto mms = plan.MatMuls();
+  EXPECT_EQ(mms.size(), 3u);  // a1, a2, a4
+  // a1 = Vᵀ×X has voxels k·n·m, the largest since m,n >> k.
+  EXPECT_EQ(plan.MainMatMul(), q.a1);
+}
+
+TEST(PartialPlanTest, ExternalInputs) {
+  GnmfQuery q = BuildGnmf(1000, 800, 20, 4000);
+  PartialPlan plan = GnmfF1(q);
+  auto ext = plan.ExternalInputs();
+  // vT (shared transpose output), X, U, and V (a2 = Vᵀ×V reads V itself).
+  EXPECT_EQ(ext.size(), 4u);
+  EXPECT_NE(std::find(ext.begin(), ext.end(), q.vT), ext.end());
+  EXPECT_NE(std::find(ext.begin(), ext.end(), q.X), ext.end());
+  EXPECT_NE(std::find(ext.begin(), ext.end(), q.U), ext.end());
+  EXPECT_NE(std::find(ext.begin(), ext.end(), q.V), ext.end());
+}
+
+TEST(PartialPlanTest, SpaceClassification) {
+  GnmfQuery q = BuildGnmf(1000, 800, 20, 4000);
+  PartialPlan plan = GnmfF1(q);
+  auto spaces = plan.ClassifySpaces(q.a1);
+  EXPECT_EQ(spaces[q.a1], Space::kMM);
+  // a1's inputs (vT, X) are external, so L and R spaces are empty and the
+  // remaining members are all O-space (Fig. 11).
+  EXPECT_EQ(spaces[q.a2], Space::kO);
+  EXPECT_EQ(spaces[q.a3], Space::kO);
+  EXPECT_EQ(spaces[q.a4], Space::kO);
+  EXPECT_EQ(spaces[q.a5], Space::kO);
+}
+
+TEST(PartialPlanTest, SpaceClassificationWithSubtrees) {
+  // PCA (X×S)ᵀ×X: main matmul mm2 with L-subtree {t, mm1}.
+  PcaPattern q = BuildPcaPattern(500, 40);
+  PartialPlan plan(&q.dag, {q.mm1, q.t, q.mm2}, q.mm2);
+  EXPECT_EQ(plan.MainMatMul(), q.mm2);
+  auto spaces = plan.ClassifySpaces(q.mm2);
+  EXPECT_EQ(spaces[q.mm2], Space::kMM);
+  EXPECT_EQ(spaces[q.t], Space::kL);
+  EXPECT_EQ(spaces[q.mm1], Space::kL);
+}
+
+TEST(PartialPlanTest, ParentOf) {
+  GnmfQuery q = BuildGnmf(1000, 800, 20, 4000);
+  PartialPlan plan = GnmfF1(q);
+  EXPECT_EQ(plan.ParentOf(q.a1), q.a3);
+  EXPECT_EQ(plan.ParentOf(q.a3), q.a5);
+  EXPECT_EQ(plan.ParentOf(q.a2), q.a4);
+  EXPECT_EQ(plan.ParentOf(q.a4), q.a5);
+  EXPECT_EQ(plan.ParentOf(q.a5), kInvalidNode);
+}
+
+TEST(PartialPlanTest, DistanceMatchesPaperExample) {
+  // Paper §4.2: "the distance between v1 and v4 is three" (a1..a4 here)
+  // and a2 is the most distant matmul from a1.
+  GnmfQuery q = BuildGnmf(1000, 800, 20, 4000);
+  PartialPlan plan = GnmfF1(q);
+  EXPECT_EQ(plan.Distance(q.a1, q.a4), 3);  // a1-a3-a5-a4
+  EXPECT_EQ(plan.Distance(q.a1, q.a2), 4);  // a1-a3-a5-a4-a2
+  EXPECT_EQ(plan.Distance(q.a1, q.a1), 0);
+  EXPECT_EQ(plan.Distance(q.a3, q.a5), 1);
+}
+
+TEST(PartialPlanTest, SplitAtSeparatesSubtree) {
+  GnmfQuery q = BuildGnmf(1000, 800, 20, 4000);
+  PartialPlan plan = GnmfF1(q);
+  auto [fm, fi] = plan.SplitAt(q.a2);
+  // F_i is just {a2}; F_m keeps the rest with a2 as a new external input.
+  EXPECT_EQ(fi.size(), 1);
+  EXPECT_EQ(fi.root(), q.a2);
+  EXPECT_EQ(fm.size(), 4);
+  EXPECT_EQ(fm.root(), q.a5);
+  EXPECT_FALSE(fm.Contains(q.a2));
+  auto ext = fm.ExternalInputs();
+  EXPECT_NE(std::find(ext.begin(), ext.end(), q.a2), ext.end());
+}
+
+TEST(PartialPlanTest, SplitAtCarriesDescendants) {
+  GnmfQuery q = BuildGnmf(1000, 800, 20, 4000);
+  PartialPlan plan = GnmfF1(q);
+  // Splitting at a4 carries its descendant a2 along (paper §4.2: "if v_i
+  // has its descendent operators in F, the operators are also split").
+  auto [fm, fi] = plan.SplitAt(q.a4);
+  EXPECT_EQ(fi.size(), 2);
+  EXPECT_TRUE(fi.Contains(q.a2));
+  EXPECT_TRUE(fi.Contains(q.a4));
+  EXPECT_EQ(fm.size(), 3);
+}
+
+TEST(PartialPlanTest, NoMatMulPlan) {
+  Dag dag;
+  NodeId x = *dag.AddInput("X", 10, 10, 20);
+  NodeId u = *dag.AddInput("U", 10, 10);
+  NodeId v = *dag.AddInput("V", 10, 10);
+  NodeId mul = *dag.AddBinary(BinaryFn::kMul, x, u);
+  NodeId div = *dag.AddBinary(BinaryFn::kDiv, mul, v);
+  PartialPlan plan(&dag, {mul, div}, div);
+  EXPECT_TRUE(plan.MatMuls().empty());
+  EXPECT_EQ(plan.MainMatMul(), kInvalidNode);
+}
+
+TEST(PartialPlanTest, ToStringMentionsMembers) {
+  GnmfQuery q = BuildGnmf(100, 80, 4, 40);
+  PartialPlan plan = GnmfF1(q);
+  std::string s = plan.ToString();
+  EXPECT_NE(s.find("root=v"), std::string::npos);
+  EXPECT_NE(s.find("{v"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fuseme

@@ -1,0 +1,221 @@
+// Pins the plan shapes the paper reports (Fig. 10, §4).
+
+#include "fusion/planners.h"
+
+#include <gtest/gtest.h>
+
+#include "workloads/queries.h"
+
+namespace fuseme {
+namespace {
+
+ClusterConfig PaperishCluster() {
+  ClusterConfig config;
+  config.num_nodes = 8;
+  config.tasks_per_node = 12;
+  config.block_size = 1000;
+  return config;
+}
+
+// Paper-scale GNMF (Netflix-like): m=480K users, n=17.7K items, k=200.
+GnmfQuery PaperGnmf() {
+  return BuildGnmf(480000, 17700, 200, /*x_nnz=*/100480507);
+}
+
+std::set<NodeId> Members(const PartialPlan& p) {
+  return {p.members().begin(), p.members().end()};
+}
+
+const PartialPlan* FindPlanWith(const FusionPlanSet& set, NodeId member) {
+  for (const PartialPlan& p : set.plans) {
+    if (p.Contains(member)) return &p;
+  }
+  return nullptr;
+}
+
+TEST(TerminationTest, MaterializationPointsAndAggs) {
+  GnmfQuery q = PaperGnmf();
+  // Shared transposes have fanout 2: termination.
+  EXPECT_TRUE(IsTerminationOperator(q.dag, q.vT));
+  EXPECT_TRUE(IsTerminationOperator(q.dag, q.uT));
+  // Mid-plan operators are not.
+  EXPECT_FALSE(IsTerminationOperator(q.dag, q.a1));
+  EXPECT_FALSE(IsTerminationOperator(q.dag, q.a3));
+  // Aggregations are.
+  AlsLossQuery als = BuildAlsLoss(100, 100, 10, 100);
+  EXPECT_TRUE(IsTerminationOperator(als.dag, als.loss));
+}
+
+TEST(CfgExplorationTest, GnmfFindsTwoFivеMemberPlans) {
+  GnmfQuery q = PaperGnmf();
+  CostModel model(PaperishCluster());
+  CfgPlanner planner(&model);
+  std::vector<PartialPlan> plans = planner.ExplorationPhase(q.dag);
+  ASSERT_EQ(plans.size(), 2u);
+  // Paper Fig. 10(a): F1 = {v1..v5} (U side), F0 = {v7..v11} (V side),
+  // excluding the shared transposes.
+  EXPECT_EQ(Members(plans[0]),
+            (std::set<NodeId>{q.a1, q.a2, q.a3, q.a4, q.a5}));
+  EXPECT_EQ(Members(plans[1]),
+            (std::set<NodeId>{q.b1, q.b2, q.b3, q.b4, q.b5}));
+  EXPECT_EQ(plans[0].root(), q.a5);
+  EXPECT_EQ(plans[1].root(), q.b5);
+}
+
+TEST(CfgExploitationTest, GnmfSplitsDistantMatMuls) {
+  // Paper Fig. 10(b): F1 splits off v2 (= a2, the Vᵀ×V far from the main
+  // matmul) and F0 splits off its distant matmul.
+  GnmfQuery q = PaperGnmf();
+  CostModel model(PaperishCluster());
+  CfgPlanner planner(&model);
+  auto refined =
+      planner.ExploitationPhase(q.dag, planner.ExplorationPhase(q.dag));
+  // a2 must now live in its own plan.
+  const PartialPlan* a2_plan = nullptr;
+  const PartialPlan* a5_plan = nullptr;
+  for (const PartialPlan& p : refined) {
+    if (p.Contains(q.a2)) a2_plan = &p;
+    if (p.Contains(q.a5)) a5_plan = &p;
+  }
+  ASSERT_NE(a2_plan, nullptr);
+  ASSERT_NE(a5_plan, nullptr);
+  EXPECT_NE(a2_plan, a5_plan) << "a2 should be split from the U-side plan";
+  EXPECT_EQ(a2_plan->size(), 1);
+  // F1' keeps {a1, a3, a4, a5} fused (paper keeps v1,v3,v4,v5 together).
+  EXPECT_EQ(Members(*a5_plan), (std::set<NodeId>{q.a1, q.a3, q.a4, q.a5}));
+}
+
+TEST(CfgPlannerTest, FullCoverageAndOrder) {
+  GnmfQuery q = PaperGnmf();
+  CostModel model(PaperishCluster());
+  CfgPlanner planner(&model);
+  FusionPlanSet set = planner.Plan(q.dag);
+
+  // Every operator node appears in exactly one plan.
+  std::map<NodeId, int> seen;
+  for (const PartialPlan& p : set.plans) {
+    for (NodeId m : p.members()) seen[m]++;
+  }
+  for (NodeId id : q.dag.TopologicalOrder()) {
+    const Node& n = q.dag.node(id);
+    if (n.kind == OpKind::kInput || n.kind == OpKind::kScalar) continue;
+    EXPECT_EQ(seen[id], 1) << "node v" << id;
+  }
+  // Producers come before consumers.
+  std::set<NodeId> produced;
+  for (const PartialPlan& p : set.plans) {
+    for (NodeId ext : p.ExternalInputs()) {
+      const Node& n = q.dag.node(ext);
+      if (n.kind == OpKind::kInput || n.kind == OpKind::kScalar) continue;
+      EXPECT_TRUE(produced.count(ext) > 0)
+          << "plan " << p.ToString() << " consumes unmaterialized v" << ext;
+    }
+    produced.insert(p.root());
+  }
+}
+
+TEST(CfgExplorationTest, AlsLossFusesEverythingUnderTheSum) {
+  AlsLossQuery q = BuildAlsLoss(100000, 20000, 200, /*x_nnz=*/2000000);
+  CostModel model(PaperishCluster());
+  CfgPlanner planner(&model);
+  auto plans = planner.ExplorationPhase(q.dag);
+  ASSERT_EQ(plans.size(), 1u);
+  EXPECT_EQ(Members(plans[0]),
+            (std::set<NodeId>{q.mm, q.mask, q.sub, q.sq, q.mul, q.loss}));
+  EXPECT_EQ(plans[0].root(), q.loss);  // agg joins as the top operator
+}
+
+TEST(GenPlannerTest, GnmfFusesOnlyElementwisePairs) {
+  // Paper §1/Fig. 10: "SystemDS fuses only two operators v3 and v5".
+  GnmfQuery q = PaperGnmf();
+  FusionPlanSet set = GenPlanner().Plan(q.dag);
+  const PartialPlan* a3_plan = FindPlanWith(set, q.a3);
+  ASSERT_NE(a3_plan, nullptr);
+  EXPECT_EQ(Members(*a3_plan), (std::set<NodeId>{q.a3, q.a5}));
+  const PartialPlan* b2_plan = FindPlanWith(set, q.b2);
+  ASSERT_NE(b2_plan, nullptr);
+  EXPECT_EQ(Members(*b2_plan), (std::set<NodeId>{q.b2, q.b5}));
+  // Matmuls stay singletons.
+  const PartialPlan* a1_plan = FindPlanWith(set, q.a1);
+  ASSERT_NE(a1_plan, nullptr);
+  EXPECT_EQ(a1_plan->size(), 1);
+}
+
+TEST(GenPlannerTest, OuterTemplateFiresOnSparseMask) {
+  // X * log(U×Vᵀ + eps) with sparse X: GEN fuses the matmul too.
+  NmfPattern q = BuildNmfPattern(100000, 100000, 2000,
+                                 /*x_nnz=*/10000000);  // density 0.001
+  FusionPlanSet set = GenPlanner().Plan(q.dag);
+  const PartialPlan* mm_plan = FindPlanWith(set, q.mm);
+  ASSERT_NE(mm_plan, nullptr);
+  EXPECT_TRUE(mm_plan->Contains(q.mul));
+  EXPECT_TRUE(mm_plan->Contains(q.log));
+  EXPECT_TRUE(mm_plan->Contains(q.add));
+}
+
+TEST(GenPlannerTest, OuterTemplateSkipsDenseMask) {
+  NmfPattern q = BuildNmfPattern(10000, 10000, 200,
+                                 /*x_nnz=*/50000000);  // density 0.5
+  FusionPlanSet set = GenPlanner().Plan(q.dag);
+  const PartialPlan* mm_plan = FindPlanWith(set, q.mm);
+  ASSERT_NE(mm_plan, nullptr);
+  EXPECT_EQ(mm_plan->size(), 1) << "dense mask: no sparsity exploitation";
+  // The element-wise chain still folds via the Cell template.
+  const PartialPlan* mul_plan = FindPlanWith(set, q.mul);
+  ASSERT_NE(mul_plan, nullptr);
+  EXPECT_TRUE(mul_plan->Contains(q.log));
+}
+
+TEST(GenPlannerTest, OuterTemplateAbsorbsMaskBranchAndAgg) {
+  // Weighted loss (Fig. 1(b)): GEN fuses mask, chain, matmul, and sum.
+  AlsLossQuery q = BuildAlsLoss(100000, 20000, 200, /*x_nnz=*/2000000);
+  FusionPlanSet set = GenPlanner().Plan(q.dag);
+  const PartialPlan* plan = FindPlanWith(set, q.mm);
+  ASSERT_NE(plan, nullptr);
+  EXPECT_EQ(Members(*plan),
+            (std::set<NodeId>{q.mm, q.mask, q.sub, q.sq, q.mul, q.loss}));
+}
+
+TEST(FoldedPlannerTest, OnlyEwiseChainsFold) {
+  GnmfQuery q = PaperGnmf();
+  FusionPlanSet set = FoldedPlanner().Plan(q.dag);
+  const PartialPlan* a3_plan = FindPlanWith(set, q.a3);
+  ASSERT_NE(a3_plan, nullptr);
+  EXPECT_EQ(Members(*a3_plan), (std::set<NodeId>{q.a3, q.a5}));
+  for (const PartialPlan& p : set.plans) {
+    if (p.size() > 1) {
+      for (NodeId m : p.members()) {
+        const Node& n = q.dag.node(m);
+        EXPECT_TRUE(n.kind == OpKind::kUnary || n.kind == OpKind::kBinary);
+      }
+    }
+  }
+}
+
+TEST(NoFusionPlannerTest, AllSingletons) {
+  GnmfQuery q = PaperGnmf();
+  FusionPlanSet set = NoFusionPlanner().Plan(q.dag);
+  EXPECT_EQ(set.plans.size(), 12u);  // 12 operators in the GNMF step
+  for (const PartialPlan& p : set.plans) {
+    EXPECT_EQ(p.size(), 1);
+  }
+}
+
+TEST(PlannersTest, Fig1cCfgFusesAllFourOperatorsPlusMatmuls) {
+  // (X×Vᵀ*U)/(Vᵀ×V×U): GEN folds only {*, /}; CFG fuses matmuls too.
+  Fig1cQuery q = BuildFig1c(100000, 100000, 100, /*x_nnz=*/10000000);
+  CostModel model(PaperishCluster());
+  FusionPlanSet gen = GenPlanner().Plan(q.dag);
+  FusionPlanSet cfg = CfgPlanner(&model).Plan(q.dag);
+
+  auto largest = [](const FusionPlanSet& set) {
+    std::int64_t best = 0;
+    for (const PartialPlan& p : set.plans) best = std::max(best, p.size());
+    return best;
+  };
+  EXPECT_EQ(largest(gen), 2);  // only the element-wise pair
+  EXPECT_GE(largest(cfg), 3);  // matmuls participate
+}
+
+}  // namespace
+}  // namespace fuseme

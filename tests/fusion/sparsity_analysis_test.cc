@@ -1,0 +1,82 @@
+#include "fusion/sparsity_analysis.h"
+
+#include <gtest/gtest.h>
+
+#include "workloads/queries.h"
+
+namespace fuseme {
+namespace {
+
+TEST(SparsityAnalysisTest, NmfPatternFindsSparseDriver) {
+  // X * log(U×Vᵀ + eps) with X at density 0.001: the b(*) against X masks
+  // the matmul result.
+  NmfPattern q = BuildNmfPattern(10000, 10000, 100, /*x_nnz=*/100000);
+  PartialPlan plan(&q.dag, {q.vT, q.mm, q.add, q.log, q.mul}, q.mul);
+  SparseDriver driver = FindSparseDriver(plan, q.mm);
+  ASSERT_TRUE(driver.found());
+  EXPECT_EQ(driver.mul_node, q.mul);
+  EXPECT_EQ(driver.sparse_input, q.X);
+  EXPECT_NEAR(driver.density, 0.001, 1e-9);
+  // Scaled nodes: the path mm -> add -> log -> mul.
+  EXPECT_EQ(driver.scaled_nodes.size(), 4u);
+}
+
+TEST(SparsityAnalysisTest, AlsLossFindsDriverThroughChain) {
+  // (X != 0) * (X - U×V)^2: mask reached through b(-) and u(^2)... the
+  // mask itself is u(!=0)(X), which is *inside* the plan, so the external
+  // test applies to X only when the mask node is external.  Build the plan
+  // without the mask member so the driver is the mask node's output.
+  AlsLossQuery q = BuildAlsLoss(5000, 5000, 50, /*x_nnz=*/25000);
+  // Plan without the mask: {mm, sub, sq, mul, loss}; mul's other side is
+  // the mask node (external, sparse estimate nnz(X)).
+  PartialPlan plan(&q.dag, {q.mm, q.sub, q.sq, q.mul, q.loss}, q.loss);
+  SparseDriver driver = FindSparseDriver(plan, q.mm);
+  ASSERT_TRUE(driver.found());
+  EXPECT_EQ(driver.mul_node, q.mul);
+  EXPECT_EQ(driver.sparse_input, q.mask);
+  // Path: mm -> sub -> sq -> mul.
+  EXPECT_EQ(driver.scaled_nodes.size(), 4u);
+}
+
+TEST(SparsityAnalysisTest, DenseMaskIsNotADriver) {
+  NmfPattern q = BuildNmfPattern(100, 100, 10, /*x_nnz=*/9000);  // d=0.9
+  PartialPlan plan(&q.dag, {q.vT, q.mm, q.add, q.log, q.mul}, q.mul);
+  EXPECT_FALSE(FindSparseDriver(plan, q.mm).found());
+}
+
+TEST(SparsityAnalysisTest, ThresholdIsConfigurable) {
+  NmfPattern q = BuildNmfPattern(100, 100, 10, /*x_nnz=*/3000);  // d=0.3
+  PartialPlan plan(&q.dag, {q.vT, q.mm, q.add, q.log, q.mul}, q.mul);
+  EXPECT_FALSE(FindSparseDriver(plan, q.mm, 0.25).found());
+  EXPECT_TRUE(FindSparseDriver(plan, q.mm, 0.5).found());
+}
+
+TEST(SparsityAnalysisTest, GnmfUSideHasNoDriver) {
+  // U * (Vᵀ×X): the b(*) against U is dense, no exploitation.
+  GnmfQuery q = BuildGnmf(10000, 8000, 20, /*x_nnz=*/80000);
+  PartialPlan plan(&q.dag, {q.a1, q.a2, q.a3, q.a4, q.a5}, q.a5);
+  EXPECT_FALSE(FindSparseDriver(plan, q.a1).found());
+}
+
+TEST(SparsityAnalysisTest, StopsAtNonElementwiseAncestor) {
+  // sum(U×V) then multiplied by sparse X would require the mask to commute
+  // with the aggregation — it must not be detected.
+  Dag dag;
+  NodeId x = *dag.AddInput("X", 1, 1, 0);
+  NodeId u = *dag.AddInput("U", 100, 50);
+  NodeId v = *dag.AddInput("V", 50, 100);
+  NodeId mm = *dag.AddMatMul(u, v);
+  NodeId agg = *dag.AddUnaryAgg(AggFn::kSum, AggAxis::kAll, mm);
+  NodeId mul = *dag.AddBinary(BinaryFn::kMul, x, agg);
+  PartialPlan plan(&dag, {mm, agg, mul}, mul);
+  EXPECT_FALSE(FindSparseDriver(plan, mm).found());
+}
+
+TEST(SparsityAnalysisTest, InvalidMainMatMul) {
+  GnmfQuery q = BuildGnmf(100, 80, 4, 40);
+  PartialPlan plan(&q.dag, {q.a1, q.a3}, q.a3);
+  EXPECT_FALSE(FindSparseDriver(plan, kInvalidNode).found());
+}
+
+}  // namespace
+}  // namespace fuseme

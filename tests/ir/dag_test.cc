@@ -1,0 +1,168 @@
+#include "ir/dag.h"
+
+#include <gtest/gtest.h>
+
+namespace fuseme {
+namespace {
+
+TEST(DagTest, AddInputInfersDenseNnz) {
+  Dag dag;
+  auto x = dag.AddInput("X", 10, 20);
+  ASSERT_TRUE(x.ok());
+  const Node& n = dag.node(*x);
+  EXPECT_EQ(n.kind, OpKind::kInput);
+  EXPECT_EQ(n.rows, 10);
+  EXPECT_EQ(n.cols, 20);
+  EXPECT_EQ(n.nnz, 200);
+  EXPECT_EQ(n.name, "X");
+}
+
+TEST(DagTest, AddInputWithSparsity) {
+  Dag dag;
+  auto x = dag.AddInput("X", 100, 100, 50);
+  ASSERT_TRUE(x.ok());
+  EXPECT_EQ(dag.node(*x).nnz, 50);
+  EXPECT_DOUBLE_EQ(dag.node(*x).density(), 0.005);
+}
+
+TEST(DagTest, AddInputRejectsNonPositiveDims) {
+  Dag dag;
+  EXPECT_TRUE(dag.AddInput("X", 0, 5).status().IsInvalidArgument());
+  EXPECT_TRUE(dag.AddInput("X", 5, -1).status().IsInvalidArgument());
+}
+
+TEST(DagTest, BinaryShapeMismatchRejected) {
+  Dag dag;
+  NodeId a = *dag.AddInput("A", 3, 4);
+  NodeId b = *dag.AddInput("B", 4, 3);
+  EXPECT_TRUE(
+      dag.AddBinary(BinaryFn::kAdd, a, b).status().IsInvalidArgument());
+}
+
+TEST(DagTest, BinaryWithScalarBroadcasts) {
+  Dag dag;
+  NodeId a = *dag.AddInput("A", 3, 4, 2);
+  NodeId s = *dag.AddScalar(2.0);
+  auto mul = dag.AddBinary(BinaryFn::kMul, a, s);
+  ASSERT_TRUE(mul.ok());
+  EXPECT_EQ(dag.node(*mul).rows, 3);
+  EXPECT_EQ(dag.node(*mul).cols, 4);
+  EXPECT_EQ(dag.node(*mul).nnz, 2);  // x*2 preserves sparsity
+
+  auto add = dag.AddBinary(BinaryFn::kAdd, a, *dag.AddScalar(1.0));
+  ASSERT_TRUE(add.ok());
+  EXPECT_EQ(dag.node(*add).nnz, 12);  // x+1 densifies
+}
+
+TEST(DagTest, TwoScalarsRejected) {
+  Dag dag;
+  NodeId s1 = *dag.AddScalar(1.0);
+  NodeId s2 = *dag.AddScalar(2.0);
+  EXPECT_TRUE(
+      dag.AddBinary(BinaryFn::kAdd, s1, s2).status().IsInvalidArgument());
+}
+
+TEST(DagTest, MatMulShapeInference) {
+  Dag dag;
+  NodeId a = *dag.AddInput("A", 3, 4);
+  NodeId b = *dag.AddInput("B", 4, 5);
+  auto mm = dag.AddMatMul(a, b);
+  ASSERT_TRUE(mm.ok());
+  EXPECT_EQ(dag.node(*mm).rows, 3);
+  EXPECT_EQ(dag.node(*mm).cols, 5);
+  EXPECT_EQ(dag.node(*mm).kind, OpKind::kMatMul);
+}
+
+TEST(DagTest, MatMulInnerMismatchRejected) {
+  Dag dag;
+  NodeId a = *dag.AddInput("A", 3, 4);
+  NodeId b = *dag.AddInput("B", 5, 6);
+  EXPECT_TRUE(dag.AddMatMul(a, b).status().IsInvalidArgument());
+}
+
+TEST(DagTest, UnaryAggShapes) {
+  Dag dag;
+  NodeId a = *dag.AddInput("A", 7, 9);
+  EXPECT_EQ(dag.node(*dag.AddUnaryAgg(AggFn::kSum, AggAxis::kAll, a)).rows,
+            1);
+  auto row = dag.AddUnaryAgg(AggFn::kSum, AggAxis::kRow, a);
+  EXPECT_EQ(dag.node(*row).rows, 7);
+  EXPECT_EQ(dag.node(*row).cols, 1);
+  auto col = dag.AddUnaryAgg(AggFn::kSum, AggAxis::kCol, a);
+  EXPECT_EQ(dag.node(*col).rows, 1);
+  EXPECT_EQ(dag.node(*col).cols, 9);
+}
+
+TEST(DagTest, TransposeSwapsShape) {
+  Dag dag;
+  NodeId a = *dag.AddInput("A", 7, 9, 5);
+  auto t = dag.AddTranspose(a);
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(dag.node(*t).rows, 9);
+  EXPECT_EQ(dag.node(*t).cols, 7);
+  EXPECT_EQ(dag.node(*t).nnz, 5);
+}
+
+TEST(DagTest, ConsumersAndFanOut) {
+  Dag dag;
+  NodeId x = *dag.AddInput("X", 4, 4);
+  NodeId u = *dag.AddUnary(UnaryFn::kSquare, x);
+  NodeId v = *dag.AddUnary(UnaryFn::kExp, x);
+  NodeId s = *dag.AddBinary(BinaryFn::kAdd, u, v);
+  dag.MarkOutput(s);
+
+  auto consumers = dag.Consumers(x);
+  EXPECT_EQ(consumers.size(), 2u);
+  EXPECT_EQ(dag.FanOut(x), 2);
+  EXPECT_EQ(dag.FanOut(u), 1);
+  EXPECT_EQ(dag.FanOut(s), 1);  // output edge counts
+  dag.MarkOutput(u);
+  EXPECT_EQ(dag.FanOut(u), 2);
+}
+
+TEST(DagTest, SelfMulCountsTwoEdges) {
+  Dag dag;
+  NodeId x = *dag.AddInput("X", 4, 4);
+  NodeId sq = *dag.AddBinary(BinaryFn::kMul, x, x);
+  (void)sq;
+  EXPECT_EQ(dag.FanOut(x), 2);
+}
+
+TEST(DagTest, MarkOutputIsIdempotent) {
+  Dag dag;
+  NodeId x = *dag.AddInput("X", 2, 2);
+  dag.MarkOutput(x);
+  dag.MarkOutput(x);
+  EXPECT_EQ(dag.outputs().size(), 1u);
+}
+
+TEST(DagTest, MatMulNodesLists) {
+  Dag dag;
+  NodeId a = *dag.AddInput("A", 3, 3);
+  NodeId b = *dag.AddInput("B", 3, 3);
+  NodeId m1 = *dag.AddMatMul(a, b);
+  NodeId m2 = *dag.AddMatMul(m1, b);
+  auto mms = dag.MatMulNodes();
+  ASSERT_EQ(mms.size(), 2u);
+  EXPECT_EQ(mms[0], m1);
+  EXPECT_EQ(mms[1], m2);
+}
+
+TEST(DagTest, TopologicalOrderIsConstructionOrder) {
+  Dag dag;
+  NodeId a = *dag.AddInput("A", 2, 2);
+  NodeId u = *dag.AddUnary(UnaryFn::kExp, a);
+  auto order = dag.TopologicalOrder();
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0], a);
+  EXPECT_EQ(order[1], u);
+}
+
+TEST(DagTest, UnknownIdRejected) {
+  Dag dag;
+  EXPECT_TRUE(dag.AddUnary(UnaryFn::kExp, 7).status().IsInvalidArgument());
+  EXPECT_TRUE(dag.AddUnary(UnaryFn::kExp, -1).status().IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace fuseme

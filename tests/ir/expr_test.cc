@@ -1,0 +1,101 @@
+#include "ir/expr.h"
+
+#include <gtest/gtest.h>
+
+#include "ir/printer.h"
+
+namespace fuseme {
+namespace {
+
+TEST(ExprTest, ArithmeticBuildsBinaryNodes) {
+  Dag dag;
+  Expr a = Expr::Input(&dag, "A", 4, 4);
+  Expr b = Expr::Input(&dag, "B", 4, 4);
+  Expr c = (a + b) * (a - b) / b;
+  const Node& n = c.node();
+  EXPECT_EQ(n.kind, OpKind::kBinary);
+  EXPECT_EQ(n.binary_fn, BinaryFn::kDiv);
+  EXPECT_EQ(ExprToString(dag, c.id()), "(((A + B) * (A - B)) / B)");
+}
+
+TEST(ExprTest, ScalarMixing) {
+  Dag dag;
+  Expr a = Expr::Input(&dag, "A", 4, 4);
+  Expr c = 2.0 * a + 1.0;
+  EXPECT_EQ(c.node().rows, 4);
+  EXPECT_EQ(ExprToString(dag, c.id()), "((2 * A) + 1)");
+}
+
+TEST(ExprTest, NmfPatternShapes) {
+  // X * log(U x T(V) + eps): the paper's running example (Fig. 3).
+  Dag dag;
+  Expr X = Expr::Input(&dag, "X", 30, 30, 90);
+  Expr U = Expr::Input(&dag, "U", 30, 2);
+  Expr V = Expr::Input(&dag, "V", 30, 2);
+  Expr out = (X * Log(MatMul(U, T(V)) + 1e-8)).MarkOutput();
+  EXPECT_EQ(out.node().rows, 30);
+  EXPECT_EQ(out.node().cols, 30);
+  ASSERT_EQ(dag.outputs().size(), 1u);
+  EXPECT_EQ(dag.outputs()[0], out.id());
+}
+
+TEST(ExprTest, WeightedSquaredLoss) {
+  // sum((X != 0) * (X - U x V)^2): Fig. 1(a).
+  Dag dag;
+  Expr X = Expr::Input(&dag, "X", 20, 20, 40);
+  Expr U = Expr::Input(&dag, "U", 20, 3);
+  Expr V = Expr::Input(&dag, "V", 3, 20);
+  Expr loss = Sum(NotZero(X) * Square(X - MatMul(U, V)));
+  EXPECT_EQ(loss.node().kind, OpKind::kUnaryAgg);
+  EXPECT_EQ(loss.node().rows, 1);
+  EXPECT_EQ(loss.node().cols, 1);
+}
+
+TEST(ExprTest, AggregationsShapes) {
+  Dag dag;
+  Expr a = Expr::Input(&dag, "A", 5, 7);
+  EXPECT_EQ(RowSums(a).node().rows, 5);
+  EXPECT_EQ(RowSums(a).node().cols, 1);
+  EXPECT_EQ(ColSums(a).node().cols, 7);
+  EXPECT_EQ(Sum(a).node().rows, 1);
+  EXPECT_EQ(MinAgg(a).node().agg_fn, AggFn::kMin);
+  EXPECT_EQ(MaxAgg(a).node().agg_fn, AggFn::kMax);
+}
+
+TEST(ExprTest, UnaryHelpers) {
+  Dag dag;
+  Expr a = Expr::Input(&dag, "A", 2, 2);
+  EXPECT_EQ(Exp(a).node().unary_fn, UnaryFn::kExp);
+  EXPECT_EQ(Log(a).node().unary_fn, UnaryFn::kLog);
+  EXPECT_EQ(Sqrt(a).node().unary_fn, UnaryFn::kSqrt);
+  EXPECT_EQ(Square(a).node().unary_fn, UnaryFn::kSquare);
+  EXPECT_EQ(Abs(a).node().unary_fn, UnaryFn::kAbs);
+  EXPECT_EQ(Sigmoid(a).node().unary_fn, UnaryFn::kSigmoid);
+  EXPECT_EQ(Relu(a).node().unary_fn, UnaryFn::kRelu);
+  EXPECT_EQ(NotZero(a).node().unary_fn, UnaryFn::kNotZero);
+  EXPECT_EQ(Neg(a).node().unary_fn, UnaryFn::kNeg);
+}
+
+TEST(ExprTest, MinMaxPowNotEqual) {
+  Dag dag;
+  Expr a = Expr::Input(&dag, "A", 2, 2);
+  Expr b = Expr::Input(&dag, "B", 2, 2);
+  EXPECT_EQ(Min(a, b).node().binary_fn, BinaryFn::kMin);
+  EXPECT_EQ(Max(a, b).node().binary_fn, BinaryFn::kMax);
+  EXPECT_EQ(Pow(a, b).node().binary_fn, BinaryFn::kPow);
+  EXPECT_EQ(NotEqual(a, b).node().binary_fn, BinaryFn::kNotEqual);
+}
+
+TEST(ExprTest, GnmfNumeratorDag) {
+  // U * (T(V) x X): part of Eq. (6).
+  Dag dag;
+  Expr X = Expr::Input(&dag, "X", 100, 80, 400);
+  Expr U = Expr::Input(&dag, "U", 20, 80);
+  Expr V = Expr::Input(&dag, "V", 100, 20);
+  Expr numerator = U * MatMul(T(V), X);
+  EXPECT_EQ(numerator.node().rows, 20);
+  EXPECT_EQ(numerator.node().cols, 80);
+}
+
+}  // namespace
+}  // namespace fuseme

@@ -1,0 +1,117 @@
+#include "ir/parser.h"
+
+#include <gtest/gtest.h>
+
+#include "engine/reference.h"
+#include "ir/printer.h"
+#include "matrix/generators.h"
+
+namespace fuseme {
+namespace {
+
+const std::map<std::string, MatrixShape>& Symbols() {
+  static const auto& symbols = *new std::map<std::string, MatrixShape>{
+      {"X", {20, 20, 40}},
+      {"U", {20, 4, -1}},
+      {"V", {20, 4, -1}},
+      {"W", {4, 20, -1}},
+  };
+  return symbols;
+}
+
+TEST(ParserTest, NmfQueryRoundTrips) {
+  auto q = ParseQuery("X * log(U %*% t(V) + 1e-8)", Symbols());
+  ASSERT_TRUE(q.ok()) << q.status();
+  EXPECT_EQ(ExprToString(*q->dag, q->root),
+            "(X * log(((U x T(V)) + 1e-08)))");
+  EXPECT_EQ(q->dag->outputs().size(), 1u);
+  EXPECT_EQ(q->inputs.size(), 3u);
+}
+
+TEST(ParserTest, WeightedLossWithCaretLowersToSquare) {
+  auto q = ParseQuery("sum((X != 0) * (X - U %*% W)^2)", Symbols());
+  ASSERT_TRUE(q.ok()) << q.status();
+  EXPECT_EQ(ExprToString(*q->dag, q->root),
+            "sum(((X != 0) * ^2((X - (U x W)))))");
+}
+
+TEST(ParserTest, PrecedenceMatMulBindsTighterThanStar) {
+  auto q = ParseQuery("X * U %*% W", Symbols());
+  ASSERT_TRUE(q.ok()) << q.status();
+  EXPECT_EQ(ExprToString(*q->dag, q->root), "(X * (U x W))");
+}
+
+TEST(ParserTest, UnaryMinusAndScalars) {
+  auto q = ParseQuery("-X + 2 * X", Symbols());
+  ASSERT_TRUE(q.ok()) << q.status();
+  EXPECT_EQ(ExprToString(*q->dag, q->root), "(neg(X) + (2 * X))");
+}
+
+TEST(ParserTest, SharedIdentifierBindsOnce) {
+  auto q = ParseQuery("X * X + X", Symbols());
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->inputs.size(), 1u);
+  // X appears three times but is one leaf node (fanout 3).
+  EXPECT_EQ(q->dag->FanOut(q->inputs.at("X")), 3);
+}
+
+TEST(ParserTest, FunctionsParse) {
+  for (const char* text :
+       {"exp(X)", "sqrt(abs(X))", "sigmoid(X)", "relu(X)", "nz(X)",
+        "rowSums(X)", "colSums(X)", "min(X, X)", "max(X, X)",
+        "pow(X, X)", "sq(X)"}) {
+    auto q = ParseQuery(text, Symbols());
+    EXPECT_TRUE(q.ok()) << text << ": " << q.status();
+  }
+}
+
+TEST(ParserTest, Errors) {
+  // Unknown identifier.
+  EXPECT_TRUE(ParseQuery("Y + 1", Symbols()).status().IsInvalidArgument());
+  // Shape mismatch reported with a position.
+  auto bad = ParseQuery("X + W", Symbols());
+  ASSERT_FALSE(bad.ok());
+  EXPECT_NE(bad.status().message().find("offset"), std::string::npos);
+  // Syntax errors.
+  EXPECT_FALSE(ParseQuery("X +", Symbols()).ok());
+  EXPECT_FALSE(ParseQuery("log(X", Symbols()).ok());
+  EXPECT_FALSE(ParseQuery("X ** U", Symbols()).ok());
+  EXPECT_FALSE(ParseQuery("foo(X)", Symbols()).ok());
+  EXPECT_FALSE(ParseQuery("X) ", Symbols()).ok());
+  EXPECT_FALSE(ParseQuery("t(X, U)", Symbols()).ok());
+  // Pure scalar queries are rejected.
+  EXPECT_FALSE(ParseQuery("2", Symbols()).ok());
+}
+
+TEST(ParserTest, ParsedQueryEvaluatesLikeHandBuiltDag) {
+  auto q = ParseQuery("sum(nz(X) * (X - U %*% W)^2)", Symbols());
+  ASSERT_TRUE(q.ok());
+  DenseMatrix x = RandomSparse(20, 20, 0.1, 1, 1.0, 2.0).ToDense();
+  DenseMatrix u = RandomDense(20, 4, 2, 0.1, 0.9);
+  DenseMatrix w = RandomDense(4, 20, 3, 0.1, 0.9);
+  auto got = ReferenceEval(*q->dag, q->root,
+                           {{q->inputs.at("X"), x},
+                            {q->inputs.at("U"), u},
+                            {q->inputs.at("W"), w}});
+  ASSERT_TRUE(got.ok());
+  // Hand-computed oracle.
+  double expected = 0;
+  for (int i = 0; i < 20; ++i) {
+    for (int j = 0; j < 20; ++j) {
+      if (x(i, j) == 0.0) continue;
+      double dot = 0;
+      for (int k = 0; k < 4; ++k) dot += u(i, k) * w(k, j);
+      expected += (x(i, j) - dot) * (x(i, j) - dot);
+    }
+  }
+  EXPECT_NEAR((*got)(0, 0), expected, 1e-9);
+}
+
+TEST(ParserTest, GeneralPowerUsesBinaryPow) {
+  auto q = ParseQuery("X ^ 3", Symbols());
+  ASSERT_TRUE(q.ok()) << q.status();
+  EXPECT_EQ(ExprToString(*q->dag, q->root), "(X pow 3)");
+}
+
+}  // namespace
+}  // namespace fuseme

@@ -1,0 +1,53 @@
+#include "ir/printer.h"
+
+#include <gtest/gtest.h>
+
+#include "ir/expr.h"
+
+namespace fuseme {
+namespace {
+
+TEST(PrinterTest, DagToStringListsAllNodes) {
+  Dag dag;
+  Expr X = Expr::Input(&dag, "X", 4, 4, 4);
+  Expr U = Expr::Input(&dag, "U", 4, 4);
+  Expr out = (X * U).MarkOutput();
+  (void)out;
+  std::string s = DagToString(dag);
+  EXPECT_NE(s.find("v0: X"), std::string::npos);
+  EXPECT_NE(s.find("v1: U"), std::string::npos);
+  EXPECT_NE(s.find("b(*)"), std::string::npos);
+  EXPECT_NE(s.find("(output)"), std::string::npos);
+  EXPECT_NE(s.find("<- v0 v1"), std::string::npos);
+}
+
+TEST(PrinterTest, DotContainsEdges) {
+  Dag dag;
+  Expr X = Expr::Input(&dag, "X", 4, 4);
+  Expr out = Exp(X).MarkOutput();
+  (void)out;
+  std::string dot = DagToDot(dag);
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find("v0 -> v1"), std::string::npos);
+  EXPECT_NE(dot.find("shape=box"), std::string::npos);
+}
+
+TEST(PrinterTest, ExprRoundTripRendering) {
+  Dag dag;
+  Expr X = Expr::Input(&dag, "X", 6, 6, 6);
+  Expr U = Expr::Input(&dag, "U", 6, 2);
+  Expr V = Expr::Input(&dag, "V", 6, 2);
+  Expr q = X * Log(MatMul(U, T(V)) + 0.5);
+  EXPECT_EQ(ExprToString(dag, q.id()), "(X * log(((U x T(V)) + 0.5)))");
+}
+
+TEST(PrinterTest, AggregationNames) {
+  Dag dag;
+  Expr X = Expr::Input(&dag, "X", 6, 6);
+  EXPECT_EQ(ExprToString(dag, RowSums(X).id()), "rowsum(X)");
+  EXPECT_EQ(ExprToString(dag, ColSums(X).id()), "colsum(X)");
+  EXPECT_EQ(ExprToString(dag, Sum(X).id()), "sum(X)");
+}
+
+}  // namespace
+}  // namespace fuseme

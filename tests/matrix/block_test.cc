@@ -1,0 +1,86 @@
+#include "matrix/block.h"
+
+#include <gtest/gtest.h>
+
+#include "matrix/generators.h"
+
+namespace fuseme {
+namespace {
+
+TEST(BlockTest, ZeroBlock) {
+  Block b = Block::Zero(3, 4);
+  EXPECT_EQ(b.kind(), Block::Kind::kZero);
+  EXPECT_TRUE(b.is_zero());
+  EXPECT_TRUE(b.is_real());
+  EXPECT_EQ(b.nnz(), 0);
+  EXPECT_EQ(b.At(2, 3), 0.0);
+  EXPECT_TRUE(b.ToDense() == DenseMatrix(3, 4));
+}
+
+TEST(BlockTest, DenseBlockCountsNnz) {
+  DenseMatrix m(2, 2, {1, 0, 0, 4});
+  Block b = Block::FromDense(m);
+  EXPECT_EQ(b.kind(), Block::Kind::kDense);
+  EXPECT_EQ(b.nnz(), 2);
+  EXPECT_EQ(b.At(0, 0), 1.0);
+  EXPECT_EQ(b.At(0, 1), 0.0);
+  EXPECT_DOUBLE_EQ(b.density(), 0.5);
+}
+
+TEST(BlockTest, SparseBlock) {
+  SparseMatrix s = SparseMatrix::FromTriplets(3, 3, {{0, 0, 1.0},
+                                                     {2, 1, 2.0}});
+  Block b = Block::FromSparse(s);
+  EXPECT_EQ(b.kind(), Block::Kind::kSparse);
+  EXPECT_EQ(b.nnz(), 2);
+  EXPECT_EQ(b.At(2, 1), 2.0);
+  EXPECT_TRUE(b.ToDense() == s.ToDense());
+}
+
+TEST(BlockTest, MetaBlockCarriesDescriptor) {
+  Block b = Block::Meta(1000, 1000, 5000);
+  EXPECT_TRUE(b.is_meta());
+  EXPECT_FALSE(b.is_real());
+  EXPECT_EQ(b.rows(), 1000);
+  EXPECT_EQ(b.nnz(), 5000);
+  EXPECT_DOUBLE_EQ(b.density(), 0.005);
+}
+
+TEST(BlockTest, ConstantBlock) {
+  Block b = Block::Constant(2, 3, 7.0);
+  EXPECT_EQ(b.kind(), Block::Kind::kDense);
+  EXPECT_EQ(b.nnz(), 6);
+  EXPECT_EQ(b.At(1, 2), 7.0);
+  // Zero constant degrades to the zero representation.
+  EXPECT_TRUE(Block::Constant(2, 3, 0.0).is_zero());
+}
+
+TEST(BlockTest, SizeBytesDense) {
+  Block b = Block::FromDense(DenseMatrix(10, 10));
+  EXPECT_EQ(b.SizeBytes(), 800);
+}
+
+TEST(BlockTest, SizeBytesSparse) {
+  SparseMatrix s = SparseMatrix::FromTriplets(10, 10, {{0, 0, 1.0},
+                                                       {5, 5, 2.0}});
+  Block b = Block::FromSparse(s);
+  EXPECT_EQ(b.SizeBytes(), 16 * 2 + 8 * 11);
+}
+
+TEST(BlockTest, MetaSizePicksFormatByDensity) {
+  // Sparse descriptor: 1% density.
+  Block sparse_meta = Block::Meta(100, 100, 100);
+  EXPECT_EQ(sparse_meta.SizeBytes(), 16 * 100 + 8 * 101);
+  // Dense descriptor: above the storage threshold.
+  Block dense_meta = Block::Meta(100, 100, 5000);
+  EXPECT_EQ(dense_meta.SizeBytes(), 8 * 100 * 100);
+}
+
+TEST(BlockTest, CopyIsShallowAndCheap) {
+  Block a = Block::FromDense(RandomDense(50, 50, 1));
+  Block b = a;  // shared payload
+  EXPECT_EQ(&a.dense(), &b.dense());
+}
+
+}  // namespace
+}  // namespace fuseme

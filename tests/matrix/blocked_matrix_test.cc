@@ -1,0 +1,99 @@
+#include "matrix/blocked_matrix.h"
+
+#include <gtest/gtest.h>
+
+#include "matrix/generators.h"
+
+namespace fuseme {
+namespace {
+
+TEST(BlockedMatrixTest, GridShapeWithExactMultiple) {
+  BlockedMatrix m(8, 6, 2);
+  EXPECT_EQ(m.grid_rows(), 4);
+  EXPECT_EQ(m.grid_cols(), 3);
+  EXPECT_EQ(m.num_blocks(), 12);
+  EXPECT_EQ(m.TileRows(3), 2);
+  EXPECT_EQ(m.TileCols(2), 2);
+}
+
+TEST(BlockedMatrixTest, GridShapeWithRaggedEdge) {
+  BlockedMatrix m(7, 5, 3);
+  EXPECT_EQ(m.grid_rows(), 3);
+  EXPECT_EQ(m.grid_cols(), 2);
+  EXPECT_EQ(m.TileRows(0), 3);
+  EXPECT_EQ(m.TileRows(2), 1);  // 7 = 3+3+1
+  EXPECT_EQ(m.TileCols(1), 2);  // 5 = 3+2
+}
+
+TEST(BlockedMatrixTest, FreshMatrixIsAllZero) {
+  BlockedMatrix m(4, 4, 2);
+  EXPECT_EQ(m.nnz(), 0);
+  EXPECT_TRUE(m.IsReal());
+  for (std::int64_t bi = 0; bi < m.grid_rows(); ++bi) {
+    for (std::int64_t bj = 0; bj < m.grid_cols(); ++bj) {
+      EXPECT_TRUE(m.block(bi, bj).is_zero());
+    }
+  }
+}
+
+TEST(BlockedMatrixTest, DenseRoundTrip) {
+  DenseMatrix d = RandomDense(7, 9, /*seed=*/2);
+  BlockedMatrix m = BlockedMatrix::FromDense(d, 4);
+  EXPECT_TRUE(m.ToDense() == d);
+  EXPECT_EQ(m.nnz(), d.CountNonZeros());
+}
+
+TEST(BlockedMatrixTest, SparseRoundTrip) {
+  SparseMatrix s = RandomSparse(10, 13, 0.15, /*seed=*/3);
+  BlockedMatrix m = BlockedMatrix::FromSparse(s, 4);
+  EXPECT_TRUE(m.ToDense() == s.ToDense());
+  EXPECT_EQ(m.nnz(), s.nnz());
+}
+
+TEST(BlockedMatrixTest, SparseTilesAreSparseBlocks) {
+  SparseMatrix s = RandomSparse(20, 20, 0.02, /*seed=*/4);
+  BlockedMatrix m = BlockedMatrix::FromSparse(s, 10);
+  for (std::int64_t bi = 0; bi < m.grid_rows(); ++bi) {
+    for (std::int64_t bj = 0; bj < m.grid_cols(); ++bj) {
+      const Block& b = m.block(bi, bj);
+      EXPECT_TRUE(b.kind() == Block::Kind::kSparse ||
+                  b.kind() == Block::Kind::kZero);
+    }
+  }
+}
+
+TEST(BlockedMatrixTest, MetaMatrixDistributesNnz) {
+  BlockedMatrix m = BlockedMatrix::MakeMeta(100, 100, 1000, 10);
+  EXPECT_FALSE(m.IsReal());
+  EXPECT_NEAR(static_cast<double>(m.nnz()), 1000.0, 100.0);
+  EXPECT_EQ(m.grid_rows(), 10);
+  for (std::int64_t bi = 0; bi < m.grid_rows(); ++bi) {
+    for (std::int64_t bj = 0; bj < m.grid_cols(); ++bj) {
+      EXPECT_TRUE(m.block(bi, bj).is_meta());
+    }
+  }
+}
+
+TEST(BlockedMatrixTest, SetBlockChecksTileShape) {
+  BlockedMatrix m(4, 4, 2);
+  m.set_block(0, 0, Block::Constant(2, 2, 1.0));
+  EXPECT_EQ(m.nnz(), 4);
+  EXPECT_DEATH(m.set_block(0, 1, Block::Constant(3, 2, 1.0)), "");
+}
+
+TEST(BlockedMatrixTest, SizeBytesSumsTiles) {
+  BlockedMatrix m(4, 4, 2);
+  EXPECT_EQ(m.SizeBytes(), 4 * 16);  // four zero tiles
+  m.set_block(0, 0, Block::Constant(2, 2, 1.0));
+  EXPECT_EQ(m.SizeBytes(), 3 * 16 + 8 * 4);
+}
+
+TEST(BlockedMatrixTest, BlockSizeOneIsElementGrid) {
+  DenseMatrix d = RandomDense(3, 3, /*seed=*/5);
+  BlockedMatrix m = BlockedMatrix::FromDense(d, 1);
+  EXPECT_EQ(m.num_blocks(), 9);
+  EXPECT_TRUE(m.ToDense() == d);
+}
+
+}  // namespace
+}  // namespace fuseme

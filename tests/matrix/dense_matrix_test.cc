@@ -1,0 +1,91 @@
+#include "matrix/dense_matrix.h"
+
+#include <gtest/gtest.h>
+
+#include "matrix/generators.h"
+
+namespace fuseme {
+namespace {
+
+TEST(DenseMatrixTest, DefaultIsEmpty) {
+  DenseMatrix m;
+  EXPECT_EQ(m.rows(), 0);
+  EXPECT_EQ(m.cols(), 0);
+  EXPECT_EQ(m.size(), 0);
+}
+
+TEST(DenseMatrixTest, ConstructZeroInitialized) {
+  DenseMatrix m(3, 4);
+  EXPECT_EQ(m.rows(), 3);
+  EXPECT_EQ(m.cols(), 4);
+  for (std::int64_t i = 0; i < 3; ++i) {
+    for (std::int64_t j = 0; j < 4; ++j) EXPECT_EQ(m(i, j), 0.0);
+  }
+  EXPECT_EQ(m.CountNonZeros(), 0);
+}
+
+TEST(DenseMatrixTest, ElementAccessRowMajor) {
+  DenseMatrix m(2, 3, {1, 2, 3, 4, 5, 6});
+  EXPECT_EQ(m(0, 0), 1);
+  EXPECT_EQ(m(0, 2), 3);
+  EXPECT_EQ(m(1, 0), 4);
+  EXPECT_EQ(m(1, 2), 6);
+  EXPECT_EQ(m.row(1)[1], 5);
+}
+
+TEST(DenseMatrixTest, FillAndCountNonZeros) {
+  DenseMatrix m(4, 4);
+  m.Fill(2.5);
+  EXPECT_EQ(m.CountNonZeros(), 16);
+  m(1, 1) = 0.0;
+  EXPECT_EQ(m.CountNonZeros(), 15);
+}
+
+TEST(DenseMatrixTest, Transposed) {
+  DenseMatrix m(2, 3, {1, 2, 3, 4, 5, 6});
+  DenseMatrix t = m.Transposed();
+  EXPECT_EQ(t.rows(), 3);
+  EXPECT_EQ(t.cols(), 2);
+  for (std::int64_t i = 0; i < 2; ++i) {
+    for (std::int64_t j = 0; j < 3; ++j) EXPECT_EQ(t(j, i), m(i, j));
+  }
+}
+
+TEST(DenseMatrixTest, TransposeIsInvolution) {
+  DenseMatrix m = RandomDense(7, 5, /*seed=*/1);
+  EXPECT_EQ(m.Transposed().Transposed(), m);
+}
+
+TEST(DenseMatrixTest, MaxAbsDiff) {
+  DenseMatrix a(2, 2, {1, 2, 3, 4});
+  DenseMatrix b(2, 2, {1, 2.5, 3, 3});
+  EXPECT_DOUBLE_EQ(DenseMatrix::MaxAbsDiff(a, b), 1.0);
+  EXPECT_DOUBLE_EQ(DenseMatrix::MaxAbsDiff(a, a), 0.0);
+}
+
+TEST(DenseMatrixTest, EqualityIsDeep) {
+  DenseMatrix a(2, 2, {1, 2, 3, 4});
+  DenseMatrix b(2, 2, {1, 2, 3, 4});
+  DenseMatrix c(2, 2, {1, 2, 3, 5});
+  EXPECT_TRUE(a == b);
+  EXPECT_FALSE(a == c);
+}
+
+TEST(DenseMatrixTest, RandomDenseIsDeterministicPerSeed) {
+  DenseMatrix a = RandomDense(5, 5, 42);
+  DenseMatrix b = RandomDense(5, 5, 42);
+  DenseMatrix c = RandomDense(5, 5, 43);
+  EXPECT_TRUE(a == b);
+  EXPECT_FALSE(a == c);
+}
+
+TEST(DenseMatrixTest, RandomDenseRespectsRange) {
+  DenseMatrix m = RandomDense(10, 10, 7, /*lo=*/2.0, /*hi=*/3.0);
+  for (std::int64_t i = 0; i < m.size(); ++i) {
+    EXPECT_GE(m.data()[i], 2.0);
+    EXPECT_LE(m.data()[i], 3.0);
+  }
+}
+
+}  // namespace
+}  // namespace fuseme

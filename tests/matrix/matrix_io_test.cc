@@ -1,0 +1,89 @@
+#include "matrix/matrix_io.h"
+
+#include <unistd.h>
+#include <cstdio>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "matrix/generators.h"
+
+namespace fuseme {
+namespace {
+
+std::string TempPath(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+TEST(MatrixIoTest, DenseRoundTrip) {
+  BlockedMatrix m = RandomDenseBlocked(23, 17, 8, /*seed=*/1);
+  const std::string path = TempPath("dense.fmem");
+  ASSERT_TRUE(SaveMatrix(m, path).ok());
+  auto loaded = LoadMatrix(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded->rows(), 23);
+  EXPECT_EQ(loaded->cols(), 17);
+  EXPECT_EQ(loaded->block_size(), 8);
+  EXPECT_TRUE(loaded->ToDense() == m.ToDense());
+}
+
+TEST(MatrixIoTest, SparseRoundTripPreservesRepresentation) {
+  BlockedMatrix m = RandomSparseBlocked(40, 40, 0.05, 8, /*seed=*/2);
+  const std::string path = TempPath("sparse.fmem");
+  ASSERT_TRUE(SaveMatrix(m, path).ok());
+  auto loaded = LoadMatrix(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_TRUE(loaded->ToDense() == m.ToDense());
+  EXPECT_EQ(loaded->nnz(), m.nnz());
+  // Zero tiles stay implicit (kZero) and sparse tiles stay sparse.
+  for (std::int64_t bi = 0; bi < m.grid_rows(); ++bi) {
+    for (std::int64_t bj = 0; bj < m.grid_cols(); ++bj) {
+      EXPECT_EQ(loaded->block(bi, bj).kind(), m.block(bi, bj).kind());
+    }
+  }
+}
+
+TEST(MatrixIoTest, AllZeroMatrix) {
+  BlockedMatrix m(16, 16, 4);
+  const std::string path = TempPath("zero.fmem");
+  ASSERT_TRUE(SaveMatrix(m, path).ok());
+  auto loaded = LoadMatrix(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->nnz(), 0);
+  EXPECT_EQ(loaded->num_blocks(), 16);
+}
+
+TEST(MatrixIoTest, MetaMatrixRejected) {
+  BlockedMatrix meta = BlockedMatrix::MakeMeta(100, 100, 50, 10);
+  EXPECT_TRUE(
+      SaveMatrix(meta, TempPath("meta.fmem")).IsInvalidArgument());
+}
+
+TEST(MatrixIoTest, MissingFileRejected) {
+  EXPECT_TRUE(LoadMatrix(TempPath("nope.fmem")).status().IsInvalidArgument());
+}
+
+TEST(MatrixIoTest, GarbageFileRejected) {
+  const std::string path = TempPath("garbage.fmem");
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  std::fputs("this is not a matrix", f);
+  std::fclose(f);
+  EXPECT_TRUE(LoadMatrix(path).status().IsInvalidArgument());
+}
+
+TEST(MatrixIoTest, TruncatedFileRejected) {
+  BlockedMatrix m = RandomDenseBlocked(23, 17, 8, /*seed=*/3);
+  const std::string path = TempPath("trunc.fmem");
+  ASSERT_TRUE(SaveMatrix(m, path).ok());
+  // Truncate to half.
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  std::fseek(f, 0, SEEK_END);
+  long size = std::ftell(f);
+  std::fclose(f);
+  ASSERT_EQ(truncate(path.c_str(), size / 2), 0);
+  EXPECT_FALSE(LoadMatrix(path).ok());
+}
+
+}  // namespace
+}  // namespace fuseme

@@ -1,0 +1,110 @@
+#include "matrix/sparse_matrix.h"
+
+#include <gtest/gtest.h>
+
+#include "matrix/generators.h"
+
+namespace fuseme {
+namespace {
+
+TEST(SparseMatrixTest, EmptyMatrix) {
+  SparseMatrix m(3, 4);
+  EXPECT_EQ(m.rows(), 3);
+  EXPECT_EQ(m.cols(), 4);
+  EXPECT_EQ(m.nnz(), 0);
+  EXPECT_EQ(m.At(1, 2), 0.0);
+}
+
+TEST(SparseMatrixTest, FromTripletsBasic) {
+  SparseMatrix m = SparseMatrix::FromTriplets(3, 3, {{0, 1, 2.0},
+                                                     {2, 2, 5.0},
+                                                     {1, 0, -1.0}});
+  EXPECT_EQ(m.nnz(), 3);
+  EXPECT_EQ(m.At(0, 1), 2.0);
+  EXPECT_EQ(m.At(1, 0), -1.0);
+  EXPECT_EQ(m.At(2, 2), 5.0);
+  EXPECT_EQ(m.At(0, 0), 0.0);
+}
+
+TEST(SparseMatrixTest, FromTripletsSumsDuplicates) {
+  SparseMatrix m = SparseMatrix::FromTriplets(2, 2, {{0, 0, 1.0},
+                                                     {0, 0, 2.0},
+                                                     {1, 1, 3.0}});
+  EXPECT_EQ(m.nnz(), 2);
+  EXPECT_EQ(m.At(0, 0), 3.0);
+  EXPECT_EQ(m.At(1, 1), 3.0);
+}
+
+TEST(SparseMatrixTest, FromTripletsUnsortedInput) {
+  SparseMatrix m = SparseMatrix::FromTriplets(
+      3, 3, {{2, 0, 1.0}, {0, 2, 2.0}, {1, 1, 3.0}, {0, 0, 4.0}});
+  EXPECT_EQ(m.At(0, 0), 4.0);
+  EXPECT_EQ(m.At(0, 2), 2.0);
+  EXPECT_EQ(m.At(1, 1), 3.0);
+  EXPECT_EQ(m.At(2, 0), 1.0);
+  // CSR invariant: row_ptr monotone, col_idx sorted within rows.
+  for (std::size_t r = 1; r < m.row_ptr().size(); ++r) {
+    EXPECT_GE(m.row_ptr()[r], m.row_ptr()[r - 1]);
+  }
+  for (std::int64_t r = 0; r < m.rows(); ++r) {
+    for (std::int64_t p = m.row_ptr()[r] + 1; p < m.row_ptr()[r + 1]; ++p) {
+      EXPECT_LT(m.col_idx()[p - 1], m.col_idx()[p]);
+    }
+  }
+}
+
+TEST(SparseMatrixTest, DenseRoundTrip) {
+  DenseMatrix d(3, 4);
+  d(0, 1) = 2.0;
+  d(2, 3) = -7.0;
+  d(1, 0) = 0.5;
+  SparseMatrix s = SparseMatrix::FromDense(d);
+  EXPECT_EQ(s.nnz(), 3);
+  EXPECT_TRUE(s.ToDense() == d);
+}
+
+TEST(SparseMatrixTest, TransposedMatchesDenseTranspose) {
+  SparseMatrix s = RandomSparse(8, 5, 0.3, /*seed=*/3);
+  DenseMatrix expected = s.ToDense().Transposed();
+  SparseMatrix t = s.Transposed();
+  EXPECT_EQ(t.rows(), 5);
+  EXPECT_EQ(t.cols(), 8);
+  EXPECT_TRUE(t.ToDense() == expected);
+}
+
+TEST(SparseMatrixTest, TransposeIsInvolution) {
+  SparseMatrix s = RandomSparse(6, 9, 0.25, /*seed=*/11);
+  EXPECT_TRUE(s.Transposed().Transposed().ToDense() == s.ToDense());
+}
+
+TEST(SparseMatrixTest, ForEachVisitsRowMajor) {
+  SparseMatrix m = SparseMatrix::FromTriplets(
+      3, 3, {{1, 2, 1.0}, {0, 1, 2.0}, {1, 0, 3.0}});
+  std::vector<std::pair<std::int64_t, std::int64_t>> visited;
+  m.ForEach([&](std::int64_t i, std::int64_t j, double) {
+    visited.emplace_back(i, j);
+  });
+  ASSERT_EQ(visited.size(), 3u);
+  EXPECT_EQ(visited[0], (std::pair<std::int64_t, std::int64_t>{0, 1}));
+  EXPECT_EQ(visited[1], (std::pair<std::int64_t, std::int64_t>{1, 0}));
+  EXPECT_EQ(visited[2], (std::pair<std::int64_t, std::int64_t>{1, 2}));
+}
+
+TEST(SparseMatrixTest, DensityMatchesRequestApproximately) {
+  SparseMatrix s = RandomSparse(100, 100, 0.1, /*seed=*/5);
+  EXPECT_NEAR(s.density(), 0.1, 0.03);
+}
+
+TEST(SparseMatrixTest, RowWithNoEntries) {
+  SparseMatrix m = SparseMatrix::FromTriplets(4, 2, {{0, 0, 1.0},
+                                                     {3, 1, 2.0}});
+  EXPECT_EQ(m.At(1, 0), 0.0);
+  EXPECT_EQ(m.At(2, 1), 0.0);
+  EXPECT_EQ(m.row_ptr()[1], 1);
+  EXPECT_EQ(m.row_ptr()[2], 1);
+  EXPECT_EQ(m.row_ptr()[3], 1);
+  EXPECT_EQ(m.row_ptr()[4], 2);
+}
+
+}  // namespace
+}  // namespace fuseme

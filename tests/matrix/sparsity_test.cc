@@ -1,0 +1,90 @@
+#include "matrix/sparsity.h"
+
+#include <gtest/gtest.h>
+
+#include "matrix/block_ops.h"
+#include "matrix/generators.h"
+
+namespace fuseme {
+namespace {
+
+TEST(SparsityTest, EwiseMulIntersectsSupports) {
+  // 10x10, both operands half full: expect ~25 nnz.
+  EXPECT_EQ(EstimateEwiseBinaryNnz(BinaryFn::kMul, 10, 10, 50, 50), 25);
+  // Disjointness isn't modeled; zero operand still gives zero.
+  EXPECT_EQ(EstimateEwiseBinaryNnz(BinaryFn::kMul, 10, 10, 0, 50), 0);
+}
+
+TEST(SparsityTest, EwiseAddUnionsSupports) {
+  EXPECT_EQ(EstimateEwiseBinaryNnz(BinaryFn::kAdd, 10, 10, 50, 50), 75);
+  EXPECT_EQ(EstimateEwiseBinaryNnz(BinaryFn::kAdd, 10, 10, 100, 100), 100);
+}
+
+TEST(SparsityTest, EwiseDivIsDense) {
+  EXPECT_EQ(EstimateEwiseBinaryNnz(BinaryFn::kDiv, 10, 10, 5, 5), 100);
+}
+
+TEST(SparsityTest, ScalarMulPreservesSparsity) {
+  EXPECT_EQ(
+      EstimateEwiseScalarNnz(BinaryFn::kMul, 10, 10, 30, 2.0, false), 30);
+  // x + 1 destroys sparsity.
+  EXPECT_EQ(
+      EstimateEwiseScalarNnz(BinaryFn::kAdd, 10, 10, 30, 1.0, false), 100);
+  // x + 0 preserves it.
+  EXPECT_EQ(
+      EstimateEwiseScalarNnz(BinaryFn::kAdd, 10, 10, 30, 0.0, false), 30);
+}
+
+TEST(SparsityTest, UnaryFollowsZeroPreservation) {
+  EXPECT_EQ(EstimateUnaryNnz(UnaryFn::kSquare, 10, 10, 30), 30);
+  EXPECT_EQ(EstimateUnaryNnz(UnaryFn::kExp, 10, 10, 30), 100);
+}
+
+TEST(SparsityTest, MatMulDenseTimesDenseIsDense) {
+  EXPECT_EQ(EstimateMatMulNnz(10, 10, 10, 100, 100), 100);
+}
+
+TEST(SparsityTest, MatMulZeroOperandIsZero) {
+  EXPECT_EQ(EstimateMatMulNnz(10, 10, 10, 0, 100), 0);
+}
+
+TEST(SparsityTest, MatMulSparseEstimateIsBetweenBounds) {
+  // dA = dB = 0.1, k = 100: output density = 1-(1-0.01)^100 ≈ 0.634.
+  std::int64_t nnz = EstimateMatMulNnz(100, 100, 100, 1000, 1000);
+  EXPECT_GT(nnz, 6000);
+  EXPECT_LT(nnz, 6700);
+}
+
+TEST(SparsityTest, MatMulFlops) {
+  // Dense: 2*m*k*n.
+  EXPECT_EQ(EstimateMatMulFlops(10, 20, 30, 200, 600), 2 * 10 * 20 * 30);
+  // Sparse A at 10%: 10% of the dense flops.
+  EXPECT_EQ(EstimateMatMulFlops(10, 20, 30, 20, 600), 2 * 10 * 20 * 30 / 10);
+}
+
+// Property check: the estimator tracks reality on random uniform inputs.
+class MatMulNnzProperty
+    : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(MatMulNnzProperty, EstimateIsCloseToActual) {
+  auto [da, db] = GetParam();
+  const std::int64_t n = 60;
+  SparseMatrix a = RandomSparse(n, n, da, /*seed=*/100, 1.0, 2.0);
+  SparseMatrix b = RandomSparse(n, n, db, /*seed=*/200, 1.0, 2.0);
+  auto product = MatMul(Block::FromSparse(a), Block::FromSparse(b));
+  ASSERT_TRUE(product.ok());
+  std::int64_t estimate = EstimateMatMulNnz(n, n, n, a.nnz(), b.nnz());
+  // Within 15% of the cell count (uniform independence approximation).
+  EXPECT_NEAR(static_cast<double>(estimate),
+              static_cast<double>(product->nnz()), 0.15 * n * n + 10);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Densities, MatMulNnzProperty,
+    ::testing::Values(std::make_tuple(0.01, 0.01),
+                      std::make_tuple(0.05, 0.05),
+                      std::make_tuple(0.1, 0.2),
+                      std::make_tuple(0.3, 0.3)));
+
+}  // namespace
+}  // namespace fuseme

@@ -1,0 +1,189 @@
+// Broad equivalence sweeps: the CFO must agree with the single-node
+// oracle across block sizes (including sizes that don't divide the
+// dimensions), cuboid shapes, densities, and operators — the paper's four
+// fusion templates each get a sweep.
+
+#include <gtest/gtest.h>
+
+#include "engine/reference.h"
+#include "matrix/generators.h"
+#include "ops/fused_operator.h"
+#include "workloads/queries.h"
+
+namespace fuseme {
+namespace {
+
+ClusterConfig ClusterFor(std::int64_t block_size) {
+  ClusterConfig config;
+  config.num_nodes = 2;
+  config.tasks_per_node = 3;
+  config.block_size = block_size;
+  config.task_memory_budget = 1LL << 40;
+  return config;
+}
+
+struct Bound {
+  std::map<NodeId, BlockedMatrix> blocked;
+  std::map<NodeId, DenseMatrix> dense;
+  std::map<NodeId, DistributedMatrix> dist;
+
+  FusedInputs Inputs() {
+    FusedInputs out;
+    for (auto& [id, m] : blocked) {
+      dist.emplace(id,
+                   DistributedMatrix::Create(m, PartitionScheme::kGrid, 6));
+    }
+    for (auto& [id, dm] : dist) out[id] = &dm;
+    return out;
+  }
+};
+
+// --- Cell template across block sizes -------------------------------------
+class CellSweep : public ::testing::TestWithParam<std::int64_t> {};
+
+TEST_P(CellSweep, XMulUDivV) {
+  const std::int64_t bs = GetParam();
+  Dag dag;
+  NodeId x = *dag.AddInput("X", 21, 19, 80);
+  NodeId u = *dag.AddInput("U", 21, 19);
+  NodeId v = *dag.AddInput("V", 21, 19);
+  NodeId mul = *dag.AddBinary(BinaryFn::kMul, x, u);
+  NodeId div = *dag.AddBinary(BinaryFn::kDiv, mul, v);
+  Bound bound;
+  bound.dense[x] = RandomSparse(21, 19, 0.2, 1, 1.0, 2.0).ToDense();
+  bound.dense[u] = RandomDense(21, 19, 2, 0.5, 1.5);
+  bound.dense[v] = RandomDense(21, 19, 3, 0.5, 1.5);
+  for (auto& [id, d] : bound.dense) {
+    bound.blocked[id] = BlockedMatrix::FromDense(d, bs);
+  }
+  auto expected = ReferenceEval(dag, div, bound.dense);
+  ASSERT_TRUE(expected.ok());
+
+  PartialPlan plan(&dag, {mul, div}, div);
+  StageContext ctx("cell", ClusterFor(bs));
+  auto result = CuboidFusedOperator::Execute(plan, Cuboid{3, 2, 1},
+                                             bound.Inputs(), &ctx);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_LE(DenseMatrix::MaxAbsDiff(result->blocks().ToDense(), *expected),
+            1e-10);
+}
+
+INSTANTIATE_TEST_SUITE_P(BlockSizes, CellSweep,
+                         ::testing::Values(2, 3, 5, 8, 16, 32));
+
+// --- Row template (PCA) across block sizes --------------------------------
+class RowSweep : public ::testing::TestWithParam<std::int64_t> {};
+
+TEST_P(RowSweep, PcaPattern) {
+  const std::int64_t bs = GetParam();
+  PcaPattern q = BuildPcaPattern(26, 14);
+  Bound bound;
+  bound.dense[q.X] = RandomDense(26, 14, 4, 0.1, 1.0);
+  bound.dense[q.S] = RandomDense(14, 1, 5, 0.1, 1.0);
+  for (auto& [id, d] : bound.dense) {
+    bound.blocked[id] = BlockedMatrix::FromDense(d, bs);
+  }
+  auto expected = ReferenceEval(q.dag, q.mm2, bound.dense);
+  ASSERT_TRUE(expected.ok());
+
+  PartialPlan plan(&q.dag, {q.mm1, q.t, q.mm2}, q.mm2);
+  StageContext ctx("row", ClusterFor(bs));
+  auto result = CuboidFusedOperator::Execute(plan, Cuboid{1, 2, 1},
+                                             bound.Inputs(), &ctx);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_LE(DenseMatrix::MaxAbsDiff(result->blocks().ToDense(), *expected),
+            1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(BlockSizes, RowSweep,
+                         ::testing::Values(3, 5, 8, 16));
+
+// --- Outer template across densities and cuboids ---------------------------
+class OuterSweep
+    : public ::testing::TestWithParam<std::tuple<double, int, int, int>> {};
+
+TEST_P(OuterSweep, MaskedMatMul) {
+  auto [density, p, q_, r] = GetParam();
+  const std::int64_t bs = 8;
+  // (U×V) * X — Fig. 2(c).
+  Dag dag;
+  NodeId x = *dag.AddInput(
+      "X", 24, 20, static_cast<std::int64_t>(24 * 20 * density));
+  NodeId u = *dag.AddInput("U", 24, 18);
+  NodeId v = *dag.AddInput("V", 18, 20);
+  NodeId mm = *dag.AddMatMul(u, v);
+  NodeId mul = *dag.AddBinary(BinaryFn::kMul, mm, x);
+  Bound bound;
+  bound.dense[x] = RandomSparse(24, 20, density, 6, 1.0, 2.0).ToDense();
+  bound.dense[u] = RandomDense(24, 18, 7, 0.5, 1.5);
+  bound.dense[v] = RandomDense(18, 20, 8, 0.5, 1.5);
+  bound.blocked[x] =
+      BlockedMatrix::FromSparse(SparseMatrix::FromDense(bound.dense[x]), bs);
+  bound.blocked[u] = BlockedMatrix::FromDense(bound.dense[u], bs);
+  bound.blocked[v] = BlockedMatrix::FromDense(bound.dense[v], bs);
+  auto expected = ReferenceEval(dag, mul, bound.dense);
+  ASSERT_TRUE(expected.ok());
+
+  PartialPlan plan(&dag, {mm, mul}, mul);
+  StageContext ctx("outer", ClusterFor(bs));
+  auto result = CuboidFusedOperator::Execute(
+      plan, Cuboid{p, q_, r}, bound.Inputs(), &ctx);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_LE(DenseMatrix::MaxAbsDiff(result->blocks().ToDense(), *expected),
+            1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DensityAndCuboid, OuterSweep,
+    ::testing::Values(std::make_tuple(0.02, 1, 1, 1),
+                      std::make_tuple(0.02, 2, 2, 2),
+                      std::make_tuple(0.1, 3, 2, 1),
+                      std::make_tuple(0.1, 1, 1, 3),
+                      std::make_tuple(0.6, 2, 2, 1),   // dense: no driver
+                      std::make_tuple(0.6, 2, 1, 2)));
+
+// --- Aggregation roots across cuboids and axes -----------------------------
+class AggSweep
+    : public ::testing::TestWithParam<std::tuple<AggAxis, int, int>> {};
+
+TEST_P(AggSweep, SumOfMaskedProduct) {
+  auto [axis, p, q_] = GetParam();
+  const std::int64_t bs = 8;
+  Dag dag;
+  NodeId x = *dag.AddInput("X", 24, 20, 96);
+  NodeId u = *dag.AddInput("U", 24, 6);
+  NodeId v = *dag.AddInput("V", 6, 20);
+  NodeId mm = *dag.AddMatMul(u, v);
+  NodeId mul = *dag.AddBinary(BinaryFn::kMul, x, mm);
+  NodeId agg = *dag.AddUnaryAgg(AggFn::kSum, axis, mul);
+  Bound bound;
+  bound.dense[x] = RandomSparse(24, 20, 0.2, 9, 1.0, 2.0).ToDense();
+  bound.dense[u] = RandomDense(24, 6, 10, 0.5, 1.5);
+  bound.dense[v] = RandomDense(6, 20, 11, 0.5, 1.5);
+  bound.blocked[x] =
+      BlockedMatrix::FromSparse(SparseMatrix::FromDense(bound.dense[x]), bs);
+  bound.blocked[u] = BlockedMatrix::FromDense(bound.dense[u], bs);
+  bound.blocked[v] = BlockedMatrix::FromDense(bound.dense[v], bs);
+  auto expected = ReferenceEval(dag, agg, bound.dense);
+  ASSERT_TRUE(expected.ok());
+
+  PartialPlan plan(&dag, {mm, mul, agg}, agg);
+  StageContext ctx("agg", ClusterFor(bs));
+  auto result = CuboidFusedOperator::Execute(plan, Cuboid{p, q_, 1},
+                                             bound.Inputs(), &ctx);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_LE(DenseMatrix::MaxAbsDiff(result->blocks().ToDense(), *expected),
+            1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AxesAndCuboids, AggSweep,
+    ::testing::Values(std::make_tuple(AggAxis::kAll, 1, 1),
+                      std::make_tuple(AggAxis::kAll, 3, 2),
+                      std::make_tuple(AggAxis::kRow, 2, 2),
+                      std::make_tuple(AggAxis::kRow, 3, 1),
+                      std::make_tuple(AggAxis::kCol, 2, 2),
+                      std::make_tuple(AggAxis::kCol, 1, 3)));
+
+}  // namespace
+}  // namespace fuseme

@@ -1,0 +1,89 @@
+#include "runtime/distributed_matrix.h"
+
+#include <gtest/gtest.h>
+
+#include "matrix/generators.h"
+
+namespace fuseme {
+namespace {
+
+TEST(DistributedMatrixTest, RowSchemeGroupsTileRows) {
+  BlockedMatrix m(8, 8, 2);  // 4x4 grid
+  auto dist = DistributedMatrix::Create(m, PartitionScheme::kRow, 3);
+  for (std::int64_t bj = 0; bj < 4; ++bj) {
+    EXPECT_EQ(dist.Owner(0, bj), 0);
+    EXPECT_EQ(dist.Owner(1, bj), 1);
+    EXPECT_EQ(dist.Owner(2, bj), 2);
+    EXPECT_EQ(dist.Owner(3, bj), 0);  // wraps
+  }
+}
+
+TEST(DistributedMatrixTest, ColSchemeGroupsTileCols) {
+  BlockedMatrix m(8, 8, 2);
+  auto dist = DistributedMatrix::Create(m, PartitionScheme::kCol, 4);
+  for (std::int64_t bi = 0; bi < 4; ++bi) {
+    for (std::int64_t bj = 0; bj < 4; ++bj) {
+      EXPECT_EQ(dist.Owner(bi, bj), bj);
+    }
+  }
+}
+
+TEST(DistributedMatrixTest, GridSchemeRoundRobins) {
+  BlockedMatrix m(4, 4, 2);  // 2x2 grid
+  auto dist = DistributedMatrix::Create(m, PartitionScheme::kGrid, 3);
+  EXPECT_EQ(dist.Owner(0, 0), 0);
+  EXPECT_EQ(dist.Owner(0, 1), 1);
+  EXPECT_EQ(dist.Owner(1, 0), 2);
+  EXPECT_EQ(dist.Owner(1, 1), 0);
+}
+
+TEST(DistributedMatrixTest, ActiveTasksIgnoresEmptyTiles) {
+  // Only one tile non-zero -> only its owner is active.
+  BlockedMatrix m(4, 4, 2);
+  m.set_block(1, 1, Block::Constant(2, 2, 1.0));
+  auto dist = DistributedMatrix::Create(m, PartitionScheme::kGrid, 4);
+  EXPECT_EQ(dist.NumActiveTasks(), 1);
+}
+
+TEST(DistributedMatrixTest, MetaTilesAreActive) {
+  BlockedMatrix m = BlockedMatrix::MakeMeta(4, 4, 8, 2);
+  auto dist = DistributedMatrix::Create(m, PartitionScheme::kGrid, 2);
+  EXPECT_EQ(dist.NumActiveTasks(), 2);
+}
+
+TEST(SparkPartitionsTest, SmallMatrixOnePartition) {
+  EXPECT_EQ(EstimateSparkPartitions(1024, 100), 1);
+}
+
+TEST(SparkPartitionsTest, LargeMatrixSplitsBy16MB) {
+  // 16 MB effective partition payload (see distributed_matrix.cc).
+  const std::int64_t bytes = 512LL * 1024 * 1024;  // 512 MB
+  EXPECT_EQ(EstimateSparkPartitions(bytes, 1000), 32);
+}
+
+TEST(SparkPartitionsTest, PaperCalibrationPoint) {
+  // §6.2: a 100K×100K matrix at density 0.001 repartitions into ~13
+  // partitions.  16·nnz bytes = 160 MB -> 10 partitions (same regime).
+  const std::int64_t nnz = 10000000;
+  std::int64_t parts = EstimateSparkPartitions(16 * nnz, 100 * 100);
+  EXPECT_GE(parts, 5);
+  EXPECT_LE(parts, 20);
+}
+
+TEST(SparkPartitionsTest, CappedByBlockCount) {
+  const std::int64_t bytes = 100LL * 1024 * 1024 * 1024;
+  EXPECT_EQ(EstimateSparkPartitions(bytes, 10), 10);
+}
+
+TEST(SparkPartitionsTest, SparseMatrixFewPartitions) {
+  // The Fig. 12(a) situation: X is 100K x 100K at density 0.001 -> ~1.6 GB
+  // sparse -> ~13 partitions, far fewer than the 100x100 block grid.
+  const std::int64_t nnz = static_cast<std::int64_t>(0.001 * 1e10);
+  const std::int64_t bytes = 16 * nnz;
+  std::int64_t parts = EstimateSparkPartitions(bytes, 100 * 100);
+  EXPECT_GT(parts, 1);
+  EXPECT_LT(parts, 100);
+}
+
+}  // namespace
+}  // namespace fuseme

@@ -1,0 +1,116 @@
+#include "runtime/simulator.h"
+
+#include <gtest/gtest.h>
+
+namespace fuseme {
+namespace {
+
+ClusterConfig TestCluster() {
+  ClusterConfig config;
+  config.num_nodes = 2;
+  config.tasks_per_node = 4;
+  config.net_bandwidth = 1000.0;       // 1000 B/s
+  config.compute_bandwidth = 8000.0;   // per node -> 2000 flops/s per task
+  config.task_launch_overhead = 0.0;
+  config.shuffle_cpu_factor = 0.0;
+  config.timeout_seconds = 1e9;
+  return config;
+}
+
+StageStats MakeStage(int tasks, std::int64_t bytes, std::int64_t flops) {
+  StageStats s;
+  s.label = "s";
+  s.num_tasks = tasks;
+  s.consolidation_bytes = bytes;
+  s.flops = flops;
+  return s;
+}
+
+TEST(SimulatorTest, NetworkBoundStage) {
+  Simulator sim(TestCluster());
+  // 8 tasks on 2 nodes: 2000 B/s aggregate network.  4000 bytes -> 2s.
+  // Compute: 8000 flops over 8 slots*2000 flops/s = 0.5s. Net dominates.
+  double t = sim.EstimateStageSeconds(MakeStage(8, 4000, 8000));
+  EXPECT_DOUBLE_EQ(t, 2.0);
+}
+
+TEST(SimulatorTest, ComputeBoundStage) {
+  Simulator sim(TestCluster());
+  // 160000 flops over 8 slots * 2000 = 10s; network 4000B/2000Bps = 2s.
+  double t = sim.EstimateStageSeconds(MakeStage(8, 4000, 160000));
+  EXPECT_DOUBLE_EQ(t, 10.0);
+}
+
+TEST(SimulatorTest, LimitedParallelismUsesFewerSlots) {
+  Simulator sim(TestCluster());
+  // 2 tasks fit on one node: network bandwidth of 1 node, 2 slots compute.
+  double t = sim.EstimateStageSeconds(MakeStage(2, 1000, 8000));
+  // net: 1000/1000 = 1s; comp: 8000/(2*2000) = 2s.
+  EXPECT_DOUBLE_EQ(t, 2.0);
+}
+
+TEST(SimulatorTest, MoreTasksThanSlotsStillOneBusyWindow) {
+  ClusterConfig config = TestCluster();
+  config.task_launch_overhead = 0.1;
+  Simulator sim(config);
+  // 20 tasks over 8 slots: 3 waves of launch overhead.
+  double t = sim.EstimateStageSeconds(MakeStage(20, 0, 16000));
+  // comp: 16000/(8*2000) = 1s; + 3 * 0.1 overhead.
+  EXPECT_NEAR(t, 1.3, 1e-9);
+}
+
+TEST(SimulatorTest, ShuffleCpuFactorStretchesNetwork) {
+  ClusterConfig config = TestCluster();
+  config.shuffle_cpu_factor = 1.0;
+  Simulator sim(config);
+  double t = sim.EstimateStageSeconds(MakeStage(8, 4000, 8000));
+  EXPECT_DOUBLE_EQ(t, 4.0);  // 2s network doubled
+}
+
+TEST(SimulatorTest, ClockAccumulatesAcrossStages) {
+  Simulator sim(TestCluster());
+  ASSERT_TRUE(sim.CompleteStage(MakeStage(8, 4000, 0)).ok());
+  ASSERT_TRUE(sim.CompleteStage(MakeStage(8, 2000, 0)).ok());
+  EXPECT_DOUBLE_EQ(sim.elapsed_seconds(), 3.0);
+  EXPECT_EQ(sim.stages().size(), 2u);
+  EXPECT_EQ(sim.total_bytes(), 6000);
+}
+
+TEST(SimulatorTest, TimeoutTrips) {
+  ClusterConfig config = TestCluster();
+  config.timeout_seconds = 2.5;
+  Simulator sim(config);
+  ASSERT_TRUE(sim.CompleteStage(MakeStage(8, 4000, 0)).ok());  // 2s
+  Status st = sim.CompleteStage(MakeStage(8, 4000, 0));        // 4s total
+  EXPECT_TRUE(st.IsTimedOut());
+}
+
+TEST(SimulatorTest, EmptyStageIsFree) {
+  Simulator sim(TestCluster());
+  EXPECT_DOUBLE_EQ(sim.EstimateStageSeconds(MakeStage(0, 0, 0)), 0.0);
+}
+
+TEST(SimulatorTest, ResetClearsHistory) {
+  Simulator sim(TestCluster());
+  ASSERT_TRUE(sim.CompleteStage(MakeStage(8, 4000, 0)).ok());
+  sim.Reset();
+  EXPECT_DOUBLE_EQ(sim.elapsed_seconds(), 0.0);
+  EXPECT_TRUE(sim.stages().empty());
+}
+
+TEST(SimulatorTest, MoreNodesIsFasterForNetworkBoundStage) {
+  // Reproduces the shape of Fig. 12(d,h): elapsed decreases with nodes.
+  double prev = 1e18;
+  for (int nodes : {2, 4, 8}) {
+    ClusterConfig config = TestCluster();
+    config.num_nodes = nodes;
+    Simulator sim(config);
+    double t = sim.EstimateStageSeconds(
+        MakeStage(/*tasks=*/nodes * 4, 80000, 160000));
+    EXPECT_LT(t, prev);
+    prev = t;
+  }
+}
+
+}  // namespace
+}  // namespace fuseme

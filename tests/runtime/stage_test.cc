@@ -1,0 +1,84 @@
+#include "runtime/stage.h"
+
+#include <gtest/gtest.h>
+
+namespace fuseme {
+namespace {
+
+ClusterConfig SmallCluster() {
+  ClusterConfig config;
+  config.num_nodes = 2;
+  config.tasks_per_node = 2;
+  config.task_memory_budget = 1000;
+  return config;
+}
+
+TEST(StageContextTest, ChargesAccumulatePerTask) {
+  StageContext ctx("test", SmallCluster());
+  ctx.ChargeConsolidation(0, 100);
+  ctx.ChargeConsolidation(0, 50);
+  ctx.ChargeConsolidation(2, 10);
+  ctx.ChargeAggregation(1, 25);
+  ctx.ChargeFlops(0, 1000);
+  ctx.ChargeFlops(1, 2000);
+
+  EXPECT_EQ(ctx.task(0).consolidation_bytes, 150);
+  EXPECT_EQ(ctx.task(2).consolidation_bytes, 10);
+  EXPECT_EQ(ctx.task(1).aggregation_bytes, 25);
+  EXPECT_EQ(ctx.task(1).flops, 2000);
+  EXPECT_EQ(ctx.num_tasks(), 3);
+}
+
+TEST(StageContextTest, MemoryWithinBudgetIsOk) {
+  StageContext ctx("test", SmallCluster());
+  EXPECT_TRUE(ctx.ChargeMemory(0, 600).ok());
+  EXPECT_TRUE(ctx.ChargeMemory(0, 400).ok());  // exactly at budget
+  EXPECT_EQ(ctx.task(0).memory_peak, 1000);
+}
+
+TEST(StageContextTest, MemoryOverBudgetIsOutOfMemory) {
+  StageContext ctx("bfo", SmallCluster());
+  EXPECT_TRUE(ctx.ChargeMemory(0, 900).ok());
+  Status st = ctx.ChargeMemory(0, 200);
+  EXPECT_TRUE(st.IsOutOfMemory());
+  EXPECT_NE(st.message().find("bfo"), std::string::npos);
+}
+
+TEST(StageContextTest, ReleaseKeepsPeak) {
+  StageContext ctx("test", SmallCluster());
+  ASSERT_TRUE(ctx.ChargeMemory(0, 800).ok());
+  ctx.ReleaseMemory(0, 800);
+  EXPECT_EQ(ctx.task(0).memory_used, 0);
+  EXPECT_EQ(ctx.task(0).memory_peak, 800);
+  // Freed memory can be reused without tripping the budget.
+  EXPECT_TRUE(ctx.ChargeMemory(0, 900).ok());
+  EXPECT_EQ(ctx.task(0).memory_peak, 900);
+}
+
+TEST(StageContextTest, FinalizeAggregates) {
+  StageContext ctx("stage", SmallCluster());
+  ctx.ChargeConsolidation(0, 100);
+  ctx.ChargeConsolidation(1, 200);
+  ctx.ChargeAggregation(1, 50);
+  ctx.ChargeFlops(0, 10);
+  ctx.ChargeFlops(1, 20);
+  ASSERT_TRUE(ctx.ChargeMemory(0, 500).ok());
+  ASSERT_TRUE(ctx.ChargeMemory(1, 700).ok());
+
+  StageStats stats = ctx.Finalize();
+  EXPECT_EQ(stats.label, "stage");
+  EXPECT_EQ(stats.num_tasks, 2);
+  EXPECT_EQ(stats.consolidation_bytes, 300);
+  EXPECT_EQ(stats.aggregation_bytes, 50);
+  EXPECT_EQ(stats.total_bytes(), 350);
+  EXPECT_EQ(stats.flops, 30);
+  EXPECT_EQ(stats.max_task_memory, 700);
+}
+
+TEST(StageContextTest, UnknownTaskReadsEmpty) {
+  StageContext ctx("test", SmallCluster());
+  EXPECT_EQ(ctx.task(99).flops, 0);
+}
+
+}  // namespace
+}  // namespace fuseme

@@ -1,0 +1,60 @@
+#include "workloads/datasets.h"
+
+#include <gtest/gtest.h>
+
+namespace fuseme {
+namespace {
+
+TEST(DatasetsTest, PaperTable2Values) {
+  const auto& datasets = PaperDatasets();
+  ASSERT_EQ(datasets.size(), 3u);
+  EXPECT_EQ(datasets[0].name, "MovieLens");
+  EXPECT_EQ(datasets[0].users, 283228);
+  EXPECT_EQ(datasets[0].items, 58098);
+  EXPECT_EQ(datasets[0].ratings, 27753444);
+  EXPECT_EQ(datasets[1].name, "Netflix");
+  EXPECT_EQ(datasets[1].ratings, 100480507);
+  EXPECT_EQ(datasets[2].name, "YahooMusic");
+  EXPECT_EQ(datasets[2].ratings, 717872016);
+}
+
+TEST(DatasetsTest, FindByName) {
+  ASSERT_NE(FindDataset("Netflix"), nullptr);
+  EXPECT_EQ(FindDataset("Netflix")->users, 480189);
+  EXPECT_EQ(FindDataset("nope"), nullptr);
+}
+
+TEST(DatasetsTest, DensitiesAreSparse) {
+  for (const auto& d : PaperDatasets()) {
+    EXPECT_GT(d.density(), 0.0);
+    EXPECT_LT(d.density(), 0.02);
+  }
+}
+
+TEST(DatasetsTest, SyntheticSweeps) {
+  auto two_large = VaryTwoLargeDimensions();
+  ASSERT_EQ(two_large.size(), 4u);
+  EXPECT_EQ(two_large[0].i, 100000);
+  EXPECT_EQ(two_large[0].k, 2000);
+  EXPECT_DOUBLE_EQ(two_large[0].density, 0.001);
+  EXPECT_EQ(two_large[3].i, 750000);
+
+  auto common = VaryCommonDimension();
+  ASSERT_EQ(common.size(), 4u);
+  EXPECT_EQ(common[0].i, 100000);
+  EXPECT_EQ(common[0].k, 2000);
+  EXPECT_DOUBLE_EQ(common[0].density, 0.2);
+
+  auto density = VaryDensity();
+  ASSERT_EQ(density.size(), 4u);
+  EXPECT_DOUBLE_EQ(density[0].density, 0.05);
+  EXPECT_DOUBLE_EQ(density[3].density, 1.0);
+}
+
+TEST(DatasetsTest, NnzComputation) {
+  SyntheticSpec spec{"x", 1000, 1000, 10, 0.5};
+  EXPECT_EQ(spec.x_nnz(), 500000);
+}
+
+}  // namespace
+}  // namespace fuseme

@@ -1,0 +1,106 @@
+#include "workloads/queries.h"
+
+#include <gtest/gtest.h>
+
+#include "engine/reference.h"
+#include "matrix/generators.h"
+
+namespace fuseme {
+namespace {
+
+TEST(GnmfQueryTest, ShapesMatchEq6) {
+  GnmfQuery q = BuildGnmf(100, 80, 10, 400);
+  EXPECT_EQ(q.dag.node(q.a5).rows, 10);   // U': k×n
+  EXPECT_EQ(q.dag.node(q.a5).cols, 80);
+  EXPECT_EQ(q.dag.node(q.b5).rows, 100);  // V': m×k
+  EXPECT_EQ(q.dag.node(q.b5).cols, 10);
+  EXPECT_EQ(q.dag.outputs().size(), 2u);
+  EXPECT_EQ(q.dag.MatMulNodes().size(), 6u);
+}
+
+TEST(GnmfQueryTest, SharedTransposesHaveFanoutTwo) {
+  GnmfQuery q = BuildGnmf(100, 80, 10, 400);
+  EXPECT_EQ(q.dag.FanOut(q.vT), 2);
+  EXPECT_EQ(q.dag.FanOut(q.uT), 2);
+}
+
+TEST(GnmfQueryTest, UpdateKeepsNonNegativityAndReducesError) {
+  // Multiplicative GNMF updates keep factors non-negative and do not
+  // increase the reconstruction objective on average.
+  const std::int64_t m = 30, n = 24, k = 4;
+  GnmfQuery q = BuildGnmf(m, n, k, /*x_nnz=*/m * n / 5);
+  SparseMatrix x = RandomSparse(m, n, 0.2, /*seed=*/91, 1.0, 5.0);
+  DenseMatrix xd = x.ToDense();
+  DenseMatrix v = RandomDense(m, k, /*seed=*/92, 0.1, 1.0);
+  DenseMatrix u = RandomDense(k, n, /*seed=*/93, 0.1, 1.0);
+
+  auto objective = [&](const DenseMatrix& vv, const DenseMatrix& uu) {
+    double err = 0;
+    for (std::int64_t i = 0; i < m; ++i) {
+      for (std::int64_t j = 0; j < n; ++j) {
+        double dot = 0;
+        for (std::int64_t kk = 0; kk < k; ++kk) dot += vv(i, kk) * uu(kk, j);
+        err += (xd(i, j) - dot) * (xd(i, j) - dot);
+      }
+    }
+    return err;
+  };
+
+  double prev = objective(v, u);
+  for (int iter = 0; iter < 5; ++iter) {
+    std::map<NodeId, DenseMatrix> bind = {{q.X, xd}, {q.V, v}, {q.U, u}};
+    DenseMatrix u_next = *ReferenceEval(q.dag, q.a5, bind);
+    DenseMatrix v_next = *ReferenceEval(q.dag, q.b5, bind);
+    u = u_next;
+    v = v_next;
+    for (std::int64_t i = 0; i < u.size(); ++i) EXPECT_GE(u.data()[i], 0.0);
+    for (std::int64_t i = 0; i < v.size(); ++i) EXPECT_GE(v.data()[i], 0.0);
+  }
+  EXPECT_LT(objective(v, u), prev);
+}
+
+TEST(NmfPatternTest, Shapes) {
+  NmfPattern q = BuildNmfPattern(50, 40, 8, 200);
+  EXPECT_EQ(q.dag.node(q.mul).rows, 50);
+  EXPECT_EQ(q.dag.node(q.mul).cols, 40);
+  EXPECT_EQ(q.dag.node(q.mm).rows, 50);
+  EXPECT_EQ(q.dag.node(q.mm).cols, 40);
+  EXPECT_EQ(q.dag.outputs().size(), 1u);
+}
+
+TEST(AlsLossTest, LossIsZeroAtExactFactorization) {
+  // X = U×V restricted to X's support: the weighted loss must vanish when
+  // X actually equals U×V at stored positions.
+  const std::int64_t m = 12, n = 10, k = 3;
+  DenseMatrix u = RandomDense(m, k, /*seed=*/95, 0.5, 1.0);
+  DenseMatrix v = RandomDense(k, n, /*seed=*/96, 0.5, 1.0);
+  // Dense product as the "ratings".
+  DenseMatrix x(m, n);
+  for (std::int64_t i = 0; i < m; ++i) {
+    for (std::int64_t j = 0; j < n; ++j) {
+      double dot = 0;
+      for (std::int64_t kk = 0; kk < k; ++kk) dot += u(i, kk) * v(kk, j);
+      x(i, j) = dot;
+    }
+  }
+  AlsLossQuery q = BuildAlsLoss(m, n, k, m * n);
+  auto loss =
+      ReferenceEval(q.dag, q.loss, {{q.X, x}, {q.U, u}, {q.V, v}});
+  ASSERT_TRUE(loss.ok());
+  EXPECT_NEAR((*loss)(0, 0), 0.0, 1e-18);
+}
+
+TEST(PcaPatternTest, Shapes) {
+  PcaPattern q = BuildPcaPattern(200, 30);
+  EXPECT_EQ(q.dag.node(q.mm2).rows, 1);
+  EXPECT_EQ(q.dag.node(q.mm2).cols, 30);
+}
+
+TEST(Fig1cTest, Shapes) {
+  Fig1cQuery q = BuildFig1c(100, 80, 10, 800);
+  EXPECT_EQ(q.dag.node(q.out).rows, 100);
+  EXPECT_EQ(q.dag.node(q.out).cols, 10);
+}
+
+}  // namespace
+}  // namespace fuseme
