@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_operators.dir/bench_fig12_operators.cc.o"
+  "CMakeFiles/bench_fig12_operators.dir/bench_fig12_operators.cc.o.d"
+  "bench_fig12_operators"
+  "bench_fig12_operators.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_operators.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

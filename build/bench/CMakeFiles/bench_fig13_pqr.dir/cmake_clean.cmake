@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_pqr.dir/bench_fig13_pqr.cc.o"
+  "CMakeFiles/bench_fig13_pqr.dir/bench_fig13_pqr.cc.o.d"
+  "bench_fig13_pqr"
+  "bench_fig13_pqr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_pqr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

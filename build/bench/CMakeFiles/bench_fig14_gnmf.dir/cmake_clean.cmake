@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_gnmf.dir/bench_fig14_gnmf.cc.o"
+  "CMakeFiles/bench_fig14_gnmf.dir/bench_fig14_gnmf.cc.o.d"
+  "bench_fig14_gnmf"
+  "bench_fig14_gnmf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_gnmf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

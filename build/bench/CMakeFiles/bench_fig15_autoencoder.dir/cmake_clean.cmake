@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig15_autoencoder.dir/bench_fig15_autoencoder.cc.o"
+  "CMakeFiles/bench_fig15_autoencoder.dir/bench_fig15_autoencoder.cc.o.d"
+  "bench_fig15_autoencoder"
+  "bench_fig15_autoencoder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_autoencoder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

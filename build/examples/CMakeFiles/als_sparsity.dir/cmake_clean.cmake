@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/als_sparsity.dir/als_sparsity.cpp.o"
+  "CMakeFiles/als_sparsity.dir/als_sparsity.cpp.o.d"
+  "als_sparsity"
+  "als_sparsity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/als_sparsity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autoencoder_training.dir/autoencoder_training.cpp.o"
+  "CMakeFiles/autoencoder_training.dir/autoencoder_training.cpp.o.d"
+  "autoencoder_training"
+  "autoencoder_training.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autoencoder_training.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

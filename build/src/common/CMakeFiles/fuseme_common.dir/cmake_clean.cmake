@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fuseme_common.dir/logging.cc.o"
+  "CMakeFiles/fuseme_common.dir/logging.cc.o.d"
+  "CMakeFiles/fuseme_common.dir/status.cc.o"
+  "CMakeFiles/fuseme_common.dir/status.cc.o.d"
+  "CMakeFiles/fuseme_common.dir/string_util.cc.o"
+  "CMakeFiles/fuseme_common.dir/string_util.cc.o.d"
+  "libfuseme_common.a"
+  "libfuseme_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fuseme_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

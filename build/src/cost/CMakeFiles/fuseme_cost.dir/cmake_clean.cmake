@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fuseme_cost.dir/cost_model.cc.o"
+  "CMakeFiles/fuseme_cost.dir/cost_model.cc.o.d"
+  "CMakeFiles/fuseme_cost.dir/optimizer.cc.o"
+  "CMakeFiles/fuseme_cost.dir/optimizer.cc.o.d"
+  "libfuseme_cost.a"
+  "libfuseme_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fuseme_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

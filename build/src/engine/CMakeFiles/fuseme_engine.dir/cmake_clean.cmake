@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fuseme_engine.dir/engine.cc.o"
+  "CMakeFiles/fuseme_engine.dir/engine.cc.o.d"
+  "CMakeFiles/fuseme_engine.dir/reference.cc.o"
+  "CMakeFiles/fuseme_engine.dir/reference.cc.o.d"
+  "libfuseme_engine.a"
+  "libfuseme_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fuseme_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fusion/partial_plan.cc" "src/fusion/CMakeFiles/fuseme_fusion.dir/partial_plan.cc.o" "gcc" "src/fusion/CMakeFiles/fuseme_fusion.dir/partial_plan.cc.o.d"
+  "/root/repo/src/fusion/sparsity_analysis.cc" "src/fusion/CMakeFiles/fuseme_fusion.dir/sparsity_analysis.cc.o" "gcc" "src/fusion/CMakeFiles/fuseme_fusion.dir/sparsity_analysis.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/fuseme_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/fuseme_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/matrix/CMakeFiles/fuseme_matrix.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fuseme_fusion.dir/partial_plan.cc.o"
+  "CMakeFiles/fuseme_fusion.dir/partial_plan.cc.o.d"
+  "CMakeFiles/fuseme_fusion.dir/sparsity_analysis.cc.o"
+  "CMakeFiles/fuseme_fusion.dir/sparsity_analysis.cc.o.d"
+  "libfuseme_fusion.a"
+  "libfuseme_fusion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fuseme_fusion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

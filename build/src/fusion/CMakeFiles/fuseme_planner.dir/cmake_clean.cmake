@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fuseme_planner.dir/planners.cc.o"
+  "CMakeFiles/fuseme_planner.dir/planners.cc.o.d"
+  "libfuseme_planner.a"
+  "libfuseme_planner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fuseme_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fuseme_ir.dir/dag.cc.o"
+  "CMakeFiles/fuseme_ir.dir/dag.cc.o.d"
+  "CMakeFiles/fuseme_ir.dir/expr.cc.o"
+  "CMakeFiles/fuseme_ir.dir/expr.cc.o.d"
+  "CMakeFiles/fuseme_ir.dir/parser.cc.o"
+  "CMakeFiles/fuseme_ir.dir/parser.cc.o.d"
+  "CMakeFiles/fuseme_ir.dir/printer.cc.o"
+  "CMakeFiles/fuseme_ir.dir/printer.cc.o.d"
+  "libfuseme_ir.a"
+  "libfuseme_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fuseme_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

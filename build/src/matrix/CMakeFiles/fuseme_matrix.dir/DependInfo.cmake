@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/matrix/block.cc" "src/matrix/CMakeFiles/fuseme_matrix.dir/block.cc.o" "gcc" "src/matrix/CMakeFiles/fuseme_matrix.dir/block.cc.o.d"
+  "/root/repo/src/matrix/block_ops.cc" "src/matrix/CMakeFiles/fuseme_matrix.dir/block_ops.cc.o" "gcc" "src/matrix/CMakeFiles/fuseme_matrix.dir/block_ops.cc.o.d"
+  "/root/repo/src/matrix/blocked_matrix.cc" "src/matrix/CMakeFiles/fuseme_matrix.dir/blocked_matrix.cc.o" "gcc" "src/matrix/CMakeFiles/fuseme_matrix.dir/blocked_matrix.cc.o.d"
+  "/root/repo/src/matrix/dense_matrix.cc" "src/matrix/CMakeFiles/fuseme_matrix.dir/dense_matrix.cc.o" "gcc" "src/matrix/CMakeFiles/fuseme_matrix.dir/dense_matrix.cc.o.d"
+  "/root/repo/src/matrix/generators.cc" "src/matrix/CMakeFiles/fuseme_matrix.dir/generators.cc.o" "gcc" "src/matrix/CMakeFiles/fuseme_matrix.dir/generators.cc.o.d"
+  "/root/repo/src/matrix/matrix_io.cc" "src/matrix/CMakeFiles/fuseme_matrix.dir/matrix_io.cc.o" "gcc" "src/matrix/CMakeFiles/fuseme_matrix.dir/matrix_io.cc.o.d"
+  "/root/repo/src/matrix/scalar_ops.cc" "src/matrix/CMakeFiles/fuseme_matrix.dir/scalar_ops.cc.o" "gcc" "src/matrix/CMakeFiles/fuseme_matrix.dir/scalar_ops.cc.o.d"
+  "/root/repo/src/matrix/sparse_matrix.cc" "src/matrix/CMakeFiles/fuseme_matrix.dir/sparse_matrix.cc.o" "gcc" "src/matrix/CMakeFiles/fuseme_matrix.dir/sparse_matrix.cc.o.d"
+  "/root/repo/src/matrix/sparsity.cc" "src/matrix/CMakeFiles/fuseme_matrix.dir/sparsity.cc.o" "gcc" "src/matrix/CMakeFiles/fuseme_matrix.dir/sparsity.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/fuseme_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fuseme_matrix.dir/block.cc.o"
+  "CMakeFiles/fuseme_matrix.dir/block.cc.o.d"
+  "CMakeFiles/fuseme_matrix.dir/block_ops.cc.o"
+  "CMakeFiles/fuseme_matrix.dir/block_ops.cc.o.d"
+  "CMakeFiles/fuseme_matrix.dir/blocked_matrix.cc.o"
+  "CMakeFiles/fuseme_matrix.dir/blocked_matrix.cc.o.d"
+  "CMakeFiles/fuseme_matrix.dir/dense_matrix.cc.o"
+  "CMakeFiles/fuseme_matrix.dir/dense_matrix.cc.o.d"
+  "CMakeFiles/fuseme_matrix.dir/generators.cc.o"
+  "CMakeFiles/fuseme_matrix.dir/generators.cc.o.d"
+  "CMakeFiles/fuseme_matrix.dir/matrix_io.cc.o"
+  "CMakeFiles/fuseme_matrix.dir/matrix_io.cc.o.d"
+  "CMakeFiles/fuseme_matrix.dir/scalar_ops.cc.o"
+  "CMakeFiles/fuseme_matrix.dir/scalar_ops.cc.o.d"
+  "CMakeFiles/fuseme_matrix.dir/sparse_matrix.cc.o"
+  "CMakeFiles/fuseme_matrix.dir/sparse_matrix.cc.o.d"
+  "CMakeFiles/fuseme_matrix.dir/sparsity.cc.o"
+  "CMakeFiles/fuseme_matrix.dir/sparsity.cc.o.d"
+  "libfuseme_matrix.a"
+  "libfuseme_matrix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fuseme_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

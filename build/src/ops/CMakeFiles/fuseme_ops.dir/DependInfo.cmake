@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ops/evaluator.cc" "src/ops/CMakeFiles/fuseme_ops.dir/evaluator.cc.o" "gcc" "src/ops/CMakeFiles/fuseme_ops.dir/evaluator.cc.o.d"
+  "/root/repo/src/ops/fused_operator.cc" "src/ops/CMakeFiles/fuseme_ops.dir/fused_operator.cc.o" "gcc" "src/ops/CMakeFiles/fuseme_ops.dir/fused_operator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/fuseme_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/matrix/CMakeFiles/fuseme_matrix.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/fuseme_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/fusion/CMakeFiles/fuseme_fusion.dir/DependInfo.cmake"
+  "/root/repo/build/src/cost/CMakeFiles/fuseme_cost.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/fuseme_runtime.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

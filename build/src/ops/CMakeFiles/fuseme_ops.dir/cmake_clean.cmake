@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fuseme_ops.dir/evaluator.cc.o"
+  "CMakeFiles/fuseme_ops.dir/evaluator.cc.o.d"
+  "CMakeFiles/fuseme_ops.dir/fused_operator.cc.o"
+  "CMakeFiles/fuseme_ops.dir/fused_operator.cc.o.d"
+  "libfuseme_ops.a"
+  "libfuseme_ops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fuseme_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

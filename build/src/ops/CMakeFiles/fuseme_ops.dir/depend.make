@@ -1,0 +1,2 @@
+# Empty dependencies file for fuseme_ops.
+# This may be replaced when dependencies are built.

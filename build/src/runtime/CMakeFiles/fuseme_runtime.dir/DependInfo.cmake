@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/distributed_matrix.cc" "src/runtime/CMakeFiles/fuseme_runtime.dir/distributed_matrix.cc.o" "gcc" "src/runtime/CMakeFiles/fuseme_runtime.dir/distributed_matrix.cc.o.d"
+  "/root/repo/src/runtime/simulator.cc" "src/runtime/CMakeFiles/fuseme_runtime.dir/simulator.cc.o" "gcc" "src/runtime/CMakeFiles/fuseme_runtime.dir/simulator.cc.o.d"
+  "/root/repo/src/runtime/stage.cc" "src/runtime/CMakeFiles/fuseme_runtime.dir/stage.cc.o" "gcc" "src/runtime/CMakeFiles/fuseme_runtime.dir/stage.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/fuseme_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/matrix/CMakeFiles/fuseme_matrix.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

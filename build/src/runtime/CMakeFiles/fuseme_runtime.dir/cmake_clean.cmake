@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fuseme_runtime.dir/distributed_matrix.cc.o"
+  "CMakeFiles/fuseme_runtime.dir/distributed_matrix.cc.o.d"
+  "CMakeFiles/fuseme_runtime.dir/simulator.cc.o"
+  "CMakeFiles/fuseme_runtime.dir/simulator.cc.o.d"
+  "CMakeFiles/fuseme_runtime.dir/stage.cc.o"
+  "CMakeFiles/fuseme_runtime.dir/stage.cc.o.d"
+  "libfuseme_runtime.a"
+  "libfuseme_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fuseme_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libfuseme_runtime.a"
+)

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/autoencoder.cc" "src/workloads/CMakeFiles/fuseme_workloads.dir/autoencoder.cc.o" "gcc" "src/workloads/CMakeFiles/fuseme_workloads.dir/autoencoder.cc.o.d"
+  "/root/repo/src/workloads/datasets.cc" "src/workloads/CMakeFiles/fuseme_workloads.dir/datasets.cc.o" "gcc" "src/workloads/CMakeFiles/fuseme_workloads.dir/datasets.cc.o.d"
+  "/root/repo/src/workloads/queries.cc" "src/workloads/CMakeFiles/fuseme_workloads.dir/queries.cc.o" "gcc" "src/workloads/CMakeFiles/fuseme_workloads.dir/queries.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/fuseme_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/fuseme_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/matrix/CMakeFiles/fuseme_matrix.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

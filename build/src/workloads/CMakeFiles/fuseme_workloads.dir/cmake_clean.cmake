@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fuseme_workloads.dir/autoencoder.cc.o"
+  "CMakeFiles/fuseme_workloads.dir/autoencoder.cc.o.d"
+  "CMakeFiles/fuseme_workloads.dir/datasets.cc.o"
+  "CMakeFiles/fuseme_workloads.dir/datasets.cc.o.d"
+  "CMakeFiles/fuseme_workloads.dir/queries.cc.o"
+  "CMakeFiles/fuseme_workloads.dir/queries.cc.o.d"
+  "libfuseme_workloads.a"
+  "libfuseme_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fuseme_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

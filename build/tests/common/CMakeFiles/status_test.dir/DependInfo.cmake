@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/common/status_test.cc" "tests/common/CMakeFiles/status_test.dir/status_test.cc.o" "gcc" "tests/common/CMakeFiles/status_test.dir/status_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/engine/CMakeFiles/fuseme_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/fusion/CMakeFiles/fuseme_planner.dir/DependInfo.cmake"
+  "/root/repo/build/src/ops/CMakeFiles/fuseme_ops.dir/DependInfo.cmake"
+  "/root/repo/build/src/cost/CMakeFiles/fuseme_cost.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/fuseme_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/fusion/CMakeFiles/fuseme_fusion.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/fuseme_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/fuseme_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/matrix/CMakeFiles/fuseme_matrix.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/fuseme_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/engine_analytic_test.dir/engine_analytic_test.cc.o"
+  "CMakeFiles/engine_analytic_test.dir/engine_analytic_test.cc.o.d"
+  "engine_analytic_test"
+  "engine_analytic_test.pdb"
+  "engine_analytic_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/engine_analytic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/engine_policies_test.dir/engine_policies_test.cc.o"
+  "CMakeFiles/engine_policies_test.dir/engine_policies_test.cc.o.d"
+  "engine_policies_test"
+  "engine_policies_test.pdb"
+  "engine_policies_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/engine_policies_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/partial_plan_test.dir/partial_plan_test.cc.o"
+  "CMakeFiles/partial_plan_test.dir/partial_plan_test.cc.o.d"
+  "partial_plan_test"
+  "partial_plan_test.pdb"
+  "partial_plan_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/partial_plan_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

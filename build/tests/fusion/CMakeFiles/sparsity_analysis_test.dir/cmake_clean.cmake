@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sparsity_analysis_test.dir/sparsity_analysis_test.cc.o"
+  "CMakeFiles/sparsity_analysis_test.dir/sparsity_analysis_test.cc.o.d"
+  "sparsity_analysis_test"
+  "sparsity_analysis_test.pdb"
+  "sparsity_analysis_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sparsity_analysis_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,9 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/fusion
+# Build directory: /root/repo/build/tests/fusion
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/fusion/partial_plan_test[1]_include.cmake")
+include("/root/repo/build/tests/fusion/sparsity_analysis_test[1]_include.cmake")
+include("/root/repo/build/tests/fusion/planners_test[1]_include.cmake")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blocked_matrix_test.dir/blocked_matrix_test.cc.o"
+  "CMakeFiles/blocked_matrix_test.dir/blocked_matrix_test.cc.o.d"
+  "blocked_matrix_test"
+  "blocked_matrix_test.pdb"
+  "blocked_matrix_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blocked_matrix_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

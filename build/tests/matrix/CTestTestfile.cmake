@@ -1,0 +1,13 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/matrix
+# Build directory: /root/repo/build/tests/matrix
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/matrix/dense_matrix_test[1]_include.cmake")
+include("/root/repo/build/tests/matrix/sparse_matrix_test[1]_include.cmake")
+include("/root/repo/build/tests/matrix/block_test[1]_include.cmake")
+include("/root/repo/build/tests/matrix/block_ops_test[1]_include.cmake")
+include("/root/repo/build/tests/matrix/blocked_matrix_test[1]_include.cmake")
+include("/root/repo/build/tests/matrix/sparsity_test[1]_include.cmake")
+include("/root/repo/build/tests/matrix/matrix_io_test[1]_include.cmake")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fused_operator_test.dir/fused_operator_test.cc.o"
+  "CMakeFiles/fused_operator_test.dir/fused_operator_test.cc.o.d"
+  "fused_operator_test"
+  "fused_operator_test.pdb"
+  "fused_operator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fused_operator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

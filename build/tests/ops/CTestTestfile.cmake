@@ -1,0 +1,10 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/ops
+# Build directory: /root/repo/build/tests/ops
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/ops/evaluator_test[1]_include.cmake")
+include("/root/repo/build/tests/ops/fused_operator_test[1]_include.cmake")
+include("/root/repo/build/tests/ops/balance_test[1]_include.cmake")
+include("/root/repo/build/tests/ops/operator_sweep_test[1]_include.cmake")

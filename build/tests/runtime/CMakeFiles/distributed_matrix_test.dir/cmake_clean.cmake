@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/distributed_matrix_test.dir/distributed_matrix_test.cc.o"
+  "CMakeFiles/distributed_matrix_test.dir/distributed_matrix_test.cc.o.d"
+  "distributed_matrix_test"
+  "distributed_matrix_test.pdb"
+  "distributed_matrix_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/distributed_matrix_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,9 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/runtime
+# Build directory: /root/repo/build/tests/runtime
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/runtime/stage_test[1]_include.cmake")
+include("/root/repo/build/tests/runtime/simulator_test[1]_include.cmake")
+include("/root/repo/build/tests/runtime/distributed_matrix_test[1]_include.cmake")

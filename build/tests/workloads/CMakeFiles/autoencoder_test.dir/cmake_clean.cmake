@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autoencoder_test.dir/autoencoder_test.cc.o"
+  "CMakeFiles/autoencoder_test.dir/autoencoder_test.cc.o.d"
+  "autoencoder_test"
+  "autoencoder_test.pdb"
+  "autoencoder_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autoencoder_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kl_loss_test.dir/kl_loss_test.cc.o"
+  "CMakeFiles/kl_loss_test.dir/kl_loss_test.cc.o.d"
+  "kl_loss_test"
+  "kl_loss_test.pdb"
+  "kl_loss_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kl_loss_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

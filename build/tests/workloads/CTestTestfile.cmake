@@ -1,0 +1,10 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/workloads
+# Build directory: /root/repo/build/tests/workloads
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/workloads/queries_test[1]_include.cmake")
+include("/root/repo/build/tests/workloads/autoencoder_test[1]_include.cmake")
+include("/root/repo/build/tests/workloads/datasets_test[1]_include.cmake")
+include("/root/repo/build/tests/workloads/kl_loss_test[1]_include.cmake")
