@@ -2,9 +2,19 @@
 // distributed operators bottom out in: block element-wise ops, matrix
 // multiplication across representations, and the fused-kernel evaluator's
 // masked (sparsity-exploiting) path vs the dense path.
+//
+// Before the google-benchmark cases, main() runs a serial-vs-parallel GEMM
+// suite (the tiled dense kernel at 1 thread vs the machine's parallelism),
+// verifies the results are bitwise identical, and writes the measurements
+// to BENCH_microkernels.json.
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdlib>
+
+#include "bench_util.h"
+#include "common/thread_pool.h"
 #include "matrix/block_ops.h"
 #include "matrix/generators.h"
 #include "ops/evaluator.h"
@@ -118,7 +128,97 @@ void BM_FusedKernelMaskedPath(benchmark::State& state) {
 }
 BENCHMARK(BM_FusedKernelMaskedPath);
 
+// --- Serial vs parallel tiled GEMM (the ISSUE acceptance measurement). ---
+
+double TimeGemmSeconds(const Block& a, const Block& b, Block* out) {
+  // Best of 3 runs, to shave scheduler noise.
+  double best = 1e30;
+  for (int run = 0; run < 3; ++run) {
+    const auto t0 = std::chrono::steady_clock::now();
+    auto result = MatMul(a, b);
+    const auto t1 = std::chrono::steady_clock::now();
+    if (!result.ok()) {
+      std::fprintf(stderr, "GEMM failed: %s\n",
+                   result.status().ToString().c_str());
+      std::exit(1);
+    }
+    *out = std::move(*result);
+    best = std::min(best, std::chrono::duration<double>(t1 - t0).count());
+  }
+  return best;
+}
+
+void RunGemmSpeedupSuite(std::vector<bench::BenchRecord>* records) {
+  // FUSEME_BENCH_GEMM_N overrides the block size (quick local runs).
+  std::int64_t n = 2048;
+  if (const char* env = std::getenv("FUSEME_BENCH_GEMM_N")) {
+    n = std::max<std::int64_t>(1, std::atoll(env));
+  }
+  const int machine = GlobalParallelism();
+  std::printf("--- dense %lldx%lld block GEMM, 1 thread vs %d ---\n",
+              static_cast<long long>(n), static_cast<long long>(n), machine);
+
+  Block a = Block::FromDense(RandomDense(n, n, 1, -1.0, 1.0));
+  Block b = Block::FromDense(RandomDense(n, n, 2, -1.0, 1.0));
+  const std::int64_t flops = 2 * n * n * n;
+  const std::int64_t bytes = 3 * n * n * 8;
+
+  Block serial_out, parallel_out;
+  SetGlobalThreadPoolThreads(1);
+  const double serial = TimeGemmSeconds(a, b, &serial_out);
+  SetGlobalThreadPoolThreads(machine);
+  const double parallel = TimeGemmSeconds(a, b, &parallel_out);
+
+  if (DenseMatrix::MaxAbsDiff(serial_out.ToDense(), parallel_out.ToDense()) !=
+      0.0) {
+    std::fprintf(stderr, "FAIL: parallel GEMM result differs from serial\n");
+    std::exit(1);
+  }
+
+  std::printf(
+      "serial  %.3fs (%.2f GFLOP/s)\nparallel %.3fs (%.2f GFLOP/s)\n"
+      "speedup %.2fx at %d threads (results bitwise identical)\n\n",
+      serial, static_cast<double>(flops) / serial / 1e9, parallel,
+      static_cast<double>(flops) / parallel / 1e9, serial / parallel,
+      machine);
+
+  const std::string size = std::to_string(n);
+  records->push_back({"dense_gemm",
+                      {{"n", size}, {"threads", "1"}},
+                      serial,
+                      bytes,
+                      flops});
+  records->push_back({"dense_gemm",
+                      {{"n", size}, {"threads", std::to_string(machine)}},
+                      parallel,
+                      bytes,
+                      flops});
+  bench::BenchRecord speedup{"dense_gemm_speedup",
+                             {{"n", size},
+                              {"threads", std::to_string(machine)},
+                              {"speedup", [&] {
+                                 char buf[32];
+                                 std::snprintf(buf, sizeof(buf), "%.3f",
+                                               serial / parallel);
+                                 return std::string(buf);
+                               }()}},
+                             parallel,
+                             bytes,
+                             flops};
+  records->push_back(std::move(speedup));
+}
+
 }  // namespace
 }  // namespace fuseme
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  std::vector<fuseme::bench::BenchRecord> records;
+  fuseme::RunGemmSpeedupSuite(&records);
+  fuseme::bench::WriteBenchJson("microkernels", records);
+
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,11 +1,15 @@
 // Shared helpers for the experiment harnesses: paper-style cell formatting
-// (numbers, "O.O.M.", "T.O.") and simple aligned tables.
+// (numbers, "O.O.M.", "T.O."), simple aligned tables, and a machine-readable
+// JSON result sink (BENCH_<name>.json) for tracking runs over time.
 
 #ifndef FUSEME_BENCH_BENCH_UTIL_H_
 #define FUSEME_BENCH_BENCH_UTIL_H_
 
+#include <cstdint>
 #include <cstdio>
+#include <fstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "engine/engine.h"
@@ -45,6 +49,94 @@ inline void PrintRule(std::size_t cells, int width = 14) {
   std::printf("%s\n",
               std::string(cells * static_cast<std::size_t>(width), '-')
                   .c_str());
+}
+
+/// One measured configuration of a benchmark binary.
+struct BenchRecord {
+  std::string name;  // e.g. "dense_gemm_2048" or "cfo_real_mode"
+  /// Free-form configuration key/values (thread count, shapes, mode...).
+  std::vector<std::pair<std::string, std::string>> config;
+  double elapsed_seconds = 0.0;
+  std::int64_t bytes = 0;  // communication (or data touched) in bytes
+  std::int64_t flops = 0;
+};
+
+inline std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// Writes `records` to BENCH_<bench_name>.json in the working directory:
+///   {"benchmark": "...", "results": [{"name": ..., "config": {...},
+///    "elapsed_seconds": ..., "bytes": ..., "flops": ...}, ...]}
+/// Returns false (after printing a warning) when the file is not writable.
+inline bool WriteBenchJson(const std::string& bench_name,
+                           const std::vector<BenchRecord>& records) {
+  const std::string path = "BENCH_" + bench_name + ".json";
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+    return false;
+  }
+  out << "{\n  \"benchmark\": \"" << JsonEscape(bench_name)
+      << "\",\n  \"results\": [";
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const BenchRecord& r = records[i];
+    out << (i == 0 ? "" : ",") << "\n    {\"name\": \"" << JsonEscape(r.name)
+        << "\", \"config\": {";
+    for (std::size_t c = 0; c < r.config.size(); ++c) {
+      out << (c == 0 ? "" : ", ") << "\"" << JsonEscape(r.config[c].first)
+          << "\": \"" << JsonEscape(r.config[c].second) << "\"";
+    }
+    char elapsed[32];
+    std::snprintf(elapsed, sizeof(elapsed), "%.6f", r.elapsed_seconds);
+    out << "}, \"elapsed_seconds\": " << elapsed << ", \"bytes\": " << r.bytes
+        << ", \"flops\": " << r.flops << "}";
+  }
+  out << "\n  ]\n}\n";
+  std::printf("wrote %s (%zu results)\n", path.c_str(), records.size());
+  return true;
+}
+
+/// A BenchRecord for an engine run (elapsed = modeled cluster seconds).
+inline BenchRecord RecordFor(
+    std::string name, const ExecutionReport& report,
+    std::vector<std::pair<std::string, std::string>> config = {}) {
+  BenchRecord r;
+  r.name = std::move(name);
+  r.config = std::move(config);
+  r.config.emplace_back("status", report.status.ok()
+                                      ? "ok"
+                                      : std::string(report.status.ToString()));
+  r.elapsed_seconds = report.elapsed_seconds;
+  r.bytes = report.total_bytes();
+  r.flops = report.flops;
+  return r;
 }
 
 }  // namespace fuseme::bench

@@ -1,0 +1,181 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <limits>
+#include <memory>
+#include <string>
+#include <utility>
+
+namespace fuseme {
+
+namespace {
+
+/// Set while a thread is executing a task for some pool; used to collapse
+/// nested ParallelFor calls.
+thread_local const ThreadPool* current_pool = nullptr;
+
+}  // namespace
+
+ThreadPool::ThreadPool(int num_threads) {
+  num_threads = std::max(num_threads, 0);
+  workers_.reserve(num_threads);
+  for (int i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this]() { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+bool ThreadPool::InWorker() const { return current_pool == this; }
+
+void ThreadPool::Enqueue(std::function<void()> task) {
+  if (workers_.empty()) {
+    // No workers: run inline.  packaged_task catches exceptions into the
+    // future, so this cannot throw through Enqueue.
+    task();
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::WorkerLoop() {
+  current_pool = this;
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this]() { return shutdown_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // shutdown with a drained queue
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+void ThreadPool::ParallelFor(std::int64_t begin, std::int64_t end,
+                             const std::function<void(std::int64_t)>& fn,
+                             int max_parallelism) {
+  const std::int64_t n = end - begin;
+  if (n <= 0) return;
+  std::int64_t helpers = num_threads();
+  if (max_parallelism > 0) {
+    helpers = std::min<std::int64_t>(helpers, max_parallelism - 1);
+  }
+  helpers = std::min(helpers, n - 1);
+  if (helpers <= 0 || InWorker()) {
+    for (std::int64_t i = begin; i < end; ++i) fn(i);
+    return;
+  }
+
+  // Shared loop state.  Helpers hold the state via shared_ptr, so a helper
+  // that is dequeued late (even after this frame returned — impossible
+  // here because we join every future, but cheap insurance) finds the
+  // range exhausted instead of touching freed memory.
+  struct State {
+    std::atomic<std::int64_t> next;
+    std::int64_t end = 0;
+    const std::function<void(std::int64_t)>* fn = nullptr;
+    std::atomic<bool> abort{false};
+    std::mutex mu;
+    std::exception_ptr error;
+    std::int64_t error_index = std::numeric_limits<std::int64_t>::max();
+  };
+  auto state = std::make_shared<State>();
+  state->next.store(begin, std::memory_order_relaxed);
+  state->end = end;
+  state->fn = &fn;
+
+  auto drain = [](const std::shared_ptr<State>& s) {
+    while (!s->abort.load(std::memory_order_relaxed)) {
+      const std::int64_t i = s->next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= s->end) return;
+      try {
+        (*s->fn)(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(s->mu);
+        if (i < s->error_index) {
+          s->error_index = i;
+          s->error = std::current_exception();
+        }
+        s->abort.store(true, std::memory_order_relaxed);
+      }
+    }
+  };
+
+  std::vector<std::future<void>> futures;
+  futures.reserve(helpers);
+  for (std::int64_t h = 0; h < helpers; ++h) {
+    futures.push_back(Submit([state, drain]() { drain(state); }));
+  }
+  drain(state);
+  for (std::future<void>& future : futures) future.get();
+  // Move the exception out of the shared state before rethrowing: a helper
+  // may drop the last State reference on its own thread after we return,
+  // and the caller must be able to inspect the caught exception without
+  // racing that release.
+  std::exception_ptr error;
+  {
+    std::lock_guard<std::mutex> lock(state->mu);
+    error = std::move(state->error);
+    state->error = nullptr;
+  }
+  if (error) std::rethrow_exception(error);
+}
+
+namespace {
+
+std::mutex global_pool_mu;
+std::unique_ptr<ThreadPool> global_pool;
+int global_parallelism = 0;  // 0 = not yet resolved
+
+int DefaultParallelism() {
+  if (const char* env = std::getenv("FUSEME_THREADS")) {
+    const int parsed = std::atoi(env);
+    if (parsed >= 1) return parsed;
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+}  // namespace
+
+ThreadPool* GlobalThreadPool() {
+  std::lock_guard<std::mutex> lock(global_pool_mu);
+  if (global_pool == nullptr) {
+    if (global_parallelism == 0) global_parallelism = DefaultParallelism();
+    global_pool = std::make_unique<ThreadPool>(global_parallelism - 1);
+  }
+  return global_pool.get();
+}
+
+int GlobalParallelism() {
+  std::lock_guard<std::mutex> lock(global_pool_mu);
+  if (global_parallelism == 0) global_parallelism = DefaultParallelism();
+  return global_parallelism;
+}
+
+void SetGlobalThreadPoolThreads(int num_threads) {
+  std::unique_ptr<ThreadPool> old;
+  {
+    std::lock_guard<std::mutex> lock(global_pool_mu);
+    global_parallelism = std::max(num_threads, 1);
+    old = std::move(global_pool);  // destroyed (joined) outside the lock
+    global_pool = std::make_unique<ThreadPool>(global_parallelism - 1);
+  }
+}
+
+}  // namespace fuseme

@@ -1,0 +1,109 @@
+// Fixed-size thread pool powering the parallel execution runtime.
+//
+// Two entry points matter:
+//
+//  * Submit(fn)      — schedules a task, returns a std::future carrying the
+//                      result (or the exception fn threw).
+//  * ParallelFor     — runs fn(i) over an index range with dynamic
+//                      scheduling; the calling thread participates, so the
+//                      loop completes even when every worker is busy.  A
+//                      ParallelFor issued from inside a worker runs inline
+//                      (nested parallelism collapses instead of
+//                      deadlocking).
+//
+// A process-wide pool (GlobalThreadPool) serves both task-level parallelism
+// in the distributed operators and kernel-level parallelism in the block
+// GEMM: operator work items run on the pool, so the kernels they invoke
+// detect they are already on a worker and stay serial — one level of
+// parallelism, never oversubscription.
+//
+// Sizing: GlobalParallelism() defaults to FUSEME_THREADS (env) or
+// std::thread::hardware_concurrency(); SetGlobalThreadPoolThreads overrides
+// it (1 = fully serial).  The pool owns parallelism-1 workers because the
+// caller of ParallelFor is the extra thread.
+
+#ifndef FUSEME_COMMON_THREAD_POOL_H_
+#define FUSEME_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace fuseme {
+
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` worker threads (clamped to >= 0).  With zero
+  /// workers every Submit/ParallelFor executes inline on the caller.
+  explicit ThreadPool(int num_threads);
+  /// Drains the queue (pending tasks run, they are not dropped), then
+  /// joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+  /// True when the calling thread is one of this pool's workers.
+  bool InWorker() const;
+
+  /// Schedules `fn` for execution and returns a future for its result;
+  /// an exception thrown by `fn` surfaces on future.get().  With zero
+  /// workers the task runs inline before Submit returns.
+  template <typename F>
+  auto Submit(F&& fn) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto task =
+        std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> future = task->get_future();
+    Enqueue([task]() { (*task)(); });
+    return future;
+  }
+
+  /// Runs fn(i) for every i in [begin, end), blocking until all calls have
+  /// completed.  Indices are claimed dynamically; the caller participates.
+  /// The first exception (lowest index among those observed) is rethrown
+  /// after the loop drains; remaining unclaimed indices are skipped once an
+  /// exception occurs.  `max_parallelism` caps the number of threads
+  /// working on the loop, caller included (0 = no cap; 1 = inline serial,
+  /// in index order).  Nested calls from a worker thread run inline.
+  void ParallelFor(std::int64_t begin, std::int64_t end,
+                   const std::function<void(std::int64_t)>& fn,
+                   int max_parallelism = 0);
+
+ private:
+  void Enqueue(std::function<void()> task);
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool shutdown_ = false;
+  std::vector<std::thread> workers_;
+};
+
+/// The process-wide pool, created on first use with GlobalParallelism()-1
+/// workers.
+ThreadPool* GlobalThreadPool();
+
+/// Total parallelism (workers + the calling thread) the global pool is
+/// configured for.  Defaults to the FUSEME_THREADS environment variable,
+/// else std::thread::hardware_concurrency(), floored at 1.
+int GlobalParallelism();
+
+/// Reconfigures the global pool for `num_threads` total parallelism
+/// (1 = serial).  Joins the previous workers first.  Not safe to call while
+/// another thread is using the pool; intended for process startup, tests,
+/// and benchmark harnesses.
+void SetGlobalThreadPoolThreads(int num_threads);
+
+}  // namespace fuseme
+
+#endif  // FUSEME_COMMON_THREAD_POOL_H_

@@ -4,12 +4,33 @@
 #include <tuple>
 #include <vector>
 
+#include "common/thread_pool.h"
+
 namespace fuseme {
 
 namespace {
 
 std::int64_t CeilDiv(std::int64_t a, std::int64_t b) {
   return (a + b - 1) / b;
+}
+
+// Conversions below this many cells run serially; the per-tile work is a
+// memcpy-like scan, so small matrices don't amortize a fork/join.
+constexpr std::int64_t kParallelConvertCells = 1 << 20;
+
+/// Runs fn(bi, bj) over every tile, in parallel for large matrices.  Tiles
+/// touch disjoint state, so scheduling does not affect the result.
+void ForEachTile(std::int64_t grid_rows, std::int64_t grid_cols,
+                 std::int64_t total_cells,
+                 const std::function<void(std::int64_t, std::int64_t)>& fn) {
+  const std::int64_t tiles = grid_rows * grid_cols;
+  auto body = [&](std::int64_t t) { fn(t / grid_cols, t % grid_cols); };
+  if (tiles > 1 && total_cells >= kParallelConvertCells &&
+      GlobalParallelism() > 1) {
+    GlobalThreadPool()->ParallelFor(0, tiles, body);
+  } else {
+    for (std::int64_t t = 0; t < tiles; ++t) body(t);
+  }
 }
 
 }  // namespace
@@ -49,20 +70,21 @@ void BlockedMatrix::set_block(std::int64_t bi, std::int64_t bj, Block block) {
 BlockedMatrix BlockedMatrix::FromDense(const DenseMatrix& dense,
                                        std::int64_t block_size) {
   BlockedMatrix out(dense.rows(), dense.cols(), block_size);
-  for (std::int64_t bi = 0; bi < out.grid_rows_; ++bi) {
-    for (std::int64_t bj = 0; bj < out.grid_cols_; ++bj) {
-      const std::int64_t r0 = bi * block_size, c0 = bj * block_size;
-      DenseMatrix tile(out.TileRows(bi), out.TileCols(bj));
-      for (std::int64_t i = 0; i < tile.rows(); ++i) {
-        for (std::int64_t j = 0; j < tile.cols(); ++j) {
-          tile(i, j) = dense(r0 + i, c0 + j);
-        }
-      }
-      if (tile.CountNonZeros() > 0) {
-        out.set_block(bi, bj, Block::FromDense(std::move(tile)));
-      }
-    }
-  }
+  // Each tile writes only its own grid slot, so extraction parallelizes.
+  ForEachTile(out.grid_rows_, out.grid_cols_, dense.size(),
+              [&](std::int64_t bi, std::int64_t bj) {
+                const std::int64_t r0 = bi * block_size,
+                                   c0 = bj * block_size;
+                DenseMatrix tile(out.TileRows(bi), out.TileCols(bj));
+                for (std::int64_t i = 0; i < tile.rows(); ++i) {
+                  for (std::int64_t j = 0; j < tile.cols(); ++j) {
+                    tile(i, j) = dense(r0 + i, c0 + j);
+                  }
+                }
+                if (tile.CountNonZeros() > 0) {
+                  out.set_block(bi, bj, Block::FromDense(std::move(tile)));
+                }
+              });
   return out;
 }
 
@@ -77,19 +99,20 @@ BlockedMatrix BlockedMatrix::FromSparse(const SparseMatrix& sparse,
     buckets[out.Index(bi, bj)].emplace_back(i - bi * block_size,
                                             j - bj * block_size, v);
   });
-  for (std::int64_t bi = 0; bi < out.grid_rows_; ++bi) {
-    for (std::int64_t bj = 0; bj < out.grid_cols_; ++bj) {
-      auto& bucket = buckets[out.Index(bi, bj)];
-      if (bucket.empty()) continue;
-      SparseMatrix tile = SparseMatrix::FromTriplets(
-          out.TileRows(bi), out.TileCols(bj), std::move(bucket));
-      if (tile.density() >= kDenseStorageThreshold) {
-        out.set_block(bi, bj, Block::FromDense(tile.ToDense()));
-      } else {
-        out.set_block(bi, bj, Block::FromSparse(std::move(tile)));
-      }
-    }
-  }
+  // Bucketing above is a sequential scan; tile construction is per-bucket
+  // independent work.
+  ForEachTile(out.grid_rows_, out.grid_cols_, sparse.nnz(),
+              [&](std::int64_t bi, std::int64_t bj) {
+                auto& bucket = buckets[out.Index(bi, bj)];
+                if (bucket.empty()) return;
+                SparseMatrix tile = SparseMatrix::FromTriplets(
+                    out.TileRows(bi), out.TileCols(bj), std::move(bucket));
+                if (tile.density() >= kDenseStorageThreshold) {
+                  out.set_block(bi, bj, Block::FromDense(tile.ToDense()));
+                } else {
+                  out.set_block(bi, bj, Block::FromSparse(std::move(tile)));
+                }
+              });
   return out;
 }
 
@@ -134,20 +157,21 @@ bool BlockedMatrix::IsReal() const {
 
 DenseMatrix BlockedMatrix::ToDense() const {
   DenseMatrix out(rows_, cols_);
-  for (std::int64_t bi = 0; bi < grid_rows_; ++bi) {
-    for (std::int64_t bj = 0; bj < grid_cols_; ++bj) {
-      const Block& b = block(bi, bj);
-      FUSEME_CHECK(b.is_real()) << "ToDense on meta matrix";
-      const std::int64_t r0 = bi * block_size_, c0 = bj * block_size_;
-      if (b.is_zero()) continue;
-      DenseMatrix tile = b.ToDense();
-      for (std::int64_t i = 0; i < tile.rows(); ++i) {
-        for (std::int64_t j = 0; j < tile.cols(); ++j) {
-          out(r0 + i, c0 + j) = tile(i, j);
-        }
-      }
-    }
-  }
+  // Each tile fills a disjoint rectangle of the output.
+  ForEachTile(grid_rows_, grid_cols_, rows_ * cols_,
+              [&](std::int64_t bi, std::int64_t bj) {
+                const Block& b = block(bi, bj);
+                FUSEME_CHECK(b.is_real()) << "ToDense on meta matrix";
+                const std::int64_t r0 = bi * block_size_,
+                                   c0 = bj * block_size_;
+                if (b.is_zero()) return;
+                DenseMatrix tile = b.ToDense();
+                for (std::int64_t i = 0; i < tile.rows(); ++i) {
+                  for (std::int64_t j = 0; j < tile.cols(); ++j) {
+                    out(r0 + i, c0 + j) = tile(i, j);
+                  }
+                }
+              });
   return out;
 }
 

@@ -4,9 +4,11 @@
 #include <memory>
 #include <set>
 #include <tuple>
+#include <utility>
 #include <vector>
 
 #include "common/logging.h"
+#include "common/thread_pool.h"
 #include "matrix/block_ops.h"
 #include "ops/evaluator.h"
 
@@ -76,11 +78,13 @@ std::vector<std::int64_t> TileAxisNnz(const BlockedMatrix& m, int axis) {
   return out;
 }
 
-/// Per-task fetch dedup + accounting.
+/// Per-task fetch dedup + accounting.  One instance per work item: the
+/// tasks a work item executes are owned exclusively by it, so the dedup
+/// sets never race and the charges land in the item's local accounting.
 class TaskFetcher {
  public:
-  TaskFetcher(const FusedInputs* inputs, StageContext* ctx)
-      : inputs_(inputs), ctx_(ctx) {}
+  TaskFetcher(const FusedInputs* inputs, StageAccounting* acct)
+      : inputs_(inputs), acct_(acct) {}
 
   /// A fetcher closure for `task`.  First fetch of a block charges its
   /// bytes as live task memory, and as consolidation traffic unless the
@@ -103,9 +107,9 @@ class TaskFetcher {
       if (fetched_[task].insert({id, bi, bj}).second) {
         const std::int64_t bytes = block.SizeBytes();
         if (it->second->Owner(bi, bj) != task) {
-          ctx_->ChargeConsolidation(task, bytes);
+          acct_->ChargeConsolidation(task, bytes);
         }
-        FUSEME_RETURN_IF_ERROR(ctx_->ChargeMemory(task, bytes));
+        FUSEME_RETURN_IF_ERROR(acct_->ChargeMemory(task, bytes));
       }
       return block;
     };
@@ -118,7 +122,7 @@ class TaskFetcher {
 
  private:
   const FusedInputs* inputs_;
-  StageContext* ctx_;
+  StageAccounting* acct_;
   std::map<int, std::set<std::tuple<NodeId, std::int64_t, std::int64_t>>>
       fetched_;
 };
@@ -139,6 +143,9 @@ Coord AggTarget(const Node& agg, std::int64_t bi, std::int64_t bj) {
 
 /// Accumulates per-output-block partial aggregates across tasks, charging
 /// shuffle bytes for partials shipped to the (first-writer) owner task.
+/// Only touched by the sequential commit pass, which replays buffered
+/// results in the serial scan order — so the first-writer owner and the
+/// floating-point merge order are deterministic and thread-count-invariant.
 class AggMerger {
  public:
   AggMerger(const Node& agg, StageContext* ctx) : agg_(agg), ctx_(ctx) {}
@@ -176,6 +183,81 @@ class AggMerger {
   StageContext* ctx_;
   std::map<Coord, std::pair<Block, int>> merged_;
 };
+
+/// An output block buffered by a work item until the commit pass.
+struct BlockResult {
+  std::int64_t bi = 0;
+  std::int64_t bj = 0;
+  Block block;
+};
+
+/// Outcome of one independent work item of a parallel operator.
+struct WorkItem {
+  Status status;
+  int task = 0;  // task committing this item's outputs
+  std::vector<BlockResult> outputs;
+};
+
+/// Executes `count` work items: on the global pool when `threads` > 1,
+/// inline and in index order otherwise (threads=1 and meta-block
+/// simulation).  Items are independent, and every observable side effect
+/// is replayed by a sequential commit pass afterwards, so results are
+/// identical for every thread count.
+void RunItems(int threads, std::int64_t count,
+              const std::function<void(std::int64_t)>& fn) {
+  if (threads > 1) {
+    GlobalThreadPool()->ParallelFor(0, count, fn, threads);
+  } else {
+    for (std::int64_t i = 0; i < count; ++i) fn(i);
+  }
+}
+
+/// True when every bound input carries real block data.  Meta-block
+/// (analytic simulation) stages always run serially so the simulator stays
+/// deterministic byte-for-byte.
+bool AllInputsReal(const FusedInputs& inputs) {
+  for (const auto& [id, dm] : inputs) {
+    if (!dm->blocks().IsReal()) return false;
+  }
+  return true;
+}
+
+/// Commits round-robin-partitioned work items in the serial global
+/// (bi, bj) scan order: replays each task's buffered blocks against the
+/// shared context, reproducing the exact charge and aggregation-merge
+/// sequence of the serial implementation.  An item that stopped early
+/// surfaces its error at the position where the serial run would have
+/// failed.
+Status CommitRoundRobin(std::int64_t grid_rows, std::int64_t grid_cols,
+                        std::vector<WorkItem>* items, bool agg_root,
+                        AggMerger* agg_merger, BlockedMatrix* out_blocks,
+                        StageContext* ctx) {
+  const int num_tasks = static_cast<int>(items->size());
+  std::vector<std::size_t> cursor(items->size(), 0);
+  for (std::int64_t bi = 0; bi < grid_rows; ++bi) {
+    for (std::int64_t bj = 0; bj < grid_cols; ++bj) {
+      const int t = static_cast<int>((bi * grid_cols + bj) % num_tasks);
+      WorkItem& item = (*items)[static_cast<std::size_t>(t)];
+      if (cursor[t] >= item.outputs.size()) {
+        FUSEME_RETURN_IF_ERROR(item.status);
+        return Status::Internal("work item emitted too few blocks");
+      }
+      BlockResult& out = item.outputs[cursor[t]++];
+      if (agg_root) {
+        FUSEME_RETURN_IF_ERROR(agg_merger->Add(t, bi, bj, out.block));
+      } else {
+        FUSEME_RETURN_IF_ERROR(
+            ctx->ChargeMemory(t, out.block.SizeBytes()));
+        out_blocks->set_block(bi, bj, std::move(out.block));
+      }
+    }
+  }
+  // A trailing error (e.g. the accounting flush) with all blocks emitted.
+  for (const WorkItem& item : *items) {
+    FUSEME_RETURN_IF_ERROR(item.status);
+  }
+  return Status::OK();
+}
 
 }  // namespace
 
@@ -241,9 +323,10 @@ Result<DistributedMatrix> CuboidFusedOperator::Execute(
   const std::int64_t eff_q = static_cast<std::int64_t>(j_parts.size());
   const std::int64_t eff_r = static_cast<std::int64_t>(k_parts.size());
 
-  TaskFetcher fetchers(&inputs, ctx);
   BlockedMatrix out_blocks(root.rows, root.cols, bs);
   AggMerger agg_merger(root, ctx);
+
+  const int threads = AllInputsReal(inputs) ? ctx->Parallelism() : 1;
 
   auto task_id = [&](std::int64_t p, std::int64_t q, std::int64_t r) {
     return static_cast<int>((p * eff_q + q) * eff_r + r);
@@ -253,41 +336,70 @@ Result<DistributedMatrix> CuboidFusedOperator::Execute(
     // Cell fusion: no model space to partition.  Output blocks are
     // round-robin over P·Q tasks — the same placement as kGrid-partitioned
     // inputs, so same-shaped inputs are consumed as narrow dependencies
-    // (no shuffle).
+    // (no shuffle).  Each task is one work item.
     const int num_tasks = static_cast<int>(eff_p * eff_q);
-    std::map<int, std::unique_ptr<KernelEvaluator>> evals;
-    for (std::int64_t bi = 0; bi < out_grid.grid_rows(); ++bi) {
-      for (std::int64_t bj = 0; bj < out_grid.grid_cols(); ++bj) {
-        const int task = static_cast<int>(
-            (bi * out_grid.grid_cols() + bj) % num_tasks);
-        auto& eval = evals[task];
-        if (eval == nullptr) {
-          eval = std::make_unique<KernelEvaluator>(&plan, bs,
-                                                   fetchers.For(task));
+    const std::int64_t gr = out_grid.grid_rows();
+    const std::int64_t gc = out_grid.grid_cols();
+    std::vector<WorkItem> items(num_tasks);
+    RunItems(threads, num_tasks, [&](std::int64_t t) {
+      WorkItem& item = items[static_cast<std::size_t>(t)];
+      item.task = static_cast<int>(t);
+      LocalStageAccounting local(ctx);
+      TaskFetcher fetcher(&inputs, &local);
+      Status run = [&]() -> Status {
+        std::unique_ptr<KernelEvaluator> eval;
+        for (std::int64_t bi = 0; bi < gr; ++bi) {
+          for (std::int64_t bj = 0; bj < gc; ++bj) {
+            if ((bi * gc + bj) % num_tasks != t) continue;
+            if (eval == nullptr) {
+              eval = std::make_unique<KernelEvaluator>(
+                  &plan, bs, fetcher.For(item.task));
+            }
+            const std::int64_t before = eval->flops();
+            FUSEME_ASSIGN_OR_RETURN(Block result,
+                                    eval->Eval(plan.root(), bi, bj));
+            local.ChargeFlops(item.task, eval->flops() - before);
+            item.outputs.push_back({bi, bj, std::move(result)});
+          }
         }
-        const std::int64_t before = eval->flops();
-        FUSEME_ASSIGN_OR_RETURN(Block result,
-                                eval->Eval(plan.root(), bi, bj));
-        ctx->ChargeFlops(task, eval->flops() - before);
-        if (agg_root) {
-          FUSEME_RETURN_IF_ERROR(agg_merger.Add(task, bi, bj, result));
-        } else {
-          FUSEME_RETURN_IF_ERROR(
-              ctx->ChargeMemory(task, result.SizeBytes()));
-          out_blocks.set_block(bi, bj, std::move(result));
-        }
-      }
-    }
+        return Status::OK();
+      }();
+      Status flushed = local.Flush();
+      item.status = run.ok() ? std::move(flushed) : std::move(run);
+    });
+    FUSEME_RETURN_IF_ERROR(CommitRoundRobin(gr, gc, &items, agg_root,
+                                            &agg_merger, &out_blocks, ctx));
     if (agg_root) return agg_merger.Finish(bs, num_tasks);
     return DistributedMatrix::Create(std::move(out_blocks),
                                      PartitionScheme::kGrid, num_tasks);
   }
 
+  // One work item per non-empty (p, q) cuboid column; the R k-slices of a
+  // column are phases of the same item (phase 2 consumes phase 1's
+  // partials, and the r-ascending shuffle-merge keeps the first-writer
+  // order deterministic).
+  std::vector<Coord> columns;
+  columns.reserve(static_cast<std::size_t>(eff_p * eff_q));
   for (std::int64_t p = 0; p < eff_p; ++p) {
     for (std::int64_t q = 0; q < eff_q; ++q) {
       const auto [i0, i1] = i_parts[p];
       const auto [j0, j1] = j_parts[q];
       if (i0 == i1 || j0 == j1) continue;
+      columns.emplace_back(p, q);
+    }
+  }
+
+  std::vector<WorkItem> items(columns.size());
+  RunItems(threads, static_cast<std::int64_t>(columns.size()),
+           [&](std::int64_t idx) {
+    const auto [p, q] = columns[static_cast<std::size_t>(idx)];
+    WorkItem& item = items[static_cast<std::size_t>(idx)];
+    item.task = task_id(p, q, 0);
+    LocalStageAccounting local(ctx);
+    TaskFetcher fetcher(&inputs, &local);
+    Status run = [&, p = p, q = q]() -> Status {
+      const auto [i0, i1] = i_parts[p];
+      const auto [j0, j1] = j_parts[q];
 
       // --- Phase 1 (R > 1 only): per-k-slice partial matmuls. ---
       std::map<Coord, Block> mm_partials;
@@ -296,7 +408,7 @@ Result<DistributedMatrix> CuboidFusedOperator::Execute(
           const int task = task_id(p, q, r);
           const auto [k0, k1] = k_parts[r];
           if (k0 == k1) continue;
-          KernelEvaluator eval(&plan, bs, fetchers.For(task));
+          KernelEvaluator eval(&plan, bs, fetcher.For(task));
           eval.RestrictK(mm, k0, k1);
           if (driver.found()) eval.SetSparseDriver(driver);
           for (std::int64_t bi = i0; bi < i1; ++bi) {
@@ -308,11 +420,11 @@ Result<DistributedMatrix> CuboidFusedOperator::Execute(
               FUSEME_RETURN_IF_ERROR(partial.status());
               if (r != 0) {
                 // Shuffle to the r=0 task in the aggregation step.
-                ctx->ChargeAggregation(task, partial->SizeBytes());
+                local.ChargeAggregation(task, partial->SizeBytes());
               }
               auto it = mm_partials.find({bi, bj});
               if (it == mm_partials.end()) {
-                FUSEME_RETURN_IF_ERROR(ctx->ChargeMemory(
+                FUSEME_RETURN_IF_ERROR(local.ChargeMemory(
                     task_id(p, q, 0), partial->SizeBytes()));
                 mm_partials.emplace(Coord{bi, bj}, std::move(*partial));
               } else {
@@ -322,35 +434,46 @@ Result<DistributedMatrix> CuboidFusedOperator::Execute(
               }
             }
           }
-          ctx->ChargeFlops(task, eval.flops());
+          local.ChargeFlops(task, eval.flops());
         }
       }
 
       // --- Phase 2 (or the only phase when R == 1): evaluate the root. ---
-      const int task = task_id(p, q, 0);
-      KernelEvaluator eval(&plan, bs, fetchers.For(task));
+      KernelEvaluator eval(&plan, bs, fetcher.For(item.task));
       if (driver.found()) eval.SetSparseDriver(driver);
       if (eff_r > 1) {
         for (auto& [coord, block] : mm_partials) {
           eval.Inject(mm, coord.first, coord.second, std::move(block));
         }
-      } else if (mm != kInvalidNode) {
+      } else {
         eval.RestrictK(mm, 0, k_blocks);
       }
       for (std::int64_t bi = i0; bi < i1; ++bi) {
         for (std::int64_t bj = j0; bj < j1; ++bj) {
           FUSEME_ASSIGN_OR_RETURN(Block result,
                                   eval.Eval(plan.root(), bi, bj));
-          if (agg_root) {
-            FUSEME_RETURN_IF_ERROR(agg_merger.Add(task, bi, bj, result));
-          } else {
-            FUSEME_RETURN_IF_ERROR(
-                ctx->ChargeMemory(task, result.SizeBytes()));
-            out_blocks.set_block(bi, bj, std::move(result));
-          }
+          item.outputs.push_back({bi, bj, std::move(result)});
         }
       }
-      ctx->ChargeFlops(task, eval.flops());
+      local.ChargeFlops(item.task, eval.flops());
+      return Status::OK();
+    }();
+    Status flushed = local.Flush();
+    item.status = run.ok() ? std::move(flushed) : std::move(run);
+  });
+
+  // Sequential commit in the serial (p, q, bi, bj) order.
+  for (WorkItem& item : items) {
+    FUSEME_RETURN_IF_ERROR(item.status);
+    for (BlockResult& out : item.outputs) {
+      if (agg_root) {
+        FUSEME_RETURN_IF_ERROR(
+            agg_merger.Add(item.task, out.bi, out.bj, out.block));
+      } else {
+        FUSEME_RETURN_IF_ERROR(
+            ctx->ChargeMemory(item.task, out.block.SizeBytes()));
+        out_blocks.set_block(out.bi, out.bj, std::move(out.block));
+      }
     }
   }
 
@@ -402,53 +525,57 @@ Result<DistributedMatrix> BroadcastFusedOperator::Execute(
   }
   num_tasks = std::max(num_tasks, 1);
 
-  TaskFetcher fetchers(&inputs, ctx);
-
-  // Broadcast: every task receives every block of every side input.
-  for (NodeId ext : plan.ExternalInputs()) {
-    if (!dag.node(ext).is_matrix() || ext == main_input) continue;
-    const BlockedMatrix& side = inputs.at(ext)->blocks();
-    for (int task = 0; task < num_tasks; ++task) {
-      for (std::int64_t bi = 0; bi < side.grid_rows(); ++bi) {
-        for (std::int64_t bj = 0; bj < side.grid_cols(); ++bj) {
-          const std::int64_t bytes = side.block(bi, bj).SizeBytes();
-          ctx->ChargeConsolidation(task, bytes);
-          FUSEME_RETURN_IF_ERROR(ctx->ChargeMemory(task, bytes));
-          fetchers.MarkResident(task, ext, bi, bj);
-        }
-      }
-    }
-  }
-
   BlockedMatrix out_blocks(root.rows, root.cols, bs);
   AggMerger agg_merger(root, ctx);
   const NodeGrid out_grid{grid_node.rows, grid_node.cols, bs};
+  const std::int64_t gr = out_grid.grid_rows();
+  const std::int64_t gc = out_grid.grid_cols();
 
-  // Output blocks round-robin over the tasks; the main matrix blocks each
-  // task needs are fetched (repartition traffic).
-  std::vector<KernelEvaluator> evals;
-  evals.reserve(num_tasks);
-  for (int t = 0; t < num_tasks; ++t) {
-    evals.emplace_back(&plan, bs, fetchers.For(t));
-    if (driver.found()) evals.back().SetSparseDriver(driver);
-  }
-  for (std::int64_t bi = 0; bi < out_grid.grid_rows(); ++bi) {
-    for (std::int64_t bj = 0; bj < out_grid.grid_cols(); ++bj) {
-      const int task = static_cast<int>(
-          (bi * out_grid.grid_cols() + bj) % num_tasks);
-      KernelEvaluator& eval = evals[task];
-      const std::int64_t before = eval.flops();
-      FUSEME_ASSIGN_OR_RETURN(Block result, eval.Eval(plan.root(), bi, bj));
-      ctx->ChargeFlops(task, eval.flops() - before);
-      if (agg_root) {
-        FUSEME_RETURN_IF_ERROR(agg_merger.Add(task, bi, bj, result));
-      } else {
-        FUSEME_RETURN_IF_ERROR(ctx->ChargeMemory(task, result.SizeBytes()));
-        out_blocks.set_block(bi, bj, std::move(result));
+  const int threads = AllInputsReal(inputs) ? ctx->Parallelism() : 1;
+
+  // One work item per task: receive the broadcast side inputs, then
+  // evaluate this task's round-robin share of the output grid, fetching
+  // the main matrix blocks it needs (repartition traffic).
+  std::vector<WorkItem> items(num_tasks);
+  RunItems(threads, num_tasks, [&](std::int64_t t) {
+    WorkItem& item = items[static_cast<std::size_t>(t)];
+    item.task = static_cast<int>(t);
+    LocalStageAccounting local(ctx);
+    TaskFetcher fetcher(&inputs, &local);
+    Status run = [&]() -> Status {
+      // Broadcast: this task receives every block of every side input.
+      for (NodeId ext : plan.ExternalInputs()) {
+        if (!dag.node(ext).is_matrix() || ext == main_input) continue;
+        const BlockedMatrix& side = inputs.at(ext)->blocks();
+        for (std::int64_t bi = 0; bi < side.grid_rows(); ++bi) {
+          for (std::int64_t bj = 0; bj < side.grid_cols(); ++bj) {
+            const std::int64_t bytes = side.block(bi, bj).SizeBytes();
+            local.ChargeConsolidation(item.task, bytes);
+            FUSEME_RETURN_IF_ERROR(local.ChargeMemory(item.task, bytes));
+            fetcher.MarkResident(item.task, ext, bi, bj);
+          }
+        }
       }
-    }
-  }
+      KernelEvaluator eval(&plan, bs, fetcher.For(item.task));
+      if (driver.found()) eval.SetSparseDriver(driver);
+      for (std::int64_t bi = 0; bi < gr; ++bi) {
+        for (std::int64_t bj = 0; bj < gc; ++bj) {
+          if ((bi * gc + bj) % num_tasks != t) continue;
+          const std::int64_t before = eval.flops();
+          FUSEME_ASSIGN_OR_RETURN(Block result,
+                                  eval.Eval(plan.root(), bi, bj));
+          local.ChargeFlops(item.task, eval.flops() - before);
+          item.outputs.push_back({bi, bj, std::move(result)});
+        }
+      }
+      return Status::OK();
+    }();
+    Status flushed = local.Flush();
+    item.status = run.ok() ? std::move(flushed) : std::move(run);
+  });
 
+  FUSEME_RETURN_IF_ERROR(CommitRoundRobin(gr, gc, &items, agg_root,
+                                          &agg_merger, &out_blocks, ctx));
   if (agg_root) {
     return agg_merger.Finish(bs, num_tasks);
   }

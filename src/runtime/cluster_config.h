@@ -34,6 +34,12 @@ struct ClusterConfig {
   /// shuffle machinery occupying cores while data moves (paper §6.2,
   /// "Apache Spark tends to occupy CPU cores ... for data shuffling").
   double shuffle_cpu_factor = 1.0;
+  /// Local execution parallelism of the real-mode physical operators:
+  /// total number of threads, calling thread included.  0 = the process
+  /// default (FUSEME_THREADS env or hardware_concurrency); 1 = serial.
+  /// Results and StageStats are identical for every value — see
+  /// DESIGN.md "Execution runtime".
+  int local_threads = 0;
 
   /// Total task slots in the cluster (T).
   int total_tasks() const { return num_nodes * tasks_per_node; }

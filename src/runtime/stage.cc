@@ -4,8 +4,21 @@
 
 #include "common/logging.h"
 #include "common/string_util.h"
+#include "common/thread_pool.h"
 
 namespace fuseme {
+
+namespace {
+
+Status OverBudget(const std::string& label, int task, std::int64_t used,
+                  std::int64_t budget) {
+  return Status::OutOfMemory(
+      label + ": task " + std::to_string(task) + " needs " +
+      HumanBytes(static_cast<double>(used)) + " > budget " +
+      HumanBytes(static_cast<double>(budget)));
+}
+
+}  // namespace
 
 TaskAccounting& StageContext::GrowTo(int task) {
   FUSEME_CHECK_GE(task, 0);
@@ -32,11 +45,8 @@ Status StageContext::ChargeMemory(int task, std::int64_t bytes) {
   acct.memory_used += bytes;
   acct.memory_peak = std::max(acct.memory_peak, acct.memory_used);
   if (acct.memory_used > config_.task_memory_budget) {
-    return Status::OutOfMemory(
-        label_ + ": task " + std::to_string(task) + " needs " +
-        HumanBytes(static_cast<double>(acct.memory_used)) +
-        " > budget " +
-        HumanBytes(static_cast<double>(config_.task_memory_budget)));
+    return OverBudget(label_, task, acct.memory_used,
+                      config_.task_memory_budget);
   }
   return Status::OK();
 }
@@ -45,6 +55,27 @@ void StageContext::ReleaseMemory(int task, std::int64_t bytes) {
   TaskAccounting& acct = GrowTo(task);
   acct.memory_used -= bytes;
   FUSEME_CHECK_GE(acct.memory_used, 0);
+}
+
+Status StageContext::MergeTask(int task, const TaskAccounting& local) {
+  std::lock_guard<std::mutex> lock(merge_mu_);
+  TaskAccounting& acct = GrowTo(task);
+  acct.consolidation_bytes += local.consolidation_bytes;
+  acct.aggregation_bytes += local.aggregation_bytes;
+  acct.flops += local.flops;
+  acct.memory_peak =
+      std::max(acct.memory_peak, acct.memory_used + local.memory_peak);
+  acct.memory_used += local.memory_used;
+  if (acct.memory_used > config_.task_memory_budget) {
+    return OverBudget(label_, task, acct.memory_used,
+                      config_.task_memory_budget);
+  }
+  return Status::OK();
+}
+
+int StageContext::Parallelism() const {
+  return config_.local_threads > 0 ? config_.local_threads
+                                   : GlobalParallelism();
 }
 
 const TaskAccounting& StageContext::task(int task_id) const {
@@ -66,6 +97,45 @@ StageStats StageContext::Finalize() const {
     stats.max_task_memory = std::max(stats.max_task_memory, t.memory_peak);
   }
   return stats;
+}
+
+void LocalStageAccounting::ChargeConsolidation(int task, std::int64_t bytes) {
+  tasks_[task].consolidation_bytes += bytes;
+}
+
+void LocalStageAccounting::ChargeAggregation(int task, std::int64_t bytes) {
+  tasks_[task].aggregation_bytes += bytes;
+}
+
+void LocalStageAccounting::ChargeFlops(int task, std::int64_t flops) {
+  tasks_[task].flops += flops;
+}
+
+Status LocalStageAccounting::ChargeMemory(int task, std::int64_t bytes) {
+  TaskAccounting& acct = tasks_[task];
+  acct.memory_used += bytes;
+  acct.memory_peak = std::max(acct.memory_peak, acct.memory_used);
+  if (acct.memory_used > config().task_memory_budget) {
+    return OverBudget(parent_->label(), task, acct.memory_used,
+                      config().task_memory_budget);
+  }
+  return Status::OK();
+}
+
+void LocalStageAccounting::ReleaseMemory(int task, std::int64_t bytes) {
+  TaskAccounting& acct = tasks_[task];
+  acct.memory_used -= bytes;
+  FUSEME_CHECK_GE(acct.memory_used, 0);
+}
+
+Status LocalStageAccounting::Flush() {
+  Status first;
+  for (const auto& [task, acct] : tasks_) {
+    Status s = parent_->MergeTask(task, acct);
+    if (!s.ok() && first.ok()) first = std::move(s);
+  }
+  tasks_.clear();
+  return first;
 }
 
 }  // namespace fuseme

@@ -2,11 +2,22 @@
 // (matrix consolidation -> local operation -> matrix aggregation, §2.2) and
 // records, per task, the bytes it received, the bytes it emitted into the
 // aggregation shuffle, the FLOPs it executed, and its peak memory.
+//
+// Concurrency model (see DESIGN.md "Execution runtime"): physical
+// operators run their independent work items on a thread pool.  Each work
+// item charges a task-local LocalStageAccounting and folds it into the
+// shared StageContext under a mutex when the item completes
+// (StageContext::MergeTask).  Because the operators never release memory
+// mid-stage, every per-task accumulator is a plain sum, so the merged
+// totals are independent of item completion order — parallel stats are
+// bitwise-identical to a serial run.
 
 #ifndef FUSEME_RUNTIME_STAGE_H_
 #define FUSEME_RUNTIME_STAGE_H_
 
 #include <cstdint>
+#include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -39,27 +50,57 @@ struct StageStats {
   }
 };
 
+/// Charging interface shared by the stage-wide context and the per-work-item
+/// local accumulator, so operator plumbing (fetchers, mergers) is agnostic
+/// to where a charge lands.
+class StageAccounting {
+ public:
+  virtual ~StageAccounting() = default;
+
+  virtual const ClusterConfig& config() const = 0;
+
+  virtual void ChargeConsolidation(int task, std::int64_t bytes) = 0;
+  virtual void ChargeAggregation(int task, std::int64_t bytes) = 0;
+  virtual void ChargeFlops(int task, std::int64_t flops) = 0;
+
+  /// Charges `bytes` of live memory on `task`; fails with OutOfMemory when
+  /// the running total would exceed the task budget.
+  virtual Status ChargeMemory(int task, std::int64_t bytes) = 0;
+  /// Releases previously charged memory (peak is retained).
+  virtual void ReleaseMemory(int task, std::int64_t bytes) = 0;
+};
+
 /// Mutable accounting context handed to a physical operator while it runs.
 /// Task ids are logical (0..num_tasks-1 for the stage); the context grows on
 /// demand.  Memory charges are validated against the per-task budget so an
 /// operator that over-replicates reports OutOfMemory exactly like the
 /// paper's failed BFO/RFO runs.
-class StageContext {
+///
+/// The direct Charge* methods are NOT thread-safe; concurrent work items
+/// must charge a LocalStageAccounting and fold it in via MergeTask (which
+/// is thread-safe against other MergeTask calls).
+class StageContext : public StageAccounting {
  public:
   StageContext(std::string label, const ClusterConfig& config)
       : label_(std::move(label)), config_(config) {}
 
-  const ClusterConfig& config() const { return config_; }
+  const ClusterConfig& config() const override { return config_; }
+  const std::string& label() const { return label_; }
 
-  void ChargeConsolidation(int task, std::int64_t bytes);
-  void ChargeAggregation(int task, std::int64_t bytes);
-  void ChargeFlops(int task, std::int64_t flops);
+  void ChargeConsolidation(int task, std::int64_t bytes) override;
+  void ChargeAggregation(int task, std::int64_t bytes) override;
+  void ChargeFlops(int task, std::int64_t flops) override;
+  Status ChargeMemory(int task, std::int64_t bytes) override;
+  void ReleaseMemory(int task, std::int64_t bytes) override;
 
-  /// Charges `bytes` of live memory on `task`; fails with OutOfMemory when
-  /// the running total would exceed the task budget.
-  Status ChargeMemory(int task, std::int64_t bytes);
-  /// Releases previously charged memory (peak is retained).
-  void ReleaseMemory(int task, std::int64_t bytes);
+  /// Folds a completed work item's accounting for `task` into this context
+  /// under the context mutex, re-validating the memory budget on the merged
+  /// totals.  Safe to call from concurrent work items.
+  Status MergeTask(int task, const TaskAccounting& local);
+
+  /// Effective thread count for executing this stage's work items:
+  /// config().local_threads, with 0 resolved to the process-wide default.
+  int Parallelism() const;
 
   int num_tasks() const { return static_cast<int>(tasks_.size()); }
   const TaskAccounting& task(int task_id) const;
@@ -72,7 +113,34 @@ class StageContext {
 
   std::string label_;
   ClusterConfig config_;
+  std::mutex merge_mu_;
   std::vector<TaskAccounting> tasks_;
+};
+
+/// Task-local accounting for one work item of a parallel operator.  Not
+/// thread-safe (each work item owns one); Flush() folds every touched task
+/// into the parent StageContext via MergeTask.  The per-task memory budget
+/// is enforced locally too, so an over-replicating item fails fast with the
+/// same OutOfMemory message a serial run would produce.
+class LocalStageAccounting final : public StageAccounting {
+ public:
+  explicit LocalStageAccounting(StageContext* parent) : parent_(parent) {}
+
+  const ClusterConfig& config() const override { return parent_->config(); }
+
+  void ChargeConsolidation(int task, std::int64_t bytes) override;
+  void ChargeAggregation(int task, std::int64_t bytes) override;
+  void ChargeFlops(int task, std::int64_t flops) override;
+  Status ChargeMemory(int task, std::int64_t bytes) override;
+  void ReleaseMemory(int task, std::int64_t bytes) override;
+
+  /// Merges every charged task into the parent context (thread-safe) and
+  /// clears the local state.  Returns the first merge error, if any.
+  Status Flush();
+
+ private:
+  StageContext* parent_;
+  std::map<int, TaskAccounting> tasks_;
 };
 
 }  // namespace fuseme

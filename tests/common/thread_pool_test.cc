@@ -1,0 +1,159 @@
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace fuseme {
+namespace {
+
+TEST(ThreadPoolTest, SubmitReturnsResult) {
+  ThreadPool pool(3);
+  auto fut = pool.Submit([] { return 6 * 7; });
+  EXPECT_EQ(fut.get(), 42);
+}
+
+TEST(ThreadPoolTest, SubmitPropagatesException) {
+  ThreadPool pool(2);
+  auto fut = pool.Submit([]() -> int {
+    throw std::runtime_error("boom");
+  });
+  EXPECT_THROW(fut.get(), std::runtime_error);
+}
+
+TEST(ThreadPoolTest, ZeroWorkersRunsInline) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_threads(), 0);
+  std::thread::id caller = std::this_thread::get_id();
+  auto fut = pool.Submit([&] { return std::this_thread::get_id(); });
+  EXPECT_EQ(fut.get(), caller);
+  std::vector<int> order;
+  pool.ParallelFor(0, 5, [&](std::int64_t i) {
+    order.push_back(static_cast<int>(i));
+  });
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(ThreadPoolTest, ParallelForCoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr int kN = 10000;
+  std::vector<std::atomic<int>> hits(kN);
+  pool.ParallelFor(0, kN, [&](std::int64_t i) { hits[i].fetch_add(1); });
+  for (int i = 0; i < kN; ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForEmptyAndSingleRanges) {
+  ThreadPool pool(2);
+  int calls = 0;
+  pool.ParallelFor(3, 3, [&](std::int64_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  pool.ParallelFor(7, 8, [&](std::int64_t i) {
+    ++calls;
+    EXPECT_EQ(i, 7);
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ThreadPoolTest, MaxParallelismOneIsSerialInOrder) {
+  ThreadPool pool(4);
+  std::vector<int> order;  // unsynchronized on purpose: must be serial
+  pool.ParallelFor(0, 100, [&](std::int64_t i) {
+    order.push_back(static_cast<int>(i));
+  }, /*max_parallelism=*/1);
+  std::vector<int> expected(100);
+  std::iota(expected.begin(), expected.end(), 0);
+  EXPECT_EQ(order, expected);
+}
+
+TEST(ThreadPoolTest, ParallelForRethrowsLowestIndexedException) {
+  ThreadPool pool(4);
+  // Run many times: which failing indices actually execute is scheduling
+  // dependent (the abort flag skips unclaimed work), but the rethrown
+  // exception must be the lowest index among those that threw — never a
+  // tear of the two messages, never a silent success.
+  for (int round = 0; round < 20; ++round) {
+    try {
+      pool.ParallelFor(0, 1000, [&](std::int64_t i) {
+        if (i == 3 || i == 700) {
+          throw std::runtime_error("fail at " + std::to_string(i));
+        }
+      });
+      FAIL() << "expected ParallelFor to rethrow";
+    } catch (const std::runtime_error& e) {
+      const std::string what = e.what();
+      EXPECT_TRUE(what == "fail at 3" || what == "fail at 700") << what;
+    }
+  }
+}
+
+TEST(ThreadPoolTest, SerialParallelForRethrowsFirstException) {
+  ThreadPool pool(4);
+  int last_seen = -1;
+  try {
+    pool.ParallelFor(0, 100, [&](std::int64_t i) {
+      last_seen = static_cast<int>(i);
+      if (i == 10) throw std::runtime_error("ten");
+    }, /*max_parallelism=*/1);
+    FAIL() << "expected ParallelFor to rethrow";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "ten");
+  }
+  // Serial mode stops at the throwing index.
+  EXPECT_EQ(last_seen, 10);
+}
+
+TEST(ThreadPoolTest, NestedParallelForRunsInlineOnWorker) {
+  ThreadPool pool(3);
+  std::atomic<int> total{0};
+  pool.ParallelFor(0, 8, [&](std::int64_t) {
+    // From a pool thread (or the caller), the inner loop must complete
+    // without deadlocking even though every worker may be busy with the
+    // outer loop.
+    int inner = 0;
+    pool.ParallelFor(0, 16, [&](std::int64_t) { ++inner; });
+    EXPECT_EQ(inner, 16);
+    total.fetch_add(inner);
+  });
+  EXPECT_EQ(total.load(), 8 * 16);
+}
+
+TEST(ThreadPoolTest, InWorkerIsTrueOnlyOnPoolThreads) {
+  ThreadPool pool(2);
+  EXPECT_FALSE(pool.InWorker());
+  auto fut = pool.Submit([&] { return pool.InWorker(); });
+  EXPECT_TRUE(fut.get());
+}
+
+TEST(ThreadPoolTest, DestructorDrainsPendingTasks) {
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(1);
+    for (int i = 0; i < 64; ++i) {
+      pool.Submit([&] { ran.fetch_add(1); });
+    }
+  }  // ~ThreadPool must run all 64 tasks before joining.
+  EXPECT_EQ(ran.load(), 64);
+}
+
+TEST(GlobalThreadPoolTest, ResizeControlsParallelism) {
+  const int before = GlobalParallelism();
+  SetGlobalThreadPoolThreads(1);
+  EXPECT_EQ(GlobalParallelism(), 1);
+  EXPECT_EQ(GlobalThreadPool()->num_threads(), 0);
+  SetGlobalThreadPoolThreads(4);
+  EXPECT_EQ(GlobalParallelism(), 4);
+  EXPECT_EQ(GlobalThreadPool()->num_threads(), 3);
+  std::atomic<int> count{0};
+  GlobalThreadPool()->ParallelFor(0, 100,
+                                  [&](std::int64_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 100);
+  SetGlobalThreadPoolThreads(before);
+}
+
+}  // namespace
+}  // namespace fuseme

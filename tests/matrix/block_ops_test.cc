@@ -278,6 +278,59 @@ TEST(MatMulAccTest, AccumulatesAcrossCalls) {
   EXPECT_LE(DenseMatrix::MaxAbsDiff(acc, twice), 1e-10);
 }
 
+TEST(MatMulAccTest, MetaBlocksAreInvalidArgument) {
+  // Meta blocks are analytic descriptors with no values; accumulating them
+  // is a caller bug, not an engine failure.
+  DenseMatrix acc(3, 5);
+  Block a = Block::Meta(3, 4, 6);
+  Block b = Block::Meta(4, 5, 10);
+  Status st = MatMulAcc(&acc, a, b);
+  EXPECT_TRUE(st.IsInvalidArgument()) << st;
+  EXPECT_NE(st.message().find("3x4"), std::string::npos) << st;
+  EXPECT_NE(st.message().find("4x5"), std::string::npos) << st;
+
+  // Mixed meta x real is just as invalid.
+  Block real = Block::FromDense(RandomDense(4, 5, 7, 1.0, 2.0));
+  EXPECT_TRUE(MatMulAcc(&acc, a, real).IsInvalidArgument());
+}
+
+TEST(MatMulAccTest, InnerDimMismatchIsInvalidArgument) {
+  DenseMatrix acc(2, 2);
+  Block a = Block::FromDense(RandomDense(2, 3, 8, 1.0, 2.0));
+  Block b = Block::FromDense(RandomDense(4, 2, 9, 1.0, 2.0));
+  Status st = MatMulAcc(&acc, a, b);
+  EXPECT_TRUE(st.IsInvalidArgument()) << st;
+  EXPECT_NE(st.message().find("2x3"), std::string::npos) << st;
+}
+
+// The dense GEMM is cache-blocked (64-row slabs, 256x256 panels).  Odd
+// shapes that straddle every tile boundary must match the naive triple
+// loop bitwise: the tiling reorders the loop nest but keeps each output
+// element's k-ascending accumulation order.
+TEST(MatMulAccTest, TiledGemmMatchesNaiveBitwise) {
+  const std::int64_t m = 150, k = 300, n = 280;
+  DenseMatrix da = RandomDense(m, k, 71, -1.0, 1.0);
+  DenseMatrix db = RandomDense(k, n, 72, -1.0, 1.0);
+
+  DenseMatrix naive(m, n);
+  for (std::int64_t i = 0; i < m; ++i) {
+    for (std::int64_t kk = 0; kk < k; ++kk) {
+      const double va = da(i, kk);
+      for (std::int64_t j = 0; j < n; ++j) {
+        naive(i, j) += va * db(kk, j);
+      }
+    }
+  }
+
+  DenseMatrix acc(m, n);
+  std::int64_t flops = 0;
+  ASSERT_TRUE(
+      MatMulAcc(&acc, Block::FromDense(da), Block::FromDense(db), &flops)
+          .ok());
+  EXPECT_EQ(DenseMatrix::MaxAbsDiff(acc, naive), 0.0);
+  EXPECT_EQ(flops, 2 * m * k * n);
+}
+
 class TransposeAllReprs : public ::testing::TestWithParam<Repr> {};
 
 TEST_P(TransposeAllReprs, MatchesDenseReference) {

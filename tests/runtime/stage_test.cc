@@ -80,5 +80,65 @@ TEST(StageContextTest, UnknownTaskReadsEmpty) {
   EXPECT_EQ(ctx.task(99).flops, 0);
 }
 
+TEST(LocalStageAccountingTest, FlushMergesIntoParent) {
+  StageContext ctx("stage", SmallCluster());
+  ctx.ChargeFlops(0, 5);
+  LocalStageAccounting local(&ctx);
+  local.ChargeConsolidation(0, 100);
+  local.ChargeAggregation(1, 50);
+  local.ChargeFlops(0, 10);
+  ASSERT_TRUE(local.ChargeMemory(1, 400).ok());
+
+  // Nothing lands on the parent until Flush.
+  EXPECT_EQ(ctx.task(0).consolidation_bytes, 0);
+  EXPECT_EQ(ctx.task(1).memory_used, 0);
+
+  ASSERT_TRUE(local.Flush().ok());
+  EXPECT_EQ(ctx.task(0).consolidation_bytes, 100);
+  EXPECT_EQ(ctx.task(0).flops, 15);
+  EXPECT_EQ(ctx.task(1).aggregation_bytes, 50);
+  EXPECT_EQ(ctx.task(1).memory_used, 400);
+  EXPECT_EQ(ctx.task(1).memory_peak, 400);
+
+  // Flush clears the local state: a second flush is a no-op.
+  ASSERT_TRUE(local.Flush().ok());
+  EXPECT_EQ(ctx.task(0).flops, 15);
+}
+
+TEST(LocalStageAccountingTest, LocalBudgetFailsFast) {
+  // The per-task budget is enforced locally too, with the same message a
+  // serial run produces.
+  StageContext ctx("bfo", SmallCluster());
+  LocalStageAccounting local(&ctx);
+  ASSERT_TRUE(local.ChargeMemory(0, 900).ok());
+  Status st = local.ChargeMemory(0, 200);
+  EXPECT_TRUE(st.IsOutOfMemory());
+  EXPECT_NE(st.message().find("bfo: task 0 needs"), std::string::npos) << st;
+}
+
+TEST(LocalStageAccountingTest, MergeRevalidatesCombinedBudget) {
+  // Each side stays under budget alone; the merged total must not.
+  StageContext ctx("stage", SmallCluster());
+  ASSERT_TRUE(ctx.ChargeMemory(0, 600).ok());
+  LocalStageAccounting local(&ctx);
+  ASSERT_TRUE(local.ChargeMemory(0, 600).ok());
+  Status st = local.Flush();
+  EXPECT_TRUE(st.IsOutOfMemory()) << st;
+  EXPECT_EQ(ctx.task(0).memory_used, 1200);
+}
+
+TEST(LocalStageAccountingTest, MergePeakAccountsForParentBaseline) {
+  // Task 0 already holds 300 bytes; a work item that peaked at 500 on top
+  // of it implies a true peak of 800.
+  StageContext ctx("stage", SmallCluster());
+  ASSERT_TRUE(ctx.ChargeMemory(0, 300).ok());
+  LocalStageAccounting local(&ctx);
+  ASSERT_TRUE(local.ChargeMemory(0, 500).ok());
+  local.ReleaseMemory(0, 500);
+  ASSERT_TRUE(local.Flush().ok());
+  EXPECT_EQ(ctx.task(0).memory_used, 300);
+  EXPECT_EQ(ctx.task(0).memory_peak, 800);
+}
+
 }  // namespace
 }  // namespace fuseme
