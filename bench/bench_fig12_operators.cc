@@ -24,6 +24,7 @@ using namespace fuseme::bench;  // NOLINT
 namespace {
 
 std::vector<BenchRecord> g_records;
+Tracer g_tracer;  // spans from every engine run; TRACE_fig12_operators.json
 
 struct Row {
   std::string label;
@@ -46,6 +47,7 @@ Row RunSpec(const SyntheticSpec& spec, int num_nodes = 8) {
   EngineOptions options;
   options.analytic = true;
   options.cluster.num_nodes = num_nodes;
+  options.tracer = &g_tracer;
 
   {  // SystemDS: BFO or RFO by the §6.2 rule — its only two *fused*
      // operators ("SystemDS uses only either BFO or RFO").
@@ -160,6 +162,7 @@ void RunRealModeCfoSpeedup() {
   options.system = SystemMode::kFuseMe;
   options.cluster.block_size = bs;
   options.cluster.task_memory_budget = 1LL << 40;
+  options.tracer = &g_tracer;
 
   options.cluster.local_threads = 1;
   Engine::RunResult serial_run, parallel_run;
@@ -240,5 +243,6 @@ int main() {
 
   RunRealModeCfoSpeedup();
   WriteBenchJson("fig12_operators", g_records);
+  WriteTraceJson("fig12_operators", g_tracer);
   return 0;
 }

@@ -16,6 +16,8 @@ namespace {
 
 constexpr int kIterations = 10;
 
+Tracer g_tracer;  // stage spans; exported to TRACE_fig14_gnmf.json
+
 struct Cell {
   ExecutionReport report;  // one iteration
   bool times_out_over_run = false;
@@ -29,6 +31,7 @@ Cell RunOne(SystemMode mode, const RatingDataset& dataset, std::int64_t k) {
   EngineOptions options;
   options.system = mode;
   options.analytic = true;
+  options.tracer = &g_tracer;
   Engine engine(options);
   Cell cell;
   cell.report = engine.Run(q.dag, {}).report;
@@ -95,5 +98,6 @@ int main() {
     }
     std::printf("\n");
   }
+  WriteTraceJson("fig14_gnmf", g_tracer);
   return 0;
 }

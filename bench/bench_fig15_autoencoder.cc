@@ -19,12 +19,15 @@ using namespace fuseme::bench;  // NOLINT
 
 namespace {
 
+Tracer g_tracer;  // stage spans; exported to TRACE_fig15_autoencoder.json
+
 std::string EpochCell(SystemMode mode, std::int64_t n, std::int64_t batch,
                       std::int64_t h1, std::int64_t h2) {
   AutoEncoderQuery q = BuildAutoEncoder(batch, n, h1, h2);
   EngineOptions options;
   options.system = mode;
   options.analytic = true;
+  options.tracer = &g_tracer;
   Engine engine(options);
   ExecutionReport report = engine.Run(q.dag, {}).report;
   if (report.status.IsOutOfMemory()) return "O.O.M.";
@@ -89,5 +92,6 @@ int main() {
          {{10000, 1024, 2000, 8}},
          {{10000, 1024, 5000, 20}}},
         "(h1,h2)");
+  WriteTraceJson("fig15_autoencoder", g_tracer);
   return 0;
 }

@@ -13,8 +13,20 @@
 #include <vector>
 
 #include "engine/engine.h"
+#include "telemetry/tracer.h"
 
 namespace fuseme::bench {
+
+/// Writes `tracer`'s spans to TRACE_<name>.json (Chrome trace-event JSON)
+/// in the working directory, next to the BENCH_<name>.json result sink.
+/// Open with chrome://tracing or https://ui.perfetto.dev.
+inline bool WriteTraceJson(const std::string& bench_name,
+                           const Tracer& tracer) {
+  const std::string path = "TRACE_" + bench_name + ".json";
+  if (!tracer.WriteChromeJson(path)) return false;
+  std::printf("wrote %s (%zu spans)\n", path.c_str(), tracer.size());
+  return true;
+}
 
 /// Formats an execution outcome the way the paper's figures label bars:
 /// elapsed seconds, or the failure marker.

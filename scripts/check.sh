@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# One-command correctness gate: build + run the plain test suite, then
+# the whole suite again under AddressSanitizer (scripts/run_asan.sh).
+# Usage: scripts/check.sh
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+echo "== plain suite (build/) =="
+cmake -B build -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build build -j "$(nproc)"
+(cd build && ctest --output-on-failure)
+
+echo "== AddressSanitizer suite (build-asan/) =="
+scripts/run_asan.sh
+
+echo "== all checks passed =="

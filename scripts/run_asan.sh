@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Builds the tree with AddressSanitizer (leak checking included) and runs
+# the full test suite under it.
+# Usage: scripts/run_asan.sh [ctest -R regex]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR=build-asan
+
+cmake -B "$BUILD_DIR" -S . \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DFUSEME_SANITIZE=address
+cmake --build "$BUILD_DIR" -j "$(nproc)"
+
+export ASAN_OPTIONS="${ASAN_OPTIONS:-halt_on_error=1 detect_leaks=1}"
+
+cd "$BUILD_DIR"
+if [[ $# -gt 0 ]]; then
+  ctest --output-on-failure -R "$1"
+else
+  ctest --output-on-failure
+fi

@@ -1,6 +1,7 @@
 #include "cost/optimizer.h"
 
 #include <algorithm>
+#include <tuple>
 
 namespace fuseme {
 
@@ -8,7 +9,10 @@ namespace {
 
 /// Deterministic preference among (near-)equal-cost choices: lower cost,
 /// then less network traffic, then smaller volume (fewer replicas), then
-/// smaller R (cheaper aggregation).
+/// smaller R (cheaper aggregation), then lexicographic (P, Q).  The final
+/// tie-break makes this a total order over distinct cuboids, so Exhaustive
+/// and Pruned pick the SAME cuboid among equal-cost candidates even though
+/// they enumerate the grid in different axis orders.
 bool Better(const PqrChoice& a, const PqrChoice& b) {
   constexpr double kEps = 1e-12;
   if (a.cost + kEps < b.cost) return true;
@@ -16,18 +20,19 @@ bool Better(const PqrChoice& a, const PqrChoice& b) {
   if (a.net_bytes + kEps < b.net_bytes) return true;
   if (b.net_bytes + kEps < a.net_bytes) return false;
   if (a.c.volume() != b.c.volume()) return a.c.volume() < b.c.volume();
-  return a.c.R < b.c.R;
+  if (a.c.R != b.c.R) return a.c.R < b.c.R;
+  return std::tie(a.c.P, a.c.Q) < std::tie(b.c.P, b.c.Q);
 }
 
 }  // namespace
 
-void PqrOptimizer::Consider(const PartialPlan& plan, const Cuboid& c,
+bool PqrOptimizer::Consider(const PartialPlan& plan, const Cuboid& c,
                             PqrChoice* best) const {
   ++best->evaluations;
   const CostModel::Estimates est = model_->Estimate(c, plan);
   if (est.mem_per_task > static_cast<double>(
                              model_->config().task_memory_budget)) {
-    return;
+    return false;
   }
   PqrChoice candidate;
   candidate.c = c;
@@ -45,6 +50,7 @@ void PqrOptimizer::Consider(const PartialPlan& plan, const Cuboid& c,
     *best = candidate;
     best->evaluations = evals;
   }
+  return true;
 }
 
 PqrChoice PqrOptimizer::Exhaustive(const PartialPlan& plan,
@@ -90,32 +96,11 @@ PqrChoice PqrOptimizer::Pruned(const PartialPlan& plan,
       p0 = std::max<std::int64_t>(p0, 1);
       if (p0 > g.I) continue;
       for (std::int64_t p = p0; p <= g.I; ++p) {
-        ++best.evaluations;
-        const Cuboid c{p, q, r};
-        const CostModel::Estimates est = model_->Estimate(c, plan);
-        if (est.mem_per_task >
-            static_cast<double>(model_->config().task_memory_budget)) {
-          continue;  // infeasible: a larger P may still fit
-        }
-        // Feasible: anything with larger P costs at least as much.
-        PqrChoice candidate;
-        candidate.c = c;
-        candidate.mem_per_task = est.mem_per_task;
-        candidate.net_bytes = est.net_bytes;
-        candidate.agg_bytes = est.agg_bytes;
-        candidate.flops = est.flops;
-        const double n = static_cast<double>(model_->config().num_nodes);
-        candidate.cost = std::max(
-            (est.net_bytes + est.agg_bytes) /
-                (n * model_->config().net_bandwidth),
-            est.flops / (n * model_->config().compute_bandwidth));
-        candidate.feasible = true;
-        if (!best.feasible || Better(candidate, best)) {
-          const std::int64_t evals = best.evaluations;
-          best = candidate;
-          best.evaluations = evals;
-        }
-        break;
+        // First memory-feasible P wins this (q, r) column: NetEst and
+        // ComEst are nondecreasing in P while volume strictly grows, so
+        // every larger P compares worse under Better() (infeasible points
+        // must still be skipped — MemEst shrinks with P).
+        if (Consider(plan, Cuboid{p, q, r}, &best)) break;
       }
     }
   }

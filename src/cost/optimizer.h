@@ -50,7 +50,9 @@ class PqrOptimizer {
 
  private:
   /// Evaluates one parameter point; updates `best` if feasible and better.
-  void Consider(const PartialPlan& plan, const Cuboid& c,
+  /// Returns whether the point was memory-feasible (used by Pruned to stop
+  /// scanning an axis at the first feasible point).
+  bool Consider(const PartialPlan& plan, const Cuboid& c,
                 PqrChoice* best) const;
 
   const CostModel* model_;

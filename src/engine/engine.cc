@@ -1,14 +1,37 @@
 #include "engine/engine.h"
 
 #include <algorithm>
+#include <chrono>
+#include <numeric>
 
 #include "common/logging.h"
 #include "common/string_util.h"
 #include "fusion/sparsity_analysis.h"
 #include "matrix/block.h"
 #include "ops/fused_operator.h"
+#include "telemetry/tracer.h"
 
 namespace fuseme {
+
+namespace {
+
+const char* OperatorKindName(OperatorKind kind) {
+  switch (kind) {
+    case OperatorKind::kCfo:
+      return "CFO";
+    case OperatorKind::kBfo:
+      return "BFO";
+    case OperatorKind::kRfo:
+      return "RFO";
+    case OperatorKind::kCpmm:
+      return "cpmm";
+    case OperatorKind::kAuto:
+      break;
+  }
+  return "?";
+}
+
+}  // namespace
 
 std::string_view SystemModeName(SystemMode mode) {
   switch (mode) {
@@ -131,37 +154,21 @@ static std::int64_t MinFeasibleCpmmR(const CostModel& model,
 
 Result<DistributedMatrix> Engine::RunPlanReal(const PartialPlan& plan,
                                               OperatorKind kind,
+                                              const StagePrediction& pred,
                                               const FusedInputs& inputs,
                                               StageContext* ctx) const {
   switch (kind) {
     case OperatorKind::kCfo: {
-      const PqrChoice choice = Optimize(plan);
-      if (!choice.feasible) {
-        return Status::OutOfMemory(
-            "no feasible (P,Q,R) for plan " + plan.ToString() +
-            " within the per-task budget");
-      }
       CuboidOptions cuboid_options;
       cuboid_options.balance_sparsity = options_.balance_sparsity;
-      return CuboidFusedOperator::Execute(plan, choice.c, inputs, ctx,
+      return CuboidFusedOperator::Execute(plan, pred.cuboid, inputs, ctx,
                                           cuboid_options);
     }
     case OperatorKind::kBfo:
       return BroadcastFusedOperator::Execute(plan, inputs, ctx);
-    case OperatorKind::kRfo: {
-      const GridDims g = model_.Grid(plan);
-      return CuboidFusedOperator::Execute(plan, Cuboid{g.I, g.J, 1}, inputs,
-                                          ctx);
-    }
-    case OperatorKind::kCpmm: {
-      const std::int64_t r = MinFeasibleCpmmR(model_, plan);
-      if (r < 0) {
-        return Status::OutOfMemory("cpmm cannot fit " + plan.ToString() +
-                                   " within the per-task budget");
-      }
-      return CuboidFusedOperator::Execute(plan, Cuboid{1, 1, r}, inputs,
-                                          ctx);
-    }
+    case OperatorKind::kRfo:
+    case OperatorKind::kCpmm:
+      return CuboidFusedOperator::Execute(plan, pred.cuboid, inputs, ctx);
     case OperatorKind::kAuto:
       break;
   }
@@ -202,38 +209,33 @@ InputSplit SplitInputs(const PartialPlan& plan) {
 
 }  // namespace
 
-Result<DistributedMatrix> Engine::RunPlanAnalytic(const PartialPlan& plan,
-                                                  OperatorKind kind,
-                                                  const FusedInputs& inputs,
-                                                  StageStats* stats) const {
-  (void)inputs;
+Result<StagePrediction> Engine::PredictStage(const PartialPlan& plan,
+                                             OperatorKind kind,
+                                             const FusedInputs* inputs) const {
   const Dag& dag = plan.dag();
   const ClusterConfig& cluster = options_.cluster;
-  const Node& root = dag.node(plan.root());
 
-  auto make_output = [&]() {
-    BlockedMatrix meta = BlockedMatrix::MakeMeta(
-        root.rows, root.cols, root.nnz, cluster.block_size);
-    return DistributedMatrix::Create(std::move(meta), PartitionScheme::kGrid,
-                                     cluster.total_tasks());
+  StagePrediction pred;
+  pred.present = true;
+  pred.operator_kind = OperatorKindName(kind);
+
+  // Eq. 2 for estimates assembled outside the cost model's Cost().
+  auto eq2_seconds = [&](double bytes, double flops) {
+    const double n = static_cast<double>(cluster.num_nodes);
+    return std::max(bytes / (n * cluster.net_bandwidth),
+                    flops / (n * cluster.compute_bandwidth));
   };
-
-  // A matmul-bearing stage shuffle-writes its output for downstream
-  // stages (wide dependency); element-wise stages hand their output over
-  // as a narrow dependency.
-  const std::int64_t output_write =
-      plan.MatMuls().empty() ? 0 : SizeOf(dag, plan.root());
-
-  auto fill_from_cuboid = [&](const Cuboid& c,
-                              const CostModel::Estimates& est) {
-    stats->num_tasks = static_cast<int>(
-        std::min<std::int64_t>(c.volume(), 1 << 24));
-    stats->consolidation_bytes =
-        static_cast<std::int64_t>(est.net_bytes);
-    stats->aggregation_bytes =
-        static_cast<std::int64_t>(est.agg_bytes) + output_write;
-    stats->flops = static_cast<std::int64_t>(est.flops);
-    stats->max_task_memory = static_cast<std::int64_t>(est.mem_per_task);
+  auto fill_estimates = [&](const Cuboid& c,
+                            const CostModel::Estimates& est) {
+    pred.cuboid = c;
+    pred.num_tasks =
+        static_cast<int>(std::min<std::int64_t>(c.volume(), 1 << 24));
+    pred.net_bytes = est.net_bytes;
+    pred.agg_bytes = est.agg_bytes;
+    pred.flops = est.flops;
+    pred.mem_per_task = est.mem_per_task;
+    pred.cost_seconds =
+        eq2_seconds(est.net_bytes + est.agg_bytes, est.flops);
   };
 
   switch (kind) {
@@ -249,43 +251,71 @@ Result<DistributedMatrix> Engine::RunPlanAnalytic(const PartialPlan& plan,
       est.net_bytes = choice.net_bytes;
       est.agg_bytes = choice.agg_bytes;
       est.flops = choice.flops;
-      fill_from_cuboid(choice.c, est);
+      fill_estimates(choice.c, est);
+      pred.cost_seconds = choice.cost;
       if (plan.MatMuls().empty()) {
         // Cell stage: same-shaped grid-partitioned inputs are narrow
-        // dependencies (no shuffle); only reshaping inputs (vectors,
-        // transposes) move, and an aggregation root ships its per-task
-        // partials.
+        // dependencies (no shuffle) where their owner task coincides
+        // with this stage's round-robin task; only the misaligned
+        // remainder and reshaping inputs (vectors, transposes) move,
+        // and an aggregation root ships its per-task partials.  The
+        // executor behaves this way, so the prediction must too.
+        //
+        // Both sides assign tile idx round-robin, so owner(idx) =
+        // idx % producer_tasks matches task(idx) = idx % num_tasks on
+        // min/lcm of the tiles (e.g. a single-partition BFO output
+        // feeding a 6-task cell stage aligns on 1/6 of them).
+        auto aligned_fraction = [](std::int64_t consumer,
+                                   std::int64_t producer) {
+          if (consumer <= 0 || producer <= 0) return 0.0;
+          const std::int64_t g = std::gcd(consumer, producer);
+          const std::int64_t lcm = consumer / g * producer;
+          return static_cast<double>(std::min(consumer, producer)) /
+                 static_cast<double>(lcm);
+        };
+        const Node& root = dag.node(plan.root());
         const bool agg_root = root.kind == OpKind::kUnaryAgg;
         const Node& grid_node =
             agg_root ? dag.node(root.inputs[0]) : root;
-        std::int64_t net = 0;
+        double net = 0;
         for (NodeId ext : plan.ExternalInputs()) {
           const Node& n = dag.node(ext);
           if (!n.is_matrix()) continue;
+          const double bytes = static_cast<double>(SizeOf(dag, ext));
           if (n.rows == grid_node.rows && n.cols == grid_node.cols) {
+            std::int64_t producer_tasks = cluster.total_tasks();
+            if (inputs != nullptr) {
+              auto it = inputs->find(ext);
+              if (it != inputs->end()) {
+                producer_tasks =
+                    it->second->scheme() == PartitionScheme::kGrid
+                        ? it->second->num_tasks()
+                        : 0;  // row/col layouts never align
+              }
+            }
+            net += bytes *
+                   (1.0 - aligned_fraction(pred.num_tasks, producer_tasks));
             continue;
           }
-          net += SizeOf(dag, ext);
+          net += bytes;
         }
-        stats->consolidation_bytes = net;
+        pred.net_bytes = net;
         if (agg_root) {
-          stats->aggregation_bytes = std::min<std::int64_t>(
-              static_cast<std::int64_t>(est.net_bytes),
-              stats->num_tasks * SizeOf(dag, plan.root()));
+          pred.agg_bytes = std::min(
+              est.net_bytes,
+              static_cast<double>(pred.num_tasks) *
+                  static_cast<double>(SizeOf(dag, plan.root())));
         }
+        pred.cost_seconds =
+            eq2_seconds(pred.net_bytes + pred.agg_bytes, pred.flops);
       }
-      return make_output();
+      return pred;
     }
     case OperatorKind::kRfo: {
       const GridDims g = model_.Grid(plan);
       const Cuboid c{g.I, g.J, 1};
-      const CostModel::Estimates est = model_.Estimate(c, plan);
-      if (est.mem_per_task > static_cast<double>(cluster.task_memory_budget)) {
-        return Status::OutOfMemory("RFO exceeds the per-task budget on " +
-                                   plan.ToString());
-      }
-      fill_from_cuboid(c, est);
-      return make_output();
+      fill_estimates(c, model_.Estimate(c, plan));
+      return pred;
     }
     case OperatorKind::kCpmm: {
       const std::int64_t r = MinFeasibleCpmmR(model_, plan);
@@ -294,10 +324,10 @@ Result<DistributedMatrix> Engine::RunPlanAnalytic(const PartialPlan& plan,
                                    " within the per-task budget");
       }
       const Cuboid c{1, 1, r};
-      fill_from_cuboid(c, model_.Estimate(c, plan));
+      fill_estimates(c, model_.Estimate(c, plan));
       // One (p,q) pair but R k-slices: parallelism R.
-      stats->num_tasks = static_cast<int>(r);
-      return make_output();
+      pred.num_tasks = static_cast<int>(r);
+      return pred;
     }
     case OperatorKind::kBfo: {
       const InputSplit split = SplitInputs(plan);
@@ -311,26 +341,82 @@ Result<DistributedMatrix> Engine::RunPlanAnalytic(const PartialPlan& plan,
             num_tasks, EstimateSparkPartitions(split.main_bytes, blocks));
       }
       num_tasks = std::max<std::int64_t>(num_tasks, 1);
-      const double mem = static_cast<double>(split.main_bytes) / num_tasks +
-                         static_cast<double>(split.side_bytes) +
-                         static_cast<double>(SizeOf(dag, plan.root())) /
-                             num_tasks;
-      if (mem > static_cast<double>(cluster.task_memory_budget)) {
+      pred.cuboid = Cuboid{1, 1, 1};
+      pred.num_tasks = static_cast<int>(num_tasks);
+      pred.net_bytes = static_cast<double>(split.main_bytes +
+                                           num_tasks * split.side_bytes);
+      pred.agg_bytes = 0;
+      // Side-space work repeats on every task (the paper's "BFO executes
+      // the transpose T times"): the cost model at (T, T, 1) captures it.
+      pred.flops = model_.ComEst(Cuboid{num_tasks, num_tasks, 1}, plan);
+      pred.mem_per_task =
+          static_cast<double>(split.main_bytes) / num_tasks +
+          static_cast<double>(split.side_bytes) +
+          static_cast<double>(SizeOf(dag, plan.root())) / num_tasks;
+      pred.cost_seconds = eq2_seconds(pred.net_bytes, pred.flops);
+      return pred;
+    }
+    case OperatorKind::kAuto:
+      break;
+  }
+  return Status::Internal("unresolved operator kind");
+}
+
+Result<DistributedMatrix> Engine::RunPlanAnalytic(const PartialPlan& plan,
+                                                  OperatorKind kind,
+                                                  const StagePrediction& pred,
+                                                  StageStats* stats) const {
+  const Dag& dag = plan.dag();
+  const ClusterConfig& cluster = options_.cluster;
+  const Node& root = dag.node(plan.root());
+
+  auto make_output = [&]() {
+    BlockedMatrix meta = BlockedMatrix::MakeMeta(
+        root.rows, root.cols, root.nnz, cluster.block_size);
+    // Mirror the real executor's output partitioning so downstream
+    // analytic predictions see the partition counts real mode would.
+    return DistributedMatrix::Create(std::move(meta), PartitionScheme::kGrid,
+                                     std::max(pred.num_tasks, 1));
+  };
+
+  // A matmul-bearing stage shuffle-writes its output for downstream
+  // stages (wide dependency); element-wise stages hand their output over
+  // as a narrow dependency.
+  const std::int64_t output_write =
+      plan.MatMuls().empty() ? 0 : SizeOf(dag, plan.root());
+
+  stats->num_tasks = pred.num_tasks;
+  stats->consolidation_bytes = static_cast<std::int64_t>(pred.net_bytes);
+  stats->aggregation_bytes =
+      static_cast<std::int64_t>(pred.agg_bytes) + output_write;
+  stats->flops = static_cast<std::int64_t>(pred.flops);
+  stats->max_task_memory = static_cast<std::int64_t>(pred.mem_per_task);
+
+  switch (kind) {
+    case OperatorKind::kCfo:
+      // The prediction already models the cell-stage narrow-dependency
+      // consolidation (see PredictStage); nothing more to adjust.
+      return make_output();
+    case OperatorKind::kRfo: {
+      if (pred.mem_per_task >
+          static_cast<double>(cluster.task_memory_budget)) {
+        return Status::OutOfMemory("RFO exceeds the per-task budget on " +
+                                   plan.ToString());
+      }
+      return make_output();
+    }
+    case OperatorKind::kCpmm:
+      return make_output();
+    case OperatorKind::kBfo: {
+      const InputSplit split = SplitInputs(plan);
+      if (pred.mem_per_task >
+          static_cast<double>(cluster.task_memory_budget)) {
         return Status::OutOfMemory(
             "BFO broadcast of " +
             HumanBytes(static_cast<double>(split.side_bytes)) +
             " side matrices exceeds the per-task budget on " +
             plan.ToString());
       }
-      stats->num_tasks = static_cast<int>(num_tasks);
-      stats->consolidation_bytes =
-          split.main_bytes + num_tasks * split.side_bytes;
-      stats->aggregation_bytes = output_write;
-      // Side-space work repeats on every task (the paper's "BFO executes
-      // the transpose T times"): the cost model at (T, T, 1) captures it.
-      stats->flops = static_cast<std::int64_t>(
-          model_.ComEst(Cuboid{num_tasks, num_tasks, 1}, plan));
-      stats->max_task_memory = static_cast<std::int64_t>(mem);
       return make_output();
     }
     case OperatorKind::kAuto:
@@ -388,42 +474,86 @@ Engine::RunResult Engine::RunWithPlans(
 
     OperatorKind kind =
         forced == OperatorKind::kAuto ? PickOperator(plan, fin) : forced;
-    const char* kind_name = "?";
-    switch (kind) {
-      case OperatorKind::kCfo:
-        kind_name = "CFO";
-        break;
-      case OperatorKind::kBfo:
-        kind_name = "BFO";
-        break;
-      case OperatorKind::kRfo:
-        kind_name = "RFO";
-        break;
-      case OperatorKind::kCpmm:
-        kind_name = "cpmm";
-        break;
-      case OperatorKind::kAuto:
-        break;
-    }
     const std::string label =
-        plan.ToString() + " [" + kind_name + "]";
+        plan.ToString() + " [" + OperatorKindName(kind) + "]";
 
-    Result<DistributedMatrix> result = Status::Internal("unset");
+    StageTelemetry telemetry;
+    telemetry.label = label;
+
+    Result<StagePrediction> predr = PredictStage(plan, kind, &fin);
+    if (predr.ok()) telemetry.predicted = *predr;
+
+    const std::int64_t span_begin =
+        options_.tracer ? options_.tracer->NowMicros() : 0;
+    const auto host_begin = std::chrono::steady_clock::now();
+
+    Result<DistributedMatrix> result =
+        predr.ok() ? Status::Internal("unset") : predr.status();
     StageStats stats;
-    if (options_.analytic) {
-      stats.label = label;
-      result = RunPlanAnalytic(plan, kind, fin, &stats);
+    stats.label = label;
+    if (predr.ok()) {
+      if (options_.analytic) {
+        result = RunPlanAnalytic(plan, kind, *predr, &stats);
+        telemetry.threads = 1;
+      } else {
+        StageContext ctx(label, options_.cluster);
+        ctx.set_tracer(options_.tracer);
+        result = RunPlanReal(plan, kind, *predr, fin, &ctx);
+        stats = ctx.Finalize();
+        stats.label = label;
+        telemetry.threads = ctx.Parallelism();
+      }
+    }
+    telemetry.wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      host_begin)
+            .count();
+
+    if (result.ok()) {
+      status = sim.CompleteStage(stats);
+      if (status.ok() && !sim.stages().empty()) {
+        stats.elapsed_seconds = sim.stages().back().elapsed_seconds;
+      }
     } else {
-      StageContext ctx(label, options_.cluster);
-      result = RunPlanReal(plan, kind, fin, &ctx);
-      stats = ctx.Finalize();
-      stats.label = label;
-    }
-    if (!result.ok()) {
       status = result.status();
-      break;
     }
-    status = sim.CompleteStage(stats);
+    telemetry.actual = stats;
+
+    if (options_.tracer != nullptr) {
+      TraceSpan span;
+      span.name = label;
+      span.category = "stage";
+      span.begin_us = span_begin;
+      span.end_us = options_.tracer->NowMicros();
+      span.tid = options_.tracer->CurrentThreadId();
+      span.args.emplace_back("operator", OperatorKindName(kind));
+      span.args.emplace_back("status", status.ok()
+                                           ? std::string("ok")
+                                           : result.ok()
+                                                 ? status.ToString()
+                                                 : result.status().ToString());
+      if (telemetry.predicted.present) {
+        span.args.emplace_back("cuboid", telemetry.predicted.cuboid.ToString());
+        span.args.emplace_back(
+            "predicted_net_bytes",
+            std::to_string(static_cast<std::int64_t>(
+                telemetry.predicted.net_bytes)));
+        span.args.emplace_back(
+            "predicted_flops",
+            std::to_string(
+                static_cast<std::int64_t>(telemetry.predicted.flops)));
+      }
+      span.args.emplace_back("actual_net_bytes",
+                             std::to_string(stats.consolidation_bytes));
+      span.args.emplace_back("actual_agg_bytes",
+                             std::to_string(stats.aggregation_bytes));
+      span.args.emplace_back("actual_flops", std::to_string(stats.flops));
+      span.args.emplace_back("num_tasks", std::to_string(stats.num_tasks));
+      options_.tracer->Record(std::move(span));
+    }
+
+    out.report.telemetry.push_back(std::move(telemetry));
+    if (!result.ok()) break;
     materialized.emplace(plan.root(), std::move(*result));
     if (!status.ok()) break;  // timed out
   }

@@ -36,8 +36,11 @@
 #include "ops/fused_operator.h"
 #include "runtime/distributed_matrix.h"
 #include "runtime/simulator.h"
+#include "telemetry/prediction.h"
 
 namespace fuseme {
+
+class Tracer;
 
 enum class SystemMode {
   kFuseMe,
@@ -70,6 +73,10 @@ struct EngineOptions {
   /// Real-mode only: the analytic path models aggregate totals, which
   /// balancing does not change.
   bool balance_sparsity = false;
+  /// Optional span sink (not owned): when set, the engine records a span
+  /// per stage and the physical operators record spans per work item;
+  /// export with Tracer::WriteChromeJson.  See DESIGN.md section 10.
+  Tracer* tracer = nullptr;
 };
 
 struct ExecutionReport {
@@ -80,6 +87,10 @@ struct ExecutionReport {
   std::int64_t flops = 0;
   std::int64_t max_task_memory = 0;
   std::vector<StageStats> stages;
+  /// Per-stage predicted-vs-actual telemetry (one entry per attempted
+  /// stage, in execution order; see telemetry/prediction.h).  Feed to
+  /// BuildPredictionReport / FormatPredictionTable.
+  std::vector<StageTelemetry> telemetry;
   std::string plan_description;
 
   std::int64_t total_bytes() const {
@@ -120,6 +131,19 @@ class Engine {
                          const std::map<NodeId, BlockedMatrix>& inputs,
                          OperatorKind forced = OperatorKind::kAuto) const;
 
+  /// Cost-model prediction for running `plan` as `kind`: chosen cuboid
+  /// plus NetEst/AggBytes/ComEst/MemEst (telemetry/prediction.h).  Fails
+  /// with OutOfMemory when no cuboid fits the task budget (CFO/cpmm) —
+  /// exactly the cases where execution could not proceed either.
+  /// When the stage's bound `inputs` are available, their partitioning
+  /// refines the narrow-dependency model (a same-shaped input only skips
+  /// the shuffle where its owner task coincides with the consuming task);
+  /// without them, inputs are assumed grid-partitioned over the cluster.
+  Result<StagePrediction> PredictStage(const PartialPlan& plan,
+                                       OperatorKind kind,
+                                       const FusedInputs* inputs =
+                                           nullptr) const;
+
  private:
   /// Operator the current SystemMode uses for `plan`.
   OperatorKind PickOperator(const PartialPlan& plan,
@@ -127,13 +151,16 @@ class Engine {
 
   Result<DistributedMatrix> RunPlanReal(const PartialPlan& plan,
                                         OperatorKind kind,
+                                        const StagePrediction& pred,
                                         const FusedInputs& inputs,
                                         StageContext* ctx) const;
 
-  /// Fills `stats` from closed forms and returns the descriptor output.
+  /// Fills `stats` from the prediction's closed forms (plus the engine's
+  /// narrow-dependency and output-write adjustments) and returns the
+  /// descriptor output.
   Result<DistributedMatrix> RunPlanAnalytic(const PartialPlan& plan,
                                             OperatorKind kind,
-                                            const FusedInputs& inputs,
+                                            const StagePrediction& pred,
                                             StageStats* stats) const;
 
   PqrChoice Optimize(const PartialPlan& plan) const;

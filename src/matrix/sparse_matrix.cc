@@ -18,18 +18,24 @@ SparseMatrix SparseMatrix::FromTriplets(
   SparseMatrix out(rows, cols);
   out.col_idx_.reserve(triplets.size());
   out.values_.reserve(triplets.size());
-  std::int64_t last_i = -1, last_j = -1;
-  for (const auto& [i, j, v] : triplets) {
+  // Accumulate each duplicate (i, j) run before emitting so a run that
+  // cancels to 0.0 leaves no explicit-zero entry (matching FromDense,
+  // which never stores zeros).
+  std::size_t t = 0;
+  while (t < triplets.size()) {
+    const std::int64_t i = std::get<0>(triplets[t]);
+    const std::int64_t j = std::get<1>(triplets[t]);
     FUSEME_CHECK(i >= 0 && i < rows && j >= 0 && j < cols);
-    if (i == last_i && j == last_j) {
-      out.values_.back() += v;  // duplicate (i, j): accumulate
-      continue;
+    double sum = 0.0;
+    for (; t < triplets.size() && std::get<0>(triplets[t]) == i &&
+           std::get<1>(triplets[t]) == j;
+         ++t) {
+      sum += std::get<2>(triplets[t]);
     }
+    if (sum == 0.0) continue;
     out.col_idx_.push_back(j);
-    out.values_.push_back(v);
+    out.values_.push_back(sum);
     out.row_ptr_[i + 1] = static_cast<std::int64_t>(out.col_idx_.size());
-    last_i = i;
-    last_j = j;
   }
   // Prefix-max to make row_ptr monotone (rows with no entries).
   for (std::int64_t r = 1; r <= rows; ++r) {

@@ -11,6 +11,7 @@
 #include "common/thread_pool.h"
 #include "matrix/block_ops.h"
 #include "ops/evaluator.h"
+#include "telemetry/tracer.h"
 
 namespace fuseme {
 
@@ -344,6 +345,9 @@ Result<DistributedMatrix> CuboidFusedOperator::Execute(
     RunItems(threads, num_tasks, [&](std::int64_t t) {
       WorkItem& item = items[static_cast<std::size_t>(t)];
       item.task = static_cast<int>(t);
+      ScopedSpan span(ctx->tracer(), "cell task " + std::to_string(t),
+                      "work-item");
+      span.AddArg("stage", ctx->label());
       LocalStageAccounting local(ctx);
       TaskFetcher fetcher(&inputs, &local);
       Status run = [&]() -> Status {
@@ -395,6 +399,11 @@ Result<DistributedMatrix> CuboidFusedOperator::Execute(
     const auto [p, q] = columns[static_cast<std::size_t>(idx)];
     WorkItem& item = items[static_cast<std::size_t>(idx)];
     item.task = task_id(p, q, 0);
+    ScopedSpan span(ctx->tracer(),
+                    "cuboid column (" + std::to_string(p) + "," +
+                        std::to_string(q) + ")",
+                    "work-item");
+    span.AddArg("stage", ctx->label());
     LocalStageAccounting local(ctx);
     TaskFetcher fetcher(&inputs, &local);
     Status run = [&, p = p, q = q]() -> Status {
@@ -404,6 +413,10 @@ Result<DistributedMatrix> CuboidFusedOperator::Execute(
       // --- Phase 1 (R > 1 only): per-k-slice partial matmuls. ---
       std::map<Coord, Block> mm_partials;
       if (eff_r > 1) {
+        ScopedSpan phase1(ctx->tracer(),
+                          "phase1 partial-mm (" + std::to_string(p) + "," +
+                              std::to_string(q) + ")",
+                          "phase");
         for (std::int64_t r = 0; r < eff_r; ++r) {
           const int task = task_id(p, q, r);
           const auto [k0, k1] = k_parts[r];
@@ -439,6 +452,10 @@ Result<DistributedMatrix> CuboidFusedOperator::Execute(
       }
 
       // --- Phase 2 (or the only phase when R == 1): evaluate the root. ---
+      ScopedSpan phase2(ctx->tracer(),
+                        "phase2 root-eval (" + std::to_string(p) + "," +
+                            std::to_string(q) + ")",
+                        "phase");
       KernelEvaluator eval(&plan, bs, fetcher.For(item.task));
       if (driver.found()) eval.SetSparseDriver(driver);
       if (eff_r > 1) {
@@ -540,6 +557,9 @@ Result<DistributedMatrix> BroadcastFusedOperator::Execute(
   RunItems(threads, num_tasks, [&](std::int64_t t) {
     WorkItem& item = items[static_cast<std::size_t>(t)];
     item.task = static_cast<int>(t);
+    ScopedSpan span(ctx->tracer(), "broadcast task " + std::to_string(t),
+                    "work-item");
+    span.AddArg("stage", ctx->label());
     LocalStageAccounting local(ctx);
     TaskFetcher fetcher(&inputs, &local);
     Status run = [&]() -> Status {

@@ -10,25 +10,39 @@ namespace fuseme {
 double Simulator::EstimateStageSeconds(const StageStats& stats) const {
   if (stats.num_tasks == 0) return 0.0;
   const int slots = config_.total_tasks();
-  const int used_slots = std::min(stats.num_tasks, slots);
-  const int used_nodes = std::min(
-      (used_slots + config_.tasks_per_node - 1) / config_.tasks_per_node,
-      config_.num_nodes);
 
-  const double net_time =
-      static_cast<double>(stats.total_bytes()) /
-      (static_cast<double>(used_nodes) * config_.net_bandwidth);
-  const double comp_time =
-      static_cast<double>(stats.flops) /
-      (static_cast<double>(used_slots) * config_.per_task_compute());
+  // Work is spread evenly across the stage's tasks; tasks run in waves of
+  // at most `slots`.  A wave's duration is bounded by its compute (one
+  // task's FLOPs per slot) and its share of the network traffic, so a
+  // 3-wave stage costs three busy windows, not one — waves cannot overlap
+  // (a wave's tasks must finish before the next wave's launch).
+  const double per_task_bytes = static_cast<double>(stats.total_bytes()) /
+                                static_cast<double>(stats.num_tasks);
+  const double per_task_flops = static_cast<double>(stats.flops) /
+                                static_cast<double>(stats.num_tasks);
 
-  // Network transfers burn CPU on the shuffle path; when communication
-  // dominates, the cores it occupies stretch the stage beyond pure
-  // max(net, comp).
-  const double stretched_net = net_time * (1.0 + config_.shuffle_cpu_factor);
-  const double busy = std::max(stretched_net, comp_time);
+  auto wave_seconds = [&](int tasks_in_wave) {
+    const int used_nodes = std::min(
+        (tasks_in_wave + config_.tasks_per_node - 1) / config_.tasks_per_node,
+        config_.num_nodes);
+    const double net_time =
+        per_task_bytes * static_cast<double>(tasks_in_wave) /
+        (static_cast<double>(used_nodes) * config_.net_bandwidth);
+    const double comp_time = per_task_flops / config_.per_task_compute();
+    // Network transfers burn CPU on the shuffle path; when communication
+    // dominates, the cores it occupies stretch the wave beyond pure
+    // max(net, comp).
+    const double stretched_net =
+        net_time * (1.0 + config_.shuffle_cpu_factor);
+    return std::max(stretched_net, comp_time);
+  };
 
-  const int waves = (stats.num_tasks + slots - 1) / slots;
+  const int full_waves = stats.num_tasks / slots;
+  const int tail_tasks = stats.num_tasks % slots;
+  double busy = static_cast<double>(full_waves) * wave_seconds(slots);
+  if (tail_tasks > 0) busy += wave_seconds(tail_tasks);
+
+  const int waves = full_waves + (tail_tasks > 0 ? 1 : 0);
   return busy + static_cast<double>(waves) * config_.task_launch_overhead;
 }
 

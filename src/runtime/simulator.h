@@ -1,16 +1,21 @@
 // Simulator: turns per-stage accounting into modeled elapsed time.
 //
-// Model (one stage): tasks are scheduled in waves over the N·Tc slots.
+// Model (one stage): tasks are scheduled in waves over the N·Tc slots,
+// with the stage's bytes and FLOPs spread evenly across its tasks.  Waves
+// run back to back — a wave must finish before the next one launches — so
+// each contributes its own busy window:
 //
-//   net_time  = total bytes moved / (nodes_used · B̂n)
-//   comp_time = total FLOPs / (slots_used · per-slot compute)
-//   elapsed   = max(net_time · (1 + shuffle_cpu_factor·overlap), comp_time)
-//               + waves · task_launch_overhead
+//   wave(n)   = max(net_share(n) · (1 + shuffle_cpu_factor), comp(n))
+//     net_share(n) = n · bytes/task / (nodes_used(n) · B̂n)
+//     comp(n)      = FLOPs/task / per-slot compute
+//   elapsed   = Σ wave(n_w) + waves · task_launch_overhead
 //
-// Communication and computation overlap (paper Eq. 2 takes the max), but
-// Spark's shuffle burns CPU while moving data, which the paper calls out as
-// the reason elapsed-time gaps exceed communication gaps; shuffle_cpu_factor
-// models that.  The clock accumulates across stages and trips the timeout.
+// A stage that fits in one wave reduces to the familiar
+// max(net · (1+factor), comp) + overhead.  Communication and computation
+// overlap within a wave (paper Eq. 2 takes the max), but Spark's shuffle
+// burns CPU while moving data, which the paper calls out as the reason
+// elapsed-time gaps exceed communication gaps; shuffle_cpu_factor models
+// that.  The clock accumulates across stages and trips the timeout.
 
 #ifndef FUSEME_RUNTIME_SIMULATOR_H_
 #define FUSEME_RUNTIME_SIMULATOR_H_

@@ -26,6 +26,8 @@
 
 namespace fuseme {
 
+class Tracer;  // telemetry/tracer.h; carried as an opaque pointer here
+
 /// Accumulators for one logical task within a stage.
 struct TaskAccounting {
   std::int64_t consolidation_bytes = 0;
@@ -87,6 +89,11 @@ class StageContext : public StageAccounting {
   const ClusterConfig& config() const override { return config_; }
   const std::string& label() const { return label_; }
 
+  /// Optional span sink for this stage's work items (telemetry); null
+  /// disables tracing.  The context does not own the tracer.
+  void set_tracer(Tracer* tracer) { tracer_ = tracer; }
+  Tracer* tracer() const { return tracer_; }
+
   void ChargeConsolidation(int task, std::int64_t bytes) override;
   void ChargeAggregation(int task, std::int64_t bytes) override;
   void ChargeFlops(int task, std::int64_t flops) override;
@@ -113,6 +120,7 @@ class StageContext : public StageAccounting {
 
   std::string label_;
   ClusterConfig config_;
+  Tracer* tracer_ = nullptr;
   std::mutex merge_mu_;
   std::vector<TaskAccounting> tasks_;
 };

@@ -1,0 +1,123 @@
+#include "telemetry/prediction.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace fuseme {
+
+namespace {
+
+double Ratio(double actual, double predicted, double floor) {
+  return std::max(actual, floor) / std::max(predicted, floor);
+}
+
+std::string Fixed(double v, const char* fmt = "%.2f") {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), fmt, v);
+  return buf;
+}
+
+std::string HumanFlops(double flops) {
+  char buf[32];
+  if (flops >= 1e12) {
+    std::snprintf(buf, sizeof(buf), "%.2f TFLOP", flops / 1e12);
+  } else if (flops >= 1e9) {
+    std::snprintf(buf, sizeof(buf), "%.2f GFLOP", flops / 1e9);
+  } else if (flops >= 1e6) {
+    std::snprintf(buf, sizeof(buf), "%.2f MFLOP", flops / 1e6);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.0f FLOP", flops);
+  }
+  return buf;
+}
+
+}  // namespace
+
+double StagePredictionError::MaxAbsLog2() const {
+  double worst = 0;
+  for (double r : {net_ratio, agg_ratio, flops_ratio, mem_ratio}) {
+    if (r <= 0) return std::numeric_limits<double>::infinity();
+    worst = std::max(worst, std::abs(std::log2(r)));
+  }
+  return worst;
+}
+
+bool PredictionReport::WithinFactor(double factor) const {
+  return max_abs_log2 <= std::log2(factor);
+}
+
+PredictionReport BuildPredictionReport(
+    const std::vector<StageTelemetry>& stages) {
+  PredictionReport report;
+  for (const StageTelemetry& t : stages) {
+    if (!t.predicted.present) continue;
+    StagePredictionError err;
+    err.label = t.label;
+    err.net_ratio =
+        Ratio(static_cast<double>(t.actual.consolidation_bytes),
+              t.predicted.net_bytes, kRatioFloorBytes);
+    err.agg_ratio = Ratio(static_cast<double>(t.actual.aggregation_bytes),
+                          t.predicted.agg_bytes, kRatioFloorBytes);
+    err.flops_ratio = Ratio(static_cast<double>(t.actual.flops),
+                            t.predicted.flops, kRatioFloorFlops);
+    err.mem_ratio = Ratio(static_cast<double>(t.actual.max_task_memory),
+                          t.predicted.mem_per_task, kRatioFloorBytes);
+    report.max_abs_log2 = std::max(report.max_abs_log2, err.MaxAbsLog2());
+    report.stages.push_back(std::move(err));
+  }
+  return report;
+}
+
+std::string FormatPredictionTable(const std::vector<StageTelemetry>& stages) {
+  const PredictionReport report = BuildPredictionReport(stages);
+  std::ostringstream out;
+  char line[160];
+  std::size_t err_idx = 0;
+  for (const StageTelemetry& t : stages) {
+    out << t.label << "\n";
+    if (!t.predicted.present) {
+      out << "  (no cost-model prediction recorded)\n";
+      continue;
+    }
+    const StagePrediction& p = t.predicted;
+    std::snprintf(line, sizeof(line),
+                  "  %s %s  tasks=%d  threads=%d  wall=%.3fs  modeled=%s\n",
+                  p.operator_kind.c_str(), p.cuboid.ToString().c_str(),
+                  t.actual.num_tasks, t.threads, t.wall_seconds,
+                  HumanSeconds(t.actual.elapsed_seconds).c_str());
+    out << line;
+    const StagePredictionError& err = report.stages[err_idx++];
+    auto row = [&](const char* metric, const std::string& predicted,
+                   const std::string& actual, double ratio) {
+      std::snprintf(line, sizeof(line), "  %-6s %14s -> %14s   x%s\n",
+                    metric, predicted.c_str(), actual.c_str(),
+                    Fixed(ratio).c_str());
+      out << line;
+    };
+    row("net", HumanBytes(p.net_bytes),
+        HumanBytes(static_cast<double>(t.actual.consolidation_bytes)),
+        err.net_ratio);
+    row("agg", HumanBytes(p.agg_bytes),
+        HumanBytes(static_cast<double>(t.actual.aggregation_bytes)),
+        err.agg_ratio);
+    row("flops", HumanFlops(p.flops),
+        HumanFlops(static_cast<double>(t.actual.flops)), err.flops_ratio);
+    row("mem", HumanBytes(p.mem_per_task),
+        HumanBytes(static_cast<double>(t.actual.max_task_memory)),
+        err.mem_ratio);
+  }
+  std::snprintf(line, sizeof(line),
+                "worst drift: x%.2f (max |log2 ratio| %.3f) over %zu "
+                "predicted stage(s)\n",
+                std::pow(2.0, report.max_abs_log2), report.max_abs_log2,
+                report.stages.size());
+  out << line;
+  return out.str();
+}
+
+}  // namespace fuseme

@@ -1,0 +1,389 @@
+#include "telemetry/tracer.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace fuseme {
+
+std::int64_t Tracer::NowMicros() const {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+int Tracer::CurrentThreadId() {
+  const std::thread::id self = std::this_thread::get_id();
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = thread_ids_.find(self);
+  if (it == thread_ids_.end()) {
+    it = thread_ids_.emplace(self, static_cast<int>(thread_ids_.size()))
+             .first;
+  }
+  return it->second;
+}
+
+void Tracer::Record(TraceSpan span) {
+  std::lock_guard<std::mutex> lock(mu_);
+  spans_.push_back(std::move(span));
+}
+
+std::vector<TraceSpan> Tracer::spans() const {
+  std::vector<TraceSpan> out;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    out = spans_;
+  }
+  std::sort(out.begin(), out.end(),
+            [](const TraceSpan& a, const TraceSpan& b) {
+              return std::tie(a.begin_us, a.tid, a.name) <
+                     std::tie(b.begin_us, b.tid, b.name);
+            });
+  return out;
+}
+
+std::size_t Tracer::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return spans_.size();
+}
+
+void Tracer::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  spans_.clear();
+}
+
+namespace {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string Tracer::ToChromeJson() const {
+  std::ostringstream out;
+  out << "{\"traceEvents\": [";
+  const std::vector<TraceSpan> sorted = spans();
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    const TraceSpan& s = sorted[i];
+    out << (i == 0 ? "" : ",") << "\n  {\"name\": \"" << JsonEscape(s.name)
+        << "\", \"cat\": \"" << JsonEscape(s.category)
+        << "\", \"ph\": \"X\", \"ts\": " << s.begin_us
+        << ", \"dur\": " << s.duration_us() << ", \"pid\": 0, \"tid\": "
+        << s.tid << ", \"args\": {";
+    for (std::size_t a = 0; a < s.args.size(); ++a) {
+      out << (a == 0 ? "" : ", ") << "\"" << JsonEscape(s.args[a].first)
+          << "\": \"" << JsonEscape(s.args[a].second) << "\"";
+    }
+    out << "}}";
+  }
+  out << "\n], \"displayTimeUnit\": \"ms\"}\n";
+  return out.str();
+}
+
+bool Tracer::WriteChromeJson(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+    return false;
+  }
+  out << ToChromeJson();
+  return static_cast<bool>(out);
+}
+
+ScopedSpan::ScopedSpan(Tracer* tracer, std::string name,
+                       std::string category)
+    : tracer_(tracer) {
+  if (tracer_ == nullptr) return;
+  span_.name = std::move(name);
+  span_.category = std::move(category);
+  span_.tid = tracer_->CurrentThreadId();
+  span_.begin_us = tracer_->NowMicros();
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (tracer_ == nullptr) return;
+  span_.end_us = tracer_->NowMicros();
+  tracer_->Record(std::move(span_));
+}
+
+void ScopedSpan::AddArg(std::string key, std::string value) {
+  if (tracer_ == nullptr) return;
+  span_.args.emplace_back(std::move(key), std::move(value));
+}
+
+// --- Minimal JSON reader for the trace format the exporter emits. ---
+
+namespace {
+
+/// Pull parser over the exporter's subset of JSON: objects, arrays,
+/// strings (with the escapes JsonEscape produces), and integer/float
+/// numbers.  Positioned errors make schema violations debuggable.
+class JsonReader {
+ public:
+  explicit JsonReader(const std::string& text) : text_(text) {}
+
+  Status Error(const std::string& message) const {
+    return Status::InvalidArgument("trace JSON: " + message + " at offset " +
+                                   std::to_string(pos_));
+  }
+
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Peek(char c) {
+    SkipSpace();
+    return pos_ < text_.size() && text_[pos_] == c;
+  }
+
+  Status Expect(char c) {
+    SkipSpace();
+    if (pos_ >= text_.size() || text_[pos_] != c) {
+      return Error(std::string("expected '") + c + "'");
+    }
+    ++pos_;
+    return Status::OK();
+  }
+
+  bool TryConsume(char c) {
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Result<std::string> ReadString() {
+    FUSEME_RETURN_IF_ERROR(Expect('"'));
+    std::string out;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) return Error("truncated escape");
+      char esc = text_[pos_++];
+      switch (esc) {
+        case '"':
+          out += '"';
+          break;
+        case '\\':
+          out += '\\';
+          break;
+        case '/':
+          out += '/';
+          break;
+        case 'n':
+          out += '\n';
+          break;
+        case 't':
+          out += '\t';
+          break;
+        case 'r':
+          out += '\r';
+          break;
+        case 'b':
+          out += '\b';
+          break;
+        case 'f':
+          out += '\f';
+          break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return Error("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code += static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code += static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code += static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              return Error("bad \\u escape");
+            }
+          }
+          // The exporter only emits \u00XX control codes; anything wider
+          // would need UTF-8 encoding, which this reader doesn't do.
+          if (code > 0x7f) return Error("non-ASCII \\u escape");
+          out += static_cast<char>(code);
+          break;
+        }
+        default:
+          return Error("unknown escape");
+      }
+    }
+    FUSEME_RETURN_IF_ERROR(Expect('"'));
+    return out;
+  }
+
+  Result<double> ReadNumber() {
+    SkipSpace();
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+    }
+    if (pos_ == start) return Error("expected number");
+    return std::stod(text_.substr(start, pos_ - start));
+  }
+
+  /// Skips one value of any supported type (used for ignored keys).
+  Status SkipValue() {
+    SkipSpace();
+    if (pos_ >= text_.size()) return Error("truncated value");
+    const char c = text_[pos_];
+    if (c == '"') return ReadString().status();
+    if (c == '{' || c == '[') {
+      const char close = c == '{' ? '}' : ']';
+      FUSEME_RETURN_IF_ERROR(Expect(c));
+      if (TryConsume(close)) return Status::OK();
+      do {
+        if (c == '{') {
+          FUSEME_RETURN_IF_ERROR(ReadString().status());
+          FUSEME_RETURN_IF_ERROR(Expect(':'));
+        }
+        FUSEME_RETURN_IF_ERROR(SkipValue());
+      } while (TryConsume(','));
+      return Expect(close);
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) || c == '-') {
+      return ReadNumber().status();
+    }
+    for (const char* lit : {"true", "false", "null"}) {
+      const std::size_t len = std::char_traits<char>::length(lit);
+      if (text_.compare(pos_, len, lit) == 0) {
+        pos_ += len;
+        return Status::OK();
+      }
+    }
+    return Error("unsupported value");
+  }
+
+  bool AtEnd() {
+    SkipSpace();
+    return pos_ >= text_.size();
+  }
+
+ private:
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+Result<TraceSpan> ReadEvent(JsonReader* r, bool* is_complete) {
+  TraceSpan span;
+  std::string phase = "X";
+  double ts = 0, dur = 0, tid = 0;
+  FUSEME_RETURN_IF_ERROR(r->Expect('{'));
+  if (!r->TryConsume('}')) {
+    do {
+      FUSEME_ASSIGN_OR_RETURN(std::string key, r->ReadString());
+      FUSEME_RETURN_IF_ERROR(r->Expect(':'));
+      if (key == "name") {
+        FUSEME_ASSIGN_OR_RETURN(span.name, r->ReadString());
+      } else if (key == "cat") {
+        FUSEME_ASSIGN_OR_RETURN(span.category, r->ReadString());
+      } else if (key == "ph") {
+        FUSEME_ASSIGN_OR_RETURN(phase, r->ReadString());
+      } else if (key == "ts") {
+        FUSEME_ASSIGN_OR_RETURN(ts, r->ReadNumber());
+      } else if (key == "dur") {
+        FUSEME_ASSIGN_OR_RETURN(dur, r->ReadNumber());
+      } else if (key == "tid") {
+        FUSEME_ASSIGN_OR_RETURN(tid, r->ReadNumber());
+      } else if (key == "args") {
+        FUSEME_RETURN_IF_ERROR(r->Expect('{'));
+        if (!r->TryConsume('}')) {
+          do {
+            FUSEME_ASSIGN_OR_RETURN(std::string arg_key, r->ReadString());
+            FUSEME_RETURN_IF_ERROR(r->Expect(':'));
+            FUSEME_ASSIGN_OR_RETURN(std::string arg_val, r->ReadString());
+            span.args.emplace_back(std::move(arg_key), std::move(arg_val));
+          } while (r->TryConsume(','));
+          FUSEME_RETURN_IF_ERROR(r->Expect('}'));
+        }
+      } else {
+        FUSEME_RETURN_IF_ERROR(r->SkipValue());
+      }
+    } while (r->TryConsume(','));
+    FUSEME_RETURN_IF_ERROR(r->Expect('}'));
+  }
+  span.begin_us = static_cast<std::int64_t>(ts);
+  span.end_us = static_cast<std::int64_t>(ts + dur);
+  span.tid = static_cast<int>(tid);
+  *is_complete = phase == "X";
+  return span;
+}
+
+}  // namespace
+
+Result<std::vector<TraceSpan>> ParseChromeTrace(const std::string& json) {
+  JsonReader r(json);
+  std::vector<TraceSpan> out;
+  FUSEME_RETURN_IF_ERROR(r.Expect('{'));
+  bool saw_events = false;
+  if (!r.TryConsume('}')) {
+    do {
+      FUSEME_ASSIGN_OR_RETURN(std::string key, r.ReadString());
+      FUSEME_RETURN_IF_ERROR(r.Expect(':'));
+      if (key == "traceEvents") {
+        saw_events = true;
+        FUSEME_RETURN_IF_ERROR(r.Expect('['));
+        if (!r.TryConsume(']')) {
+          do {
+            bool is_complete = false;
+            FUSEME_ASSIGN_OR_RETURN(TraceSpan span,
+                                    ReadEvent(&r, &is_complete));
+            if (is_complete) out.push_back(std::move(span));
+          } while (r.TryConsume(','));
+          FUSEME_RETURN_IF_ERROR(r.Expect(']'));
+        }
+      } else {
+        FUSEME_RETURN_IF_ERROR(r.SkipValue());
+      }
+    } while (r.TryConsume(','));
+    FUSEME_RETURN_IF_ERROR(r.Expect('}'));
+  }
+  if (!saw_events) return r.Error("missing traceEvents");
+  if (!r.AtEnd()) return r.Error("trailing content");
+  return out;
+}
+
+}  // namespace fuseme

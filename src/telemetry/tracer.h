@@ -1,0 +1,107 @@
+// Span tracing for the execution runtime (see DESIGN.md section 10).
+//
+// A Tracer collects timed spans — stages, operator work items, kernel
+// phases — from any thread.  Timestamps are microseconds since the
+// tracer's construction on a monotonic clock; thread ids are small stable
+// integers assigned on first use, so traces are readable and diffable.
+// The collected spans export to the Chrome trace-event JSON format, which
+// chrome://tracing and https://ui.perfetto.dev open directly, and parse
+// back for round-trip tests and tooling.
+//
+// Tracing is strictly optional: every integration point takes a nullable
+// Tracer* and a null tracer makes ScopedSpan a no-op, so untraced runs pay
+// nothing but a pointer test per span site.
+
+#ifndef FUSEME_TELEMETRY_TRACER_H_
+#define FUSEME_TELEMETRY_TRACER_H_
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+
+namespace fuseme {
+
+/// One completed span: a named interval on a thread, with free-form
+/// string arguments (rendered by the trace viewers' detail pane).
+struct TraceSpan {
+  std::string name;
+  std::string category;
+  std::int64_t begin_us = 0;  // microseconds since the tracer's epoch
+  std::int64_t end_us = 0;
+  int tid = 0;
+  std::vector<std::pair<std::string, std::string>> args;
+
+  std::int64_t duration_us() const { return end_us - begin_us; }
+  bool operator==(const TraceSpan&) const = default;
+};
+
+/// Thread-safe span sink.  Record() may be called concurrently from pool
+/// workers; snapshot accessors copy under the same mutex.
+class Tracer {
+ public:
+  Tracer() : epoch_(std::chrono::steady_clock::now()) {}
+
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// Microseconds elapsed since this tracer was constructed.
+  std::int64_t NowMicros() const;
+
+  /// Stable small id for the calling thread (assigned on first use).
+  int CurrentThreadId();
+
+  void Record(TraceSpan span);
+
+  /// Snapshot of the recorded spans, sorted by (begin_us, tid, name) so
+  /// output is deterministic regardless of completion interleaving.
+  std::vector<TraceSpan> spans() const;
+  std::size_t size() const;
+  void Clear();
+
+  /// Chrome trace-event JSON ({"traceEvents": [...]}, "X" complete
+  /// events).  Loadable by chrome://tracing and Perfetto.
+  std::string ToChromeJson() const;
+  /// Writes ToChromeJson() to `path`; false (with a stderr warning) when
+  /// the file is not writable.
+  bool WriteChromeJson(const std::string& path) const;
+
+ private:
+  std::chrono::steady_clock::time_point epoch_;
+  mutable std::mutex mu_;
+  std::vector<TraceSpan> spans_;
+  std::map<std::thread::id, int> thread_ids_;
+};
+
+/// RAII span: captures begin on construction, records on destruction.
+/// A null tracer disables it entirely.
+class ScopedSpan {
+ public:
+  ScopedSpan(Tracer* tracer, std::string name, std::string category);
+  ~ScopedSpan();
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  void AddArg(std::string key, std::string value);
+
+ private:
+  Tracer* tracer_;
+  TraceSpan span_;
+};
+
+/// Parses a trace produced by Tracer::ToChromeJson back into spans (the
+/// inverse of the exporter; used by the round-trip tests and any tooling
+/// that post-processes traces).  Unknown top-level keys are ignored;
+/// events other than "X" (complete) are skipped.
+Result<std::vector<TraceSpan>> ParseChromeTrace(const std::string& json);
+
+}  // namespace fuseme
+
+#endif  // FUSEME_TELEMETRY_TRACER_H_

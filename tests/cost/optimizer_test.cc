@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 #include <cmath>
+#include <random>
 
 #include "workloads/queries.h"
 
@@ -124,6 +125,52 @@ TEST(OptimizerTest, ChosenPointIsGridMinimum) {
             << c.ToString();
       }
     }
+  }
+}
+
+TEST(OptimizerTest, PrunedMatchesExhaustiveRandomized) {
+  // Cross-check over randomized shapes, densities, and cluster configs:
+  // the pruning search must land on the exact cuboid the exhaustive scan
+  // picks (Better() is a total order, so equal-cost ties break the same
+  // way regardless of enumeration order), with the same cost to within
+  // epsilon and the same feasibility verdict.
+  std::mt19937_64 rng(20260807);
+  std::uniform_int_distribution<std::int64_t> dim(300, 3000);
+  std::uniform_int_distribution<std::int64_t> kdim(100, 600);
+  std::uniform_real_distribution<double> dens(0.001, 0.2);
+  std::uniform_int_distribution<int> nodes(1, 4);
+  std::uniform_int_distribution<int> tasks(2, 6);
+  std::uniform_int_distribution<std::int64_t> budget_mb(32, 2048);
+
+  for (int trial = 0; trial < 40; ++trial) {
+    const std::int64_t i = dim(rng), j = dim(rng), k = kdim(rng);
+    const std::int64_t nnz = std::max<std::int64_t>(
+        1, static_cast<std::int64_t>(static_cast<double>(i * j) *
+                                     dens(rng)));
+    NmfPattern q = BuildNmfPattern(i, j, k, nnz);
+    PartialPlan plan = NmfPlan(q);
+
+    ClusterConfig config;
+    config.num_nodes = nodes(rng);
+    config.tasks_per_node = tasks(rng);
+    config.block_size = 100;
+    config.task_memory_budget = budget_mb(rng) * 1024 * 1024;
+    CostModel model(config);
+    PqrOptimizer opt(&model);
+
+    const PqrChoice ex = opt.Exhaustive(plan);
+    const PqrChoice pr = opt.Pruned(plan);
+    SCOPED_TRACE("trial " + std::to_string(trial) + ": " +
+                 std::to_string(i) + "x" + std::to_string(j) + " k=" +
+                 std::to_string(k) + " nnz=" + std::to_string(nnz) +
+                 " nodes=" + std::to_string(config.num_nodes) + " tasks=" +
+                 std::to_string(config.tasks_per_node) + " budget=" +
+                 std::to_string(config.task_memory_budget));
+    EXPECT_EQ(pr.feasible, ex.feasible);
+    if (!ex.feasible || !pr.feasible) continue;
+    EXPECT_NEAR(pr.cost, ex.cost, ex.cost * 1e-9);
+    EXPECT_EQ(pr.c, ex.c);
+    EXPECT_LE(pr.evaluations, ex.evaluations);
   }
 }
 

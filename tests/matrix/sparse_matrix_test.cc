@@ -35,6 +35,22 @@ TEST(SparseMatrixTest, FromTripletsSumsDuplicates) {
   EXPECT_EQ(m.At(1, 1), 3.0);
 }
 
+TEST(SparseMatrixTest, FromTripletsDropsCancelledDuplicates) {
+  // Duplicates that accumulate to exactly 0.0 must not leave an explicit
+  // zero entry (FromDense never stores zeros either).
+  SparseMatrix m = SparseMatrix::FromTriplets(3, 3, {{0, 0, 2.5},
+                                                     {0, 0, -2.5},
+                                                     {1, 2, 1.0},
+                                                     {2, 2, 0.0}});
+  EXPECT_EQ(m.nnz(), 1);
+  EXPECT_EQ(m.At(0, 0), 0.0);
+  EXPECT_EQ(m.At(1, 2), 1.0);
+  EXPECT_EQ(m.At(2, 2), 0.0);
+  // The cancelled run must match a from-dense round trip exactly.
+  SparseMatrix dense_path = SparseMatrix::FromDense(m.ToDense());
+  EXPECT_EQ(dense_path.nnz(), m.nnz());
+}
+
 TEST(SparseMatrixTest, FromTripletsUnsortedInput) {
   SparseMatrix m = SparseMatrix::FromTriplets(
       3, 3, {{2, 0, 1.0}, {0, 2, 2.0}, {1, 1, 3.0}, {0, 0, 4.0}});

@@ -49,14 +49,31 @@ TEST(SimulatorTest, LimitedParallelismUsesFewerSlots) {
   EXPECT_DOUBLE_EQ(t, 2.0);
 }
 
-TEST(SimulatorTest, MoreTasksThanSlotsStillOneBusyWindow) {
+TEST(SimulatorTest, MoreTasksThanSlotsCostsOneBusyWindowPerWave) {
   ClusterConfig config = TestCluster();
   config.task_launch_overhead = 0.1;
   Simulator sim(config);
-  // 20 tasks over 8 slots: 3 waves of launch overhead.
+  // 20 tasks over 8 slots: waves of 8, 8, 4.  Each task computes
+  // 16000/20 = 800 flops -> 0.4s per wave regardless of wave width.
   double t = sim.EstimateStageSeconds(MakeStage(20, 0, 16000));
-  // comp: 16000/(8*2000) = 1s; + 3 * 0.1 overhead.
-  EXPECT_NEAR(t, 1.3, 1e-9);
+  // 3 * 0.4s busy + 3 * 0.1 overhead.
+  EXPECT_NEAR(t, 1.5, 1e-9);
+}
+
+TEST(SimulatorTest, MultiWaveNetworkStageScalesWithWaves) {
+  Simulator sim(TestCluster());
+  // 16 tasks, 2 full waves of 8, 4000 bytes each wave at 2000 B/s
+  // aggregate: 2s per wave.
+  double t = sim.EstimateStageSeconds(MakeStage(16, 8000, 0));
+  EXPECT_DOUBLE_EQ(t, 4.0);
+}
+
+TEST(SimulatorTest, TailWaveUsesItsOwnNodeCount) {
+  Simulator sim(TestCluster());
+  // 10 tasks: one full wave of 8 (2 nodes) + a tail of 2 (1 node).
+  // 1000 bytes/task.  Full wave: 8000/(2*1000) = 4s; tail: 2000/1000 = 2s.
+  double t = sim.EstimateStageSeconds(MakeStage(10, 10000, 0));
+  EXPECT_DOUBLE_EQ(t, 6.0);
 }
 
 TEST(SimulatorTest, ShuffleCpuFactorStretchesNetwork) {

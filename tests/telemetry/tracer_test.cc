@@ -1,0 +1,159 @@
+#include "telemetry/tracer.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <tuple>
+
+#include "common/thread_pool.h"
+
+namespace fuseme {
+namespace {
+
+TEST(TracerTest, RecordsScopedSpans) {
+  Tracer tracer;
+  {
+    ScopedSpan outer(&tracer, "outer", "test");
+    outer.AddArg("key", "value");
+    { ScopedSpan inner(&tracer, "inner", "test"); }
+  }
+  ASSERT_EQ(tracer.size(), 2u);
+  const std::vector<TraceSpan> spans = tracer.spans();
+  // The inner span completes (and records) first but sorts after the
+  // outer by begin time.
+  EXPECT_EQ(spans[0].name, "outer");
+  EXPECT_EQ(spans[1].name, "inner");
+  EXPECT_LE(spans[0].begin_us, spans[1].begin_us);
+  EXPECT_GE(spans[0].end_us, spans[1].end_us);
+  ASSERT_EQ(spans[0].args.size(), 1u);
+  EXPECT_EQ(spans[0].args[0].first, "key");
+  EXPECT_EQ(spans[0].args[0].second, "value");
+}
+
+TEST(TracerTest, NullTracerIsNoOp) {
+  ScopedSpan span(nullptr, "ignored", "test");
+  span.AddArg("also", "ignored");
+  // Nothing to assert beyond "does not crash".
+}
+
+TEST(TracerTest, NestingHoldsUnderParallelFor) {
+  // One outer span per work item, one inner span nested inside it; items
+  // run on the global pool.  Every inner span must sit inside its item's
+  // outer span on the same thread, whatever the interleaving was.
+  Tracer tracer;
+  constexpr std::int64_t kItems = 16;
+  GlobalThreadPool()->ParallelFor(0, kItems, [&](std::int64_t i) {
+    ScopedSpan outer(&tracer, "item " + std::to_string(i), "work-item");
+    { ScopedSpan inner(&tracer, "inner " + std::to_string(i), "phase"); }
+  });
+  ASSERT_EQ(tracer.size(), 2u * kItems);
+  const std::vector<TraceSpan> spans = tracer.spans();
+  for (std::int64_t i = 0; i < kItems; ++i) {
+    const std::string outer_name = "item " + std::to_string(i);
+    const std::string inner_name = "inner " + std::to_string(i);
+    auto find = [&](const std::string& name) {
+      return std::find_if(
+          spans.begin(), spans.end(),
+          [&](const TraceSpan& s) { return s.name == name; });
+    };
+    auto outer = find(outer_name);
+    auto inner = find(inner_name);
+    ASSERT_NE(outer, spans.end());
+    ASSERT_NE(inner, spans.end());
+    EXPECT_EQ(outer->tid, inner->tid) << outer_name;
+    EXPECT_LE(outer->begin_us, inner->begin_us) << outer_name;
+    EXPECT_GE(outer->end_us, inner->end_us) << outer_name;
+  }
+}
+
+TEST(TracerTest, SpansSnapshotIsSorted) {
+  Tracer tracer;
+  GlobalThreadPool()->ParallelFor(0, 32, [&](std::int64_t i) {
+    ScopedSpan span(&tracer, "s" + std::to_string(i), "t");
+  });
+  const std::vector<TraceSpan> spans = tracer.spans();
+  for (std::size_t i = 1; i < spans.size(); ++i) {
+    const TraceSpan& a = spans[i - 1];
+    const TraceSpan& b = spans[i];
+    EXPECT_LE(std::tie(a.begin_us, a.tid, a.name),
+              std::tie(b.begin_us, b.tid, b.name));
+  }
+}
+
+TEST(TracerTest, ChromeJsonRoundTrips) {
+  Tracer tracer;
+  TraceSpan span;
+  span.name = "needs \"escaping\"\n\tand \x01 control chars";
+  span.category = "round\\trip";
+  span.begin_us = 12;
+  span.end_us = 345;
+  span.tid = 7;
+  span.args.emplace_back("cuboid", "(3,2,1)");
+  span.args.emplace_back("note", "a=b, \"c\"");
+  tracer.Record(span);
+  TraceSpan plain;
+  plain.name = "plain";
+  plain.category = "t";
+  plain.begin_us = 1;
+  plain.end_us = 2;
+  tracer.Record(plain);
+
+  const std::string json = tracer.ToChromeJson();
+  Result<std::vector<TraceSpan>> parsed = ParseChromeTrace(json);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(*parsed, tracer.spans());
+}
+
+TEST(TracerTest, ChromeJsonHasExpectedSchema) {
+  Tracer tracer;
+  TraceSpan span;
+  span.name = "stage";
+  span.category = "stage";
+  span.begin_us = 10;
+  span.end_us = 30;
+  span.args.emplace_back("k", "v");
+  tracer.Record(span);
+  const std::string json = tracer.ToChromeJson();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ts\": 10"), std::string::npos);
+  EXPECT_NE(json.find("\"dur\": 20"), std::string::npos);
+  EXPECT_NE(json.find("\"args\": {\"k\": \"v\"}"), std::string::npos);
+}
+
+TEST(TracerTest, ParseRejectsMalformedJson) {
+  EXPECT_FALSE(ParseChromeTrace("").ok());
+  EXPECT_FALSE(ParseChromeTrace("{}").ok());
+  EXPECT_FALSE(ParseChromeTrace("{\"traceEvents\": [").ok());
+  EXPECT_FALSE(ParseChromeTrace("{\"traceEvents\": []} trailing").ok());
+}
+
+TEST(TracerTest, ParseSkipsNonCompleteEvents) {
+  const std::string json =
+      "{\"traceEvents\": ["
+      "{\"name\": \"m\", \"cat\": \"c\", \"ph\": \"M\", \"ts\": 0, "
+      "\"pid\": 0, \"tid\": 0},"
+      "{\"name\": \"x\", \"cat\": \"c\", \"ph\": \"X\", \"ts\": 5, "
+      "\"dur\": 10, \"pid\": 0, \"tid\": 2, \"args\": {}}"
+      "]}";
+  Result<std::vector<TraceSpan>> parsed = ParseChromeTrace(json);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  ASSERT_EQ(parsed->size(), 1u);
+  EXPECT_EQ((*parsed)[0].name, "x");
+  EXPECT_EQ((*parsed)[0].begin_us, 5);
+  EXPECT_EQ((*parsed)[0].end_us, 15);
+  EXPECT_EQ((*parsed)[0].tid, 2);
+}
+
+TEST(TracerTest, ClearEmptiesTheTracer) {
+  Tracer tracer;
+  { ScopedSpan span(&tracer, "s", "t"); }
+  ASSERT_EQ(tracer.size(), 1u);
+  tracer.Clear();
+  EXPECT_EQ(tracer.size(), 0u);
+  EXPECT_TRUE(tracer.spans().empty());
+}
+
+}  // namespace
+}  // namespace fuseme
