@@ -47,7 +47,7 @@ int main() {
 
   std::printf(
       "--- Fig 13(a-c): sweep around the optimum (Q fixed to %lld) ---\n",
-      best.c.Q);
+      static_cast<long long>(best.c.Q));
   PrintRow({"(P,R)", "Cost()", "data (GB)", "elapsed"});
   PrintRule(4);
 
@@ -80,7 +80,7 @@ int main() {
     stats.flops = static_cast<std::int64_t>(model.ComEst(c, plan));
     Simulator sim(cluster);
     const double elapsed = sim.EstimateStageSeconds(stats);
-    char cell_c[32], cell_g[32], cell_e[32], cell_pr[32];
+    char cell_c[32], cell_g[32], cell_e[32], cell_pr[64];
     std::snprintf(cell_pr, sizeof(cell_pr), "(%lld,%lld)",
                   static_cast<long long>(p), static_cast<long long>(r));
     std::snprintf(cell_c, sizeof(cell_c), "%.3f", cost);

@@ -1,15 +1,25 @@
 #!/usr/bin/env bash
-# One-command correctness gate: build + run the plain test suite, then
-# the whole suite again under AddressSanitizer (scripts/run_asan.sh).
+# One-command correctness gate:
+#   1. build with -Werror + run the plain test suite (build/)
+#   2. clang-tidy static analysis (skipped with a warning when the tool
+#      is not installed — see scripts/run_tidy.sh)
+#   3. the whole suite under UndefinedBehaviorSanitizer (build-ubsan/)
+#   4. the whole suite under AddressSanitizer (build-asan/)
 # Usage: scripts/check.sh
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-echo "== plain suite (build/) =="
-cmake -B build -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo
+echo "== plain suite, -Werror (build/) =="
+cmake -B build -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DFUSEME_WERROR=ON
 cmake --build build -j "$(nproc)"
 (cd build && ctest --output-on-failure)
+
+echo "== clang-tidy =="
+scripts/run_tidy.sh
+
+echo "== UndefinedBehaviorSanitizer suite (build-ubsan/) =="
+scripts/run_ubsan.sh
 
 echo "== AddressSanitizer suite (build-asan/) =="
 scripts/run_asan.sh

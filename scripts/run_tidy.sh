@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Runs clang-tidy (config: .clang-tidy) over the library and bench sources
+# using the compile_commands.json of a dedicated build directory.
+#
+# clang-tidy is optional tooling: when it is not installed this script
+# prints a warning and exits 0 so check.sh still passes on toolchains that
+# only ship gcc.
+# Usage: scripts/run_tidy.sh [source-path-regex]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+if ! command -v clang-tidy >/dev/null 2>&1; then
+  echo "run_tidy.sh: clang-tidy not found on PATH; skipping (install llvm/clang-tools to enable)" >&2
+  exit 0
+fi
+
+BUILD_DIR=build-tidy
+cmake -B "$BUILD_DIR" -S . \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
+
+FILTER="${1:-.}"
+mapfile -t SOURCES < <(find src bench examples -name '*.cc' | grep -E "$FILTER")
+if [[ ${#SOURCES[@]} -eq 0 ]]; then
+  echo "run_tidy.sh: no sources match '$FILTER'" >&2
+  exit 1
+fi
+
+echo "clang-tidy over ${#SOURCES[@]} files..."
+if command -v run-clang-tidy >/dev/null 2>&1; then
+  run-clang-tidy -p "$BUILD_DIR" -quiet "${SOURCES[@]}"
+else
+  clang-tidy -p "$BUILD_DIR" --quiet "${SOURCES[@]}"
+fi
+echo "clang-tidy clean"

@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Builds the tree with UndefinedBehaviorSanitizer (-fno-sanitize-recover=all,
+# so the first finding aborts the test) and runs the full test suite.
+# Usage: scripts/run_ubsan.sh [ctest -R regex]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR=build-ubsan
+
+cmake -B "$BUILD_DIR" -S . \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DFUSEME_SANITIZE=undefined
+cmake --build "$BUILD_DIR" -j "$(nproc)"
+
+export UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1}"
+
+cd "$BUILD_DIR"
+if [[ $# -gt 0 ]]; then
+  ctest --output-on-failure -R "$1"
+else
+  ctest --output-on-failure
+fi

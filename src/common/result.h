@@ -14,7 +14,7 @@ namespace fuseme {
 /// Holds either a T or a non-OK Status.  Constructing from Status::OK() is a
 /// programming error (there would be no value).
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
   Result(Status status)                          // NOLINT(runtime/explicit)

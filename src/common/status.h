@@ -28,7 +28,9 @@ enum class StatusCode {
 std::string_view StatusCodeName(StatusCode code);
 
 /// A cheap value type carrying success or an error code plus message.
-class Status {
+/// [[nodiscard]]: silently dropping a Status hides OutOfMemory/TimedOut
+/// outcomes; cast to void explicitly when ignoring one is intended.
+class [[nodiscard]] Status {
  public:
   Status() : code_(StatusCode::kOk) {}
   Status(StatusCode code, std::string message)

@@ -100,7 +100,7 @@ std::vector<NodeId> SubtreeWithin(const Dag& dag,
   while (!frontier.empty()) {
     NodeId id = frontier.back();
     frontier.pop_back();
-    if (subset.count(id) == 0 || !seen.insert(id).second) continue;
+    if (!subset.contains(id) || !seen.insert(id).second) continue;
     out.push_back(id);
     for (NodeId in : dag.node(id).inputs) frontier.push_back(in);
   }
@@ -153,7 +153,7 @@ void CostModel::Walk(const PartialPlan& plan, const SparseDriver& driver,
       acc->com += rep * compute_scale(id) *
                   static_cast<double>(NumOp(dag, id));
       for (NodeId in : dag.node(id).inputs) {
-        if (subset_set.count(in) > 0) continue;   // in-space flow
+        if (subset_set.contains(in)) continue;   // in-space flow
         if (plan.Contains(in)) continue;          // fused flow across spaces
         ChargeExternal(dag, in, rep, div, acc);
       }
@@ -174,7 +174,7 @@ void CostModel::Walk(const PartialPlan& plan, const SparseDriver& driver,
 
   // L side.
   const NodeId lhs = mm_node.inputs[0];
-  if (subset_set.count(lhs) > 0) {
+  if (subset_set.contains(lhs)) {
     std::vector<NodeId> l_set = SubtreeWithin(dag, subset_set, lhs);
     consumed.insert(l_set.begin(), l_set.end());
     Walk(plan, driver, l_set, lhs, c_l, rep * static_cast<double>(c.Q),
@@ -186,7 +186,7 @@ void CostModel::Walk(const PartialPlan& plan, const SparseDriver& driver,
 
   // R side.
   const NodeId rhs = mm_node.inputs[1];
-  if (subset_set.count(rhs) > 0) {
+  if (subset_set.contains(rhs)) {
     std::vector<NodeId> r_set = SubtreeWithin(dag, subset_set, rhs);
     consumed.insert(r_set.begin(), r_set.end());
     Walk(plan, driver, r_set, rhs, c_r, rep * static_cast<double>(c.P),
@@ -204,7 +204,7 @@ void CostModel::Walk(const PartialPlan& plan, const SparseDriver& driver,
   // that term separately.
   std::vector<NodeId> o_set;
   for (NodeId id : subset) {
-    if (consumed.count(id) == 0) o_set.push_back(id);
+    if (!consumed.contains(id)) o_set.push_back(id);
   }
   if (!o_set.empty()) {
     Walk(plan, driver, o_set, out_root, c_o, rep,

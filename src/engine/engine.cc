@@ -10,6 +10,7 @@
 #include "matrix/block.h"
 #include "ops/fused_operator.h"
 #include "telemetry/tracer.h"
+#include "verify/plan_verifier.h"
 
 namespace fuseme {
 
@@ -71,20 +72,59 @@ PqrChoice Engine::Optimize(const PartialPlan& plan) const {
 }
 
 FusionPlanSet Engine::MakePlans(const Dag& dag) const {
+  const bool verify = options_.verify != VerifyLevel::kOff;
+  PlanVerifier verifier(&model_);
+
+  FusionPlanSet set;
   switch (options_.system) {
     case SystemMode::kFuseMe: {
       CfgPlanner planner(&model_);
-      return planner.Plan(dag);
+      if (!verify) {
+        set = planner.Plan(dag);
+        break;
+      }
+      // Verified path: check every PartialPlan the exploration and
+      // exploitation phases emit, not just the finalized set.  CFG
+      // candidates grow from matmul seeds, so require_matmul holds for
+      // them (final sets legitimately add matmul-free singletons).
+      auto check = [&](const std::vector<PartialPlan>& candidates) {
+        for (const PartialPlan& p : candidates) {
+          std::vector<VerifierDiagnostic> d =
+              verifier.VerifyPlan(dag, p, /*require_matmul=*/true);
+          set.diagnostics.insert(set.diagnostics.end(), d.begin(), d.end());
+        }
+      };
+      std::vector<PartialPlan> candidates = planner.ExplorationPhase(dag);
+      check(candidates);
+      std::vector<PartialPlan> refined =
+          planner.ExploitationPhase(dag, std::move(candidates));
+      check(refined);
+      FusionPlanSet finalized = FinalizePlanSet(dag, std::move(refined),
+                                                "CFG(explore+exploit)");
+      set.plans = std::move(finalized.plans);
+      set.description = std::move(finalized.description);
+      break;
     }
     case SystemMode::kSystemDs:
-      return GenPlanner().Plan(dag);
+      set = GenPlanner().Plan(dag);
+      break;
     case SystemMode::kMatFast:
     case SystemMode::kTensorFlow:
-      return FoldedPlanner().Plan(dag);
+      set = FoldedPlanner().Plan(dag);
+      break;
     case SystemMode::kDistMe:
-      return NoFusionPlanner().Plan(dag);
+      set = NoFusionPlanner().Plan(dag);
+      break;
   }
-  return NoFusionPlanner().Plan(dag);
+  if (verify) {
+    // Planner-generated sets must cover every operator node exactly once;
+    // structural per-plan and stage-graph rules run again in RunWithPlans
+    // (which also accepts caller-supplied, possibly partial, sets).
+    std::vector<VerifierDiagnostic> d =
+        verifier.VerifyPlanSet(dag, set, /*require_coverage=*/true);
+    set.diagnostics.insert(set.diagnostics.end(), d.begin(), d.end());
+  }
+  return set;
 }
 
 OperatorKind Engine::PickOperator(const PartialPlan& plan,
@@ -431,6 +471,26 @@ Engine::RunResult Engine::RunWithPlans(
     OperatorKind forced) const {
   RunResult out;
   out.report.plan_description = plans.description;
+
+  PlanVerifier verifier(&model_);
+  if (options_.verify != VerifyLevel::kOff) {
+    // Structural verification of everything about to execute: planner
+    // diagnostics carried in the set, DAG consistency, per-plan region
+    // legality + subspace soundness, and the lowered stage graph.
+    std::vector<VerifierDiagnostic> diags = plans.diagnostics;
+    std::vector<VerifierDiagnostic> more =
+        verifier.Verify(dag, plans, options_.verify);
+    diags.insert(diags.end(), more.begin(), more.end());
+    if (!diags.empty()) {
+      out.report.status = Status::Internal(
+          "plan verification failed (" + std::to_string(diags.size()) +
+          " diagnostic" + (diags.size() == 1 ? "" : "s") +
+          "): " + diags.front().ToString());
+      out.report.verifier_diagnostics = std::move(diags);
+      return out;
+    }
+  }
+
   Simulator sim(options_.cluster);
 
   std::map<NodeId, DistributedMatrix> materialized;
@@ -489,9 +549,26 @@ Engine::RunResult Engine::RunWithPlans(
 
     Result<DistributedMatrix> result =
         predr.ok() ? Status::Internal("unset") : predr.status();
+    bool cuboid_ok = true;
+    if (predr.ok() && options_.verify == VerifyLevel::kParanoid &&
+        (kind == OperatorKind::kCfo || kind == OperatorKind::kCpmm)) {
+      // Re-check the chosen cuboid against the same grid bounds, k-split
+      // restriction, and MemEst the optimizer selected under; a violation
+      // here means the search or the estimate drifted from execution.
+      std::vector<VerifierDiagnostic> cuboid_diags =
+          verifier.VerifyCuboid(plan, predr->cuboid);
+      if (!cuboid_diags.empty()) {
+        cuboid_ok = false;
+        result = Status::Internal("stage cuboid verification failed: " +
+                                  cuboid_diags.front().ToString());
+        out.report.verifier_diagnostics.insert(
+            out.report.verifier_diagnostics.end(), cuboid_diags.begin(),
+            cuboid_diags.end());
+      }
+    }
     StageStats stats;
     stats.label = label;
-    if (predr.ok()) {
+    if (predr.ok() && cuboid_ok) {
       if (options_.analytic) {
         result = RunPlanAnalytic(plan, kind, *predr, &stats);
         telemetry.threads = 1;

@@ -37,6 +37,7 @@
 #include "runtime/distributed_matrix.h"
 #include "runtime/simulator.h"
 #include "telemetry/prediction.h"
+#include "verify/diagnostic.h"
 
 namespace fuseme {
 
@@ -77,6 +78,13 @@ struct EngineOptions {
   /// per stage and the physical operators record spans per work item;
   /// export with Tracer::WriteChromeJson.  See DESIGN.md section 10.
   Tracer* tracer = nullptr;
+  /// How much static plan verification runs before/while executing
+  /// (verify/plan_verifier.h, DESIGN.md section 11).  kPlanner checks the
+  /// DAG, every plan, and the stage graph up front; kParanoid re-checks
+  /// each chosen cuboid against the optimizer's own memory estimate
+  /// before the stage runs.  Diagnostics fail the run with
+  /// StatusCode::kInternal and land in ExecutionReport.
+  VerifyLevel verify = VerifyLevel::kPlanner;
 };
 
 struct ExecutionReport {
@@ -91,6 +99,10 @@ struct ExecutionReport {
   /// stage, in execution order; see telemetry/prediction.h).  Feed to
   /// BuildPredictionReport / FormatPredictionTable.
   std::vector<StageTelemetry> telemetry;
+  /// Invariant violations the PlanVerifier found (empty on clean runs).
+  /// Non-empty implies status is kInternal and execution never started
+  /// (or, at kParanoid, stopped before the offending stage).
+  std::vector<VerifierDiagnostic> verifier_diagnostics;
   std::string plan_description;
 
   std::int64_t total_bytes() const {

@@ -40,6 +40,19 @@ PartialPlan::PartialPlan(const Dag* dag, std::vector<NodeId> members,
   }
 }
 
+PartialPlan PartialPlan::UncheckedForTest(const Dag* dag,
+                                          std::vector<NodeId> members,
+                                          NodeId root) {
+  PartialPlan plan;
+  plan.dag_ = dag;
+  plan.members_ = std::move(members);
+  // Contains() binary-searches, so keep the sorted representation; every
+  // validity check is deliberately skipped.
+  std::sort(plan.members_.begin(), plan.members_.end());
+  plan.root_ = root;
+  return plan;
+}
+
 bool PartialPlan::Contains(NodeId id) const {
   return std::binary_search(members_.begin(), members_.end(), id);
 }
@@ -167,7 +180,7 @@ std::pair<PartialPlan, PartialPlan> PartialPlan::SplitAt(NodeId v) const {
   std::vector<NodeId> fi_members(subtree.begin(), subtree.end());
   std::vector<NodeId> fm_members;
   for (NodeId id : members_) {
-    if (subtree.count(id) == 0) fm_members.push_back(id);
+    if (!subtree.contains(id)) fm_members.push_back(id);
   }
   FUSEME_CHECK(!fm_members.empty());
   return {PartialPlan(dag_, std::move(fm_members), root_),

@@ -33,6 +33,13 @@ class PartialPlan {
   /// `dag` forming a connected tree under `root`.
   PartialPlan(const Dag* dag, std::vector<NodeId> members, NodeId root);
 
+  /// TEST-ONLY mutation hook: builds a plan without the constructor's
+  /// membership/operator checks so verifier tests can assemble corrupted
+  /// fusion regions (leaf members, foreign roots, disconnected sets).
+  static PartialPlan UncheckedForTest(const Dag* dag,
+                                      std::vector<NodeId> members,
+                                      NodeId root);
+
   const Dag& dag() const { return *dag_; }
   NodeId root() const { return root_; }
   const std::vector<NodeId>& members() const { return members_; }

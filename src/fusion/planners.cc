@@ -54,7 +54,7 @@ FusionPlanSet FinalizePlanSet(const Dag& dag,
   }
   for (NodeId id : dag.TopologicalOrder()) {
     const Node& n = dag.node(id);
-    if (!IsOperatorNode(n) || covered.count(id) > 0) continue;
+    if (!IsOperatorNode(n) || covered.contains(id)) continue;
     plans.emplace_back(&dag, std::vector<NodeId>{id}, id);
   }
   // A plan's root id exceeds the root id of every producer plan, so
@@ -101,20 +101,20 @@ std::vector<PartialPlan> CfgPlanner::ExplorationPhase(const Dag& dag) const {
       std::set<NodeId> adjacent;
       for (NodeId m : members) {
         for (NodeId in : dag.node(m).inputs) {
-          if (workload.count(in) > 0) adjacent.insert(in);
+          if (workload.contains(in)) adjacent.insert(in);
         }
         if (!top_reached) {
           for (NodeId c : dag.Consumers(m)) {
-            if (workload.count(c) > 0) adjacent.insert(c);
+            if (workload.contains(c)) adjacent.insert(c);
           }
         }
       }
       if (adjacent.empty()) break;
       for (NodeId v : adjacent) {
-        const bool outgoing = members.count(v) == 0 &&
+        const bool outgoing = !members.contains(v) &&
                               [&] {
                                 for (NodeId in : dag.node(v).inputs) {
-                                  if (members.count(in) > 0) return true;
+                                  if (members.contains(in)) return true;
                                 }
                                 return false;
                               }();
@@ -236,7 +236,7 @@ FusionPlanSet GenPlanner::Plan(const Dag& dag) const {
 
   // --- Outer template: one matmul + chain + sparse mask multiply. ---
   for (NodeId mm : dag.MatMulNodes()) {
-    if (used.count(mm) > 0 || dag.FanOut(mm) > 1) continue;
+    if (used.contains(mm) || dag.FanOut(mm) > 1) continue;
     std::vector<NodeId> path = {mm};
     NodeId cur = mm;
     NodeId mask_mul = kInvalidNode;
@@ -244,7 +244,7 @@ FusionPlanSet GenPlanner::Plan(const Dag& dag) const {
       auto consumers = dag.Consumers(cur);
       if (consumers.size() != 1 || dag.FanOut(cur) != 1) break;
       const NodeId c = consumers[0];
-      if (used.count(c) > 0) break;
+      if (used.contains(c)) break;
       const Node& cn = dag.node(c);
       if (cn.kind == OpKind::kUnaryAgg) {
         // An aggregation can cap the plan once the mask is found.
@@ -276,7 +276,7 @@ FusionPlanSet GenPlanner::Plan(const Dag& dag) const {
   std::vector<std::set<NodeId>> groups;
   for (NodeId id : dag.TopologicalOrder()) {
     const Node& n = dag.node(id);
-    if (!IsEwise(n) || used.count(id) > 0) continue;
+    if (!IsEwise(n) || used.contains(id)) continue;
     int g = static_cast<int>(groups.size());
     groups.push_back({id});
     group_of[id] = g;

@@ -26,6 +26,7 @@
 
 #include "cost/cost_model.h"
 #include "fusion/partial_plan.h"
+#include "verify/diagnostic.h"
 
 namespace fuseme {
 
@@ -34,6 +35,11 @@ struct FusionPlanSet {
   /// whose root it consumes).  Together they cover all operator nodes.
   std::vector<PartialPlan> plans;
   std::string description;
+  /// Invariant violations found while the set was generated (the engine's
+  /// MakePlans verifies intermediate CFG candidates and final coverage
+  /// when EngineOptions::verify is enabled).  Execution refuses to start
+  /// while this is non-empty.
+  std::vector<VerifierDiagnostic> diagnostics;
 };
 
 class Planner {

@@ -45,6 +45,12 @@ class Dag {
   void MarkOutput(NodeId id);
 
   const Node& node(NodeId id) const { return nodes_[id]; }
+
+  /// TEST-ONLY mutation hook: direct access to a node so verifier tests
+  /// can corrupt inferred metadata (shape, nnz, wiring) that the Add*
+  /// builders would reject.  Production code must never call this — the
+  /// whole planning stack assumes nodes are immutable once pushed.
+  Node* mutable_node_for_test(NodeId id) { return &nodes_[id]; }
   std::int64_t num_nodes() const {
     return static_cast<std::int64_t>(nodes_.size());
   }

@@ -521,7 +521,7 @@ Result<DistributedMatrix> BroadcastFusedOperator::Execute(
   for (NodeId ext : plan.ExternalInputs()) {
     const Node& n = dag.node(ext);
     if (!n.is_matrix()) continue;
-    if (inputs.find(ext) == inputs.end()) {
+    if (!inputs.contains(ext)) {
       return Status::Internal("missing input matrix for node v" +
                               std::to_string(ext));
     }

@@ -1,0 +1,66 @@
+// Verifier vocabulary: diagnostic records and the engine's VerifyLevel.
+//
+// Kept header-only and dependency-free so planner-layer containers
+// (FusionPlanSet) can carry diagnostics without linking the verifier.
+
+#ifndef FUSEME_VERIFY_DIAGNOSTIC_H_
+#define FUSEME_VERIFY_DIAGNOSTIC_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "ir/node.h"
+
+namespace fuseme {
+
+/// How much plan verification the engine performs (DESIGN.md section 11).
+enum class VerifyLevel {
+  kOff,      // no verification
+  kPlanner,  // DAG + plan-set structural rules before execution (default)
+  kParanoid, // kPlanner plus per-stage cuboid feasibility re-checks
+};
+
+inline std::string_view VerifyLevelName(VerifyLevel level) {
+  switch (level) {
+    case VerifyLevel::kOff:
+      return "off";
+    case VerifyLevel::kPlanner:
+      return "planner";
+    case VerifyLevel::kParanoid:
+      return "paranoid";
+  }
+  return "?";
+}
+
+/// One violated invariant.  `rule` is a stable machine-readable id (the
+/// rules::k* constants in verify/plan_verifier.h); `node` anchors the
+/// violation to a DAG vertex when one is involved.
+struct VerifierDiagnostic {
+  std::string rule;
+  NodeId node = kInvalidNode;
+  std::string message;
+
+  /// "[rule] v3: message" (node omitted when kInvalidNode).
+  std::string ToString() const {
+    std::string out = "[" + rule + "]";
+    if (node != kInvalidNode) out += " v" + std::to_string(node);
+    out += ": " + message;
+    return out;
+  }
+};
+
+/// Newline-joined rendering of a diagnostic list.
+inline std::string FormatDiagnostics(
+    const std::vector<VerifierDiagnostic>& diags) {
+  std::string out;
+  for (const VerifierDiagnostic& d : diags) {
+    if (!out.empty()) out += "\n";
+    out += d.ToString();
+  }
+  return out;
+}
+
+}  // namespace fuseme
+
+#endif  // FUSEME_VERIFY_DIAGNOSTIC_H_

@@ -1,0 +1,548 @@
+#include "verify/plan_verifier.h"
+
+#include <algorithm>
+#include <map>
+#include <queue>
+#include <set>
+#include <string>
+
+#include "matrix/sparsity.h"
+#include "ops/fused_operator.h"
+
+namespace fuseme {
+
+namespace {
+
+std::string Shape(std::int64_t rows, std::int64_t cols) {
+  return std::to_string(rows) + "x" + std::to_string(cols);
+}
+
+void Emit(std::vector<VerifierDiagnostic>* diags, const char* rule,
+          NodeId node, std::string message) {
+  diags->push_back(VerifierDiagnostic{rule, node, std::move(message)});
+}
+
+int ExpectedArity(OpKind kind) {
+  switch (kind) {
+    case OpKind::kInput:
+    case OpKind::kScalar:
+      return 0;
+    case OpKind::kUnary:
+    case OpKind::kUnaryAgg:
+    case OpKind::kTranspose:
+      return 1;
+    case OpKind::kBinary:
+    case OpKind::kMatMul:
+      return 2;
+  }
+  return 0;
+}
+
+/// Checks node `id`'s input ids and arity; returns false (after emitting)
+/// when the remaining per-node checks cannot run safely.
+bool CheckWiring(const Dag& dag, NodeId id,
+                 std::vector<VerifierDiagnostic>* diags) {
+  const Node& n = dag.node(id);
+  bool ok = true;
+  for (NodeId in : n.inputs) {
+    if (in < 0 || in >= id) {
+      Emit(diags, rules::kDagInputId, id,
+           "input v" + std::to_string(in) +
+               " is not an earlier node (ids must be topological)");
+      ok = false;
+    }
+  }
+  const int arity = static_cast<int>(n.inputs.size());
+  if (arity != ExpectedArity(n.kind)) {
+    Emit(diags, rules::kDagArity, id,
+         std::string(OpKindName(n.kind)) + " expects " +
+             std::to_string(ExpectedArity(n.kind)) + " inputs, has " +
+             std::to_string(arity));
+    ok = false;
+  }
+  return ok;
+}
+
+/// Re-derives node `id`'s shape from its (already wiring-checked) inputs.
+/// Returns false when the operands themselves are incompatible, in which
+/// case a diagnostic was emitted and `rows`/`cols` are unset.
+bool RederiveShape(const Dag& dag, NodeId id, std::int64_t* rows,
+                   std::int64_t* cols,
+                   std::vector<VerifierDiagnostic>* diags) {
+  const Node& n = dag.node(id);
+  switch (n.kind) {
+    case OpKind::kInput:
+      if (n.rows <= 0 || n.cols <= 0) {
+        Emit(diags, rules::kDagShape, id,
+             "input must have positive dimensions, has " +
+                 Shape(n.rows, n.cols));
+        return false;
+      }
+      *rows = n.rows;
+      *cols = n.cols;
+      return true;
+    case OpKind::kScalar:
+      *rows = 1;
+      *cols = 1;
+      return true;
+    case OpKind::kUnary: {
+      const Node& in = dag.node(n.inputs[0]);
+      *rows = in.rows;
+      *cols = in.cols;
+      return true;
+    }
+    case OpKind::kBinary: {
+      const Node& a = dag.node(n.inputs[0]);
+      const Node& b = dag.node(n.inputs[1]);
+      const bool a_scalar = a.kind == OpKind::kScalar;
+      const bool b_scalar = b.kind == OpKind::kScalar;
+      if (a_scalar && b_scalar) return false;  // kDagOperandKind's domain
+      if (!a_scalar && !b_scalar &&
+          (a.rows != b.rows || a.cols != b.cols)) {
+        Emit(diags, rules::kDagShape, id,
+             "element-wise operand shapes differ: " + Shape(a.rows, a.cols) +
+                 " vs " + Shape(b.rows, b.cols));
+        return false;
+      }
+      const Node& m = a_scalar ? b : a;
+      *rows = m.rows;
+      *cols = m.cols;
+      return true;
+    }
+    case OpKind::kMatMul: {
+      const Node& a = dag.node(n.inputs[0]);
+      const Node& b = dag.node(n.inputs[1]);
+      if (a.cols != b.rows) {
+        Emit(diags, rules::kDagShape, id,
+             "matmul inner dimensions differ: " + Shape(a.rows, a.cols) +
+                 " x " + Shape(b.rows, b.cols));
+        return false;
+      }
+      *rows = a.rows;
+      *cols = b.cols;
+      return true;
+    }
+    case OpKind::kUnaryAgg: {
+      const Node& in = dag.node(n.inputs[0]);
+      switch (n.agg_axis) {
+        case AggAxis::kAll:
+          *rows = 1;
+          *cols = 1;
+          break;
+        case AggAxis::kRow:
+          *rows = in.rows;
+          *cols = 1;
+          break;
+        case AggAxis::kCol:
+          *rows = 1;
+          *cols = in.cols;
+          break;
+      }
+      return true;
+    }
+    case OpKind::kTranspose: {
+      const Node& in = dag.node(n.inputs[0]);
+      *rows = in.cols;
+      *cols = in.rows;
+      return true;
+    }
+  }
+  return false;
+}
+
+/// Re-derives node `id`'s nnz estimate from its inputs with the same
+/// estimators Dag::Add* used.  Returns -1 when no estimate applies.
+std::int64_t RederiveNnz(const Dag& dag, NodeId id) {
+  const Node& n = dag.node(id);
+  switch (n.kind) {
+    case OpKind::kInput:
+    case OpKind::kScalar:
+      return -1;  // leaves carry caller-provided sparsity
+    case OpKind::kUnary: {
+      const Node& in = dag.node(n.inputs[0]);
+      return EstimateUnaryNnz(n.unary_fn, in.rows, in.cols, in.nnz);
+    }
+    case OpKind::kBinary: {
+      const Node& a = dag.node(n.inputs[0]);
+      const Node& b = dag.node(n.inputs[1]);
+      const bool a_scalar = a.kind == OpKind::kScalar;
+      const bool b_scalar = b.kind == OpKind::kScalar;
+      if (a_scalar || b_scalar) {
+        const Node& m = a_scalar ? b : a;
+        const Node& s = a_scalar ? a : b;
+        return EstimateEwiseScalarNnz(n.binary_fn, m.rows, m.cols, m.nnz,
+                                      s.scalar, /*scalar_left=*/a_scalar);
+      }
+      return EstimateEwiseBinaryNnz(n.binary_fn, a.rows, a.cols, a.nnz,
+                                    b.nnz);
+    }
+    case OpKind::kMatMul: {
+      const Node& a = dag.node(n.inputs[0]);
+      const Node& b = dag.node(n.inputs[1]);
+      return EstimateMatMulNnz(a.rows, a.cols, b.cols, a.nnz, b.nnz);
+    }
+    case OpKind::kUnaryAgg:
+      return n.rows * n.cols;
+    case OpKind::kTranspose:
+      return dag.node(n.inputs[0]).nnz;
+  }
+  return -1;
+}
+
+}  // namespace
+
+std::vector<VerifierDiagnostic> PlanVerifier::VerifyDag(
+    const Dag& dag) const {
+  std::vector<VerifierDiagnostic> diags;
+  for (NodeId id : dag.TopologicalOrder()) {
+    const Node& n = dag.node(id);
+    if (!CheckWiring(dag, id, &diags)) continue;
+
+    // Operand kinds: matrix operators reject scalar operands the same way
+    // the Dag builders do.
+    bool operands_ok = true;
+    if (n.kind == OpKind::kUnary || n.kind == OpKind::kUnaryAgg ||
+        n.kind == OpKind::kTranspose || n.kind == OpKind::kMatMul) {
+      for (NodeId in : n.inputs) {
+        if (!dag.node(in).is_matrix()) {
+          Emit(&diags, rules::kDagOperandKind, id,
+               std::string(OpKindName(n.kind)) +
+                   " requires matrix operands, v" + std::to_string(in) +
+                   " is a scalar");
+          operands_ok = false;
+        }
+      }
+    } else if (n.kind == OpKind::kBinary) {
+      if (dag.node(n.inputs[0]).kind == OpKind::kScalar &&
+          dag.node(n.inputs[1]).kind == OpKind::kScalar) {
+        Emit(&diags, rules::kDagOperandKind, id,
+             "binary operator on two scalars (should be folded)");
+        operands_ok = false;
+      }
+    }
+    if (!operands_ok) continue;
+
+    std::int64_t rows = 0;
+    std::int64_t cols = 0;
+    if (!RederiveShape(dag, id, &rows, &cols, &diags)) continue;
+    if (n.rows != rows || n.cols != cols) {
+      Emit(&diags, rules::kDagShape, id,
+           "inferred shape " + Shape(n.rows, n.cols) +
+               " does not match re-derived " + Shape(rows, cols));
+      continue;  // nnz bounds/estimates are relative to the true shape
+    }
+
+    if (n.is_matrix() && (n.nnz < 0 || n.nnz > n.rows * n.cols)) {
+      Emit(&diags, rules::kDagNnz, id,
+           "nnz " + std::to_string(n.nnz) + " outside [0, " +
+               std::to_string(n.rows * n.cols) + "]");
+      continue;
+    }
+    const std::int64_t nnz = RederiveNnz(dag, id);
+    if (nnz >= 0 && n.nnz != nnz) {
+      Emit(&diags, rules::kDagSparsity, id,
+           "nnz estimate " + std::to_string(n.nnz) +
+               " does not match re-derived " + std::to_string(nnz));
+    }
+  }
+  return diags;
+}
+
+std::vector<VerifierDiagnostic> PlanVerifier::VerifyPlan(
+    const Dag& dag, const PartialPlan& plan, bool require_matmul) const {
+  std::vector<VerifierDiagnostic> diags;
+  const std::vector<NodeId>& members = plan.members();
+
+  // Member ids must be in range before anything dereferences them.
+  std::set<NodeId> valid;
+  for (NodeId m : members) {
+    if (m < 0 || m >= dag.num_nodes()) {
+      Emit(&diags, rules::kPlanMemberId, m,
+           "member id outside the DAG (num_nodes=" +
+               std::to_string(dag.num_nodes()) + ")");
+    } else {
+      valid.insert(m);
+    }
+  }
+
+  const NodeId root = plan.root();
+  if (!valid.contains(root) || !plan.Contains(root)) {
+    Emit(&diags, rules::kPlanRoot, root,
+         "root is not a valid member of the plan");
+    return diags;  // every remaining check keys off the root
+  }
+
+  for (NodeId m : valid) {
+    const Node& n = dag.node(m);
+    if (n.kind == OpKind::kInput || n.kind == OpKind::kScalar) {
+      Emit(&diags, rules::kPlanMemberKind, m,
+           "plan members must be operators, v" + std::to_string(m) +
+               " is a leaf (" + n.Label() + ")");
+    }
+  }
+
+  // Connectivity: every member must be reachable from the root through
+  // member-to-member input edges (the plan is one fused region, not two).
+  std::set<NodeId> reached;
+  std::queue<NodeId> frontier;
+  frontier.push(root);
+  reached.insert(root);
+  while (!frontier.empty()) {
+    const NodeId id = frontier.front();
+    frontier.pop();
+    for (NodeId in : dag.node(id).inputs) {
+      if (valid.contains(in) && reached.insert(in).second) {
+        frontier.push(in);
+      }
+    }
+  }
+  for (NodeId m : valid) {
+    if (!reached.contains(m)) {
+      Emit(&diags, rules::kPlanConnected, m,
+           "member is not reachable from root v" + std::to_string(root));
+    }
+  }
+
+  // Termination operators (multi-consumer nodes, shuffle aggregations) end
+  // fusion regions: they may only appear as the root (paper §4.1).
+  for (NodeId m : valid) {
+    if (m == root) continue;
+    const Node& n = dag.node(m);
+    if (n.kind == OpKind::kInput || n.kind == OpKind::kScalar) continue;
+    if (IsTerminationOperator(dag, m)) {
+      Emit(&diags, rules::kPlanInternalTermination, m,
+           std::string(dag.FanOut(m) > 1 ? "multi-consumer node"
+                                         : "shuffle aggregation") +
+               " fused below the root (termination operators must end the "
+               "region)");
+    }
+  }
+
+  // Member matmuls with sound wiring (2 in-range matrix-node inputs).
+  std::vector<NodeId> matmuls;
+  for (NodeId m : valid) {
+    const Node& n = dag.node(m);
+    if (n.kind != OpKind::kMatMul) continue;
+    if (n.inputs.size() == 2 && n.inputs[0] >= 0 && n.inputs[0] < m &&
+        n.inputs[1] >= 0 && n.inputs[1] < m) {
+      matmuls.push_back(m);
+    }
+  }
+  if (require_matmul && matmuls.empty()) {
+    Emit(&diags, rules::kPlanNoMatMul, root,
+         "CFG candidate contains no matrix multiplication seed");
+  }
+  if (matmuls.empty()) return diags;
+
+  // Main matmul: largest I·J·K voxel count, ties to the most downstream
+  // (same rule as PartialPlan::MainMatMul, re-derived independently).
+  NodeId main_mm = kInvalidNode;
+  std::int64_t best_voxels = -1;
+  for (NodeId mm : matmuls) {
+    const Node& n = dag.node(mm);
+    const std::int64_t voxels =
+        n.rows * n.cols * dag.node(n.inputs[0]).cols;
+    if (voxels >= best_voxels) {
+      best_voxels = voxels;
+      main_mm = mm;
+    }
+  }
+
+  // Subspace uniqueness: flooding the member subtrees under the main
+  // matmul's lhs and rhs must not claim the same member twice (a member
+  // feeding both sides would be consolidated under two different
+  // partitionings at once).
+  auto flood = [&](NodeId start) {
+    std::set<NodeId> space;
+    if (!valid.contains(start)) return space;
+    std::queue<NodeId> work;
+    work.push(start);
+    space.insert(start);
+    while (!work.empty()) {
+      const NodeId id = work.front();
+      work.pop();
+      for (NodeId in : dag.node(id).inputs) {
+        if (valid.contains(in) && in != main_mm &&
+            space.insert(in).second) {
+          work.push(in);
+        }
+      }
+    }
+    return space;
+  };
+  const Node& mm_node = dag.node(main_mm);
+  const std::set<NodeId> l_space = flood(mm_node.inputs[0]);
+  const std::set<NodeId> r_space = flood(mm_node.inputs[1]);
+  for (NodeId m : l_space) {
+    if (r_space.contains(m)) {
+      Emit(&diags, rules::kPlanSubspaceUnique, m,
+           "member lies in both the L and R subspaces of main matmul v" +
+               std::to_string(main_mm));
+    }
+  }
+
+  // Axis consistency: every member matmul's operands must span a coherent
+  // i×j×k space — lhs i×k against rhs k×j producing i×j.
+  for (NodeId mm : matmuls) {
+    const Node& n = dag.node(mm);
+    const Node& lhs = dag.node(n.inputs[0]);
+    const Node& rhs = dag.node(n.inputs[1]);
+    if (lhs.cols != rhs.rows) {
+      Emit(&diags, rules::kPlanSubspaceAxes, mm,
+           "k axis disagrees: lhs " + Shape(lhs.rows, lhs.cols) +
+               " vs rhs " + Shape(rhs.rows, rhs.cols));
+    } else if (n.rows != lhs.rows || n.cols != rhs.cols) {
+      Emit(&diags, rules::kPlanSubspaceAxes, mm,
+           "output " + Shape(n.rows, n.cols) +
+               " does not span the i×j plane of " +
+               Shape(lhs.rows, lhs.cols) + " x " +
+               Shape(rhs.rows, rhs.cols));
+    }
+  }
+  return diags;
+}
+
+std::vector<VerifierDiagnostic> PlanVerifier::VerifyPlanSet(
+    const Dag& dag, const FusionPlanSet& set, bool require_coverage) const {
+  std::vector<VerifierDiagnostic> diags;
+
+  std::map<NodeId, int> cover_count;
+  std::set<NodeId> roots;
+  for (const PartialPlan& plan : set.plans) {
+    for (NodeId m : plan.members()) ++cover_count[m];
+    roots.insert(plan.root());
+  }
+  for (const auto& [id, count] : cover_count) {
+    if (count > 1) {
+      Emit(&diags, rules::kPlanSetOverlap, id,
+           "node belongs to " + std::to_string(count) +
+               " plans (plans must partition the operators)");
+    }
+  }
+
+  if (require_coverage) {
+    for (NodeId id : dag.TopologicalOrder()) {
+      const Node& n = dag.node(id);
+      if (n.kind == OpKind::kInput || n.kind == OpKind::kScalar) continue;
+      if (!cover_count.contains(id)) {
+        Emit(&diags, rules::kPlanSetCoverage, id,
+             "operator node " + n.Label() + " is not covered by any plan");
+      }
+    }
+  }
+
+  for (NodeId out : dag.outputs()) {
+    if (out < 0 || out >= dag.num_nodes()) continue;
+    const Node& n = dag.node(out);
+    if (n.kind == OpKind::kInput || n.kind == OpKind::kScalar) continue;
+    if (!roots.contains(out)) {
+      Emit(&diags, rules::kPlanSetOutput, out,
+           "query output is not the root of any plan (it would never "
+           "materialize)");
+    }
+  }
+  return diags;
+}
+
+std::vector<VerifierDiagnostic> PlanVerifier::VerifyStageGraph(
+    const Dag& dag, const FusionPlanSet& set) const {
+  std::vector<VerifierDiagnostic> diags;
+
+  // Commit keys: the engine materializes each stage's output under its
+  // plan root id, so duplicate roots would silently drop a result.
+  std::set<NodeId> all_roots;
+  for (const PartialPlan& plan : set.plans) {
+    if (!all_roots.insert(plan.root()).second) {
+      Emit(&diags, rules::kStageDuplicateRoot, plan.root(),
+           "two stages commit their output under the same root id");
+    }
+  }
+
+  std::set<NodeId> available;  // roots of stages already executed
+  for (const PartialPlan& plan : set.plans) {
+    // Plans with out-of-range members are reported by VerifyPlan and
+    // cannot be walked safely here.
+    const bool walkable = std::all_of(
+        plan.members().begin(), plan.members().end(),
+        [&](NodeId m) { return m >= 0 && m < dag.num_nodes(); });
+    if (!walkable) continue;
+    for (NodeId ext : plan.ExternalInputs()) {
+      if (ext < 0 || ext >= dag.num_nodes()) continue;
+      const Node& n = dag.node(ext);
+      if (n.kind == OpKind::kInput || n.kind == OpKind::kScalar) continue;
+      if (available.contains(ext)) continue;
+      if (all_roots.contains(ext)) {
+        Emit(&diags, rules::kStageOrder, ext,
+             "stage " + plan.ToString() +
+                 " consumes v" + std::to_string(ext) +
+                 " before the stage producing it has run");
+      } else {
+        Emit(&diags, rules::kStageMissingInput, ext,
+             "stage " + plan.ToString() + " consumes operator v" +
+                 std::to_string(ext) +
+                 " that no stage produces and no leaf provides");
+      }
+    }
+    available.insert(plan.root());
+  }
+  return diags;
+}
+
+std::vector<VerifierDiagnostic> PlanVerifier::VerifyCuboid(
+    const PartialPlan& plan, const Cuboid& c) const {
+  std::vector<VerifierDiagnostic> diags;
+  const NodeId root = plan.root();
+
+  if (model_ != nullptr) {
+    const GridDims g = model_->Grid(plan);
+    if (c.P < 1 || c.P > g.I || c.Q < 1 || c.Q > g.J || c.R < 1 ||
+        c.R > g.K) {
+      Emit(&diags, rules::kCuboidBounds, root,
+           c.ToString() + " outside the plan's " + std::to_string(g.I) +
+               "x" + std::to_string(g.J) + "x" + std::to_string(g.K) +
+               " block grid");
+      return diags;  // MemEst on an out-of-grid cuboid is meaningless
+    }
+  } else if (c.P < 1 || c.Q < 1 || c.R < 1) {
+    Emit(&diags, rules::kCuboidBounds, root,
+         c.ToString() + " has a non-positive axis");
+    return diags;
+  }
+
+  if (c.R > 1 && !CuboidSupportsKSplit(plan)) {
+    Emit(&diags, rules::kCuboidKSplit, root,
+         c.ToString() + " splits the common dimension but the plan's "
+         "O-space reshapes the matmul output (partials cannot merge)");
+  }
+
+  if (model_ != nullptr) {
+    const double mem = model_->MemEst(c, plan);
+    const double budget =
+        static_cast<double>(model_->config().task_memory_budget);
+    if (mem > budget) {
+      Emit(&diags, rules::kCuboidMemory, root,
+           c.ToString() + " needs " + std::to_string(mem) +
+               " bytes per task, over the " + std::to_string(budget) +
+               "-byte budget the optimizer selected under");
+    }
+  }
+  return diags;
+}
+
+std::vector<VerifierDiagnostic> PlanVerifier::Verify(
+    const Dag& dag, const FusionPlanSet& set, VerifyLevel level) const {
+  std::vector<VerifierDiagnostic> diags;
+  if (level == VerifyLevel::kOff) return diags;
+  diags = VerifyDag(dag);
+  for (const PartialPlan& plan : set.plans) {
+    std::vector<VerifierDiagnostic> plan_diags = VerifyPlan(dag, plan);
+    diags.insert(diags.end(), plan_diags.begin(), plan_diags.end());
+  }
+  std::vector<VerifierDiagnostic> more = VerifyPlanSet(dag, set);
+  diags.insert(diags.end(), more.begin(), more.end());
+  more = VerifyStageGraph(dag, set);
+  diags.insert(diags.end(), more.begin(), more.end());
+  return diags;
+}
+
+}  // namespace fuseme

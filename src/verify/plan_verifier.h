@@ -1,0 +1,132 @@
+// PlanVerifier: static invariant checks over every planner artifact.
+//
+// The CFG planner (paper Alg. 2/3), the subspace mapping (§3.1), and the
+// cuboid optimizer (§3.3) rest on structural invariants the rest of the
+// code assumes; this pass re-derives them independently and reports every
+// violation as a structured VerifierDiagnostic instead of executing a
+// well-formed-but-wrong plan.  Four artifact kinds are covered:
+//
+//   VerifyDag       shape/sparsity inference consistency of every node
+//   VerifyPlan      fusion-region legality + L/R/O/MM subspace soundness
+//   VerifyPlanSet   coverage / overlap / output reachability of a plan set
+//   VerifyStageGraph execution-order sanity of the lowered stage sequence
+//   VerifyCuboid    (P,Q,R) feasibility against the same MemEst the
+//                   optimizer used
+//
+// The engine runs the passes behind EngineOptions::verify (DESIGN.md
+// section 11); tests corrupt artifacts through the *_for_test mutation
+// hooks and assert the exact rule that fires.
+
+#ifndef FUSEME_VERIFY_PLAN_VERIFIER_H_
+#define FUSEME_VERIFY_PLAN_VERIFIER_H_
+
+#include <vector>
+
+#include "cost/cost_model.h"
+#include "fusion/planners.h"
+#include "verify/diagnostic.h"
+
+namespace fuseme {
+
+/// Stable rule identifiers (the `rule` field of VerifierDiagnostic).
+namespace rules {
+
+// --- DAG consistency -----------------------------------------------------
+inline constexpr char kDagInputId[] = "dag-input-id";
+inline constexpr char kDagArity[] = "dag-arity";
+inline constexpr char kDagOperandKind[] = "dag-operand-kind";
+inline constexpr char kDagShape[] = "dag-shape";
+inline constexpr char kDagNnz[] = "dag-nnz";
+inline constexpr char kDagSparsity[] = "dag-sparsity";
+
+// --- Fusion-region legality ----------------------------------------------
+inline constexpr char kPlanRoot[] = "plan-root";
+inline constexpr char kPlanMemberId[] = "plan-member-id";
+inline constexpr char kPlanMemberKind[] = "plan-member-kind";
+inline constexpr char kPlanConnected[] = "plan-connected";
+inline constexpr char kPlanInternalTermination[] =
+    "plan-internal-termination";
+inline constexpr char kPlanNoMatMul[] = "plan-no-matmul";
+
+// --- Subspace-mapping soundness ------------------------------------------
+inline constexpr char kPlanSubspaceUnique[] = "plan-subspace-unique";
+inline constexpr char kPlanSubspaceAxes[] = "plan-subspace-axes";
+
+// --- Plan-set structure ---------------------------------------------------
+inline constexpr char kPlanSetCoverage[] = "planset-coverage";
+inline constexpr char kPlanSetOverlap[] = "planset-overlap";
+inline constexpr char kPlanSetOutput[] = "planset-output";
+
+// --- Lowered stage graph --------------------------------------------------
+inline constexpr char kStageOrder[] = "stage-order";
+inline constexpr char kStageMissingInput[] = "stage-missing-input";
+inline constexpr char kStageDuplicateRoot[] = "stage-duplicate-root";
+
+// --- Cuboid feasibility ---------------------------------------------------
+inline constexpr char kCuboidBounds[] = "cuboid-bounds";
+inline constexpr char kCuboidKSplit[] = "cuboid-ksplit";
+inline constexpr char kCuboidMemory[] = "cuboid-memory";
+
+}  // namespace rules
+
+class PlanVerifier {
+ public:
+  /// `model` (not owned, may outlive checks) powers the cuboid rules;
+  /// with a null model VerifyCuboid only checks the model-free rules.
+  explicit PlanVerifier(const CostModel* model = nullptr) : model_(model) {}
+
+  /// Shape/sparsity inference consistency: every node's input ids, arity,
+  /// operand kinds, inferred shape, and estimated nnz must agree with an
+  /// independent re-derivation from its inputs.
+  std::vector<VerifierDiagnostic> VerifyDag(const Dag& dag) const;
+
+  /// Fusion-region legality for one plan: members are in-range operator
+  /// nodes forming a connected tree under the root, no internal member is
+  /// a termination operator (multi-consumer / shuffle aggregation), and —
+  /// when the plan has a matmul — every member maps into exactly one of
+  /// L/R/O/MM with operand axes consistent with the seed's i×j×k space.
+  /// `require_matmul` additionally demands ≥1 member matmul (CFG
+  /// exploration/exploitation candidates grow from matmul seeds; final
+  /// plan sets legitimately contain pure element-wise cell plans).
+  std::vector<VerifierDiagnostic> VerifyPlan(
+      const Dag& dag, const PartialPlan& plan,
+      bool require_matmul = false) const;
+
+  /// Plan-set structure: plans partition a subset of the operator nodes
+  /// (no overlap), and every DAG output is a leaf or some plan's root.
+  /// `require_coverage` additionally demands that *every* operator node is
+  /// covered — an invariant of planner-generated sets (FinalizePlanSet),
+  /// but not of caller-supplied single-plan sets.
+  std::vector<VerifierDiagnostic> VerifyPlanSet(
+      const Dag& dag, const FusionPlanSet& set,
+      bool require_coverage = false) const;
+
+  /// Lowered stage-graph sanity: stages execute in list order, so every
+  /// matrix external input must be a DAG leaf or the root of an *earlier*
+  /// plan, and no two stages may commit under the same root id (the
+  /// engine's deterministic-commit key).
+  std::vector<VerifierDiagnostic> VerifyStageGraph(
+      const Dag& dag, const FusionPlanSet& set) const;
+
+  /// Cuboid feasibility for an optimizer-chosen (P,Q,R): axis bounds
+  /// within the plan's I×J×K block grid, R = 1 when the plan cannot split
+  /// the common dimension, and MemEst(P,Q,R) within the per-task budget —
+  /// the exact estimate the optimizer selected under.
+  std::vector<VerifierDiagnostic> VerifyCuboid(const PartialPlan& plan,
+                                               const Cuboid& c) const;
+
+  /// Everything appropriate for `level` in one call: kOff returns empty;
+  /// kPlanner and up runs VerifyDag + per-plan VerifyPlan + VerifyPlanSet
+  /// + VerifyStageGraph.  (Cuboid checks are per-stage and run inside the
+  /// engine at kParanoid, after the operator and its (P,Q,R) are chosen.)
+  std::vector<VerifierDiagnostic> Verify(const Dag& dag,
+                                         const FusionPlanSet& set,
+                                         VerifyLevel level) const;
+
+ private:
+  const CostModel* model_;
+};
+
+}  // namespace fuseme
+
+#endif  // FUSEME_VERIFY_PLAN_VERIFIER_H_

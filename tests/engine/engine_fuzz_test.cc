@@ -159,7 +159,7 @@ TEST_P(EngineFuzz, AllSystemsMatchOracle) {
         << SystemModeName(mode) << " seed " << GetParam() << ": "
         << run.report.status;
     for (NodeId out : q.dag.outputs()) {
-      ASSERT_TRUE(run.outputs.count(out) > 0)
+      ASSERT_TRUE(run.outputs.contains(out))
           << SystemModeName(mode) << " missing output v" << out;
       EXPECT_LE(DenseMatrix::MaxAbsDiff(
                     run.outputs.at(out).blocks().ToDense(), expected[out]),

@@ -107,7 +107,7 @@ TEST(CfgPlannerTest, FullCoverageAndOrder) {
     for (NodeId ext : p.ExternalInputs()) {
       const Node& n = q.dag.node(ext);
       if (n.kind == OpKind::kInput || n.kind == OpKind::kScalar) continue;
-      EXPECT_TRUE(produced.count(ext) > 0)
+      EXPECT_TRUE(produced.contains(ext))
           << "plan " << p.ToString() << " consumes unmaterialized v" << ext;
     }
     produced.insert(p.root());
