@@ -14,6 +14,7 @@
 
 #include "bench_util.h"
 #include "common/thread_pool.h"
+#include "telemetry/metrics.h"
 #include "matrix/generators.h"
 #include "workloads/datasets.h"
 #include "workloads/queries.h"
@@ -25,6 +26,7 @@ namespace {
 
 std::vector<BenchRecord> g_records;
 Tracer g_tracer;  // spans from every engine run; TRACE_fig12_operators.json
+MetricsRegistry g_metrics;  // embedded in BENCH_fig12_operators.json
 
 struct Row {
   std::string label;
@@ -48,6 +50,7 @@ Row RunSpec(const SyntheticSpec& spec, int num_nodes = 8) {
   options.analytic = true;
   options.cluster.num_nodes = num_nodes;
   options.tracer = &g_tracer;
+  options.metrics = &g_metrics;
 
   {  // SystemDS: BFO or RFO by the §6.2 rule — its only two *fused*
      // operators ("SystemDS uses only either BFO or RFO").
@@ -163,6 +166,7 @@ void RunRealModeCfoSpeedup() {
   options.cluster.block_size = bs;
   options.cluster.task_memory_budget = 1LL << 40;
   options.tracer = &g_tracer;
+  options.metrics = &g_metrics;
 
   options.cluster.local_threads = 1;
   Engine::RunResult serial_run, parallel_run;
@@ -242,7 +246,8 @@ int main() {
       "per dataset (paper Table 3 reports (8,6,2)-style values).\n\n");
 
   RunRealModeCfoSpeedup();
-  WriteBenchJson("fig12_operators", g_records);
+  WriteBenchJson("fig12_operators", g_records,
+                 g_metrics.Snapshot().ToJson());
   WriteTraceJson("fig12_operators", g_tracer);
   return 0;
 }

@@ -18,6 +18,8 @@
 #include "matrix/block_ops.h"
 #include "matrix/generators.h"
 #include "ops/evaluator.h"
+#include "telemetry/metric_names.h"
+#include "telemetry/metrics.h"
 #include "workloads/queries.h"
 
 namespace fuseme {
@@ -148,7 +150,8 @@ double TimeGemmSeconds(const Block& a, const Block& b, Block* out) {
   return best;
 }
 
-void RunGemmSpeedupSuite(std::vector<bench::BenchRecord>* records) {
+void RunGemmSpeedupSuite(std::vector<bench::BenchRecord>* records,
+                         MetricsRegistry* metrics) {
   // FUSEME_BENCH_GEMM_N overrides the block size (quick local runs).
   std::int64_t n = 2048;
   if (const char* env = std::getenv("FUSEME_BENCH_GEMM_N")) {
@@ -182,6 +185,21 @@ void RunGemmSpeedupSuite(std::vector<bench::BenchRecord>* records) {
       static_cast<double>(flops) / parallel / 1e9, serial / parallel,
       machine);
 
+  // Mirror the measurements into the registry so BENCH_microkernels.json
+  // carries a metrics snapshot alongside the records.
+  for (const auto& [threads, seconds] :
+       {std::pair<int, double>{1, serial}, {machine, parallel}}) {
+    const MetricLabels labels = {{"threads", std::to_string(threads)}};
+    metrics->GetCounter(metric_names::kKernelGemmFlops, labels)->Add(flops);
+    metrics->GetCounter(metric_names::kKernelFlops, labels)->Add(flops);
+    metrics
+        ->GetHistogram("fuseme_bench_gemm_seconds", DefaultTimeBoundaries(),
+                       labels)
+        ->Observe(seconds);
+    metrics->GetGauge("fuseme_bench_gemm_gflops", labels)
+        ->Set(static_cast<double>(flops) / seconds / 1e9);
+  }
+
   const std::string size = std::to_string(n);
   records->push_back({"dense_gemm",
                       {{"n", size}, {"threads", "1"}},
@@ -213,8 +231,10 @@ void RunGemmSpeedupSuite(std::vector<bench::BenchRecord>* records) {
 
 int main(int argc, char** argv) {
   std::vector<fuseme::bench::BenchRecord> records;
-  fuseme::RunGemmSpeedupSuite(&records);
-  fuseme::bench::WriteBenchJson("microkernels", records);
+  fuseme::MetricsRegistry metrics;
+  fuseme::RunGemmSpeedupSuite(&records, &metrics);
+  fuseme::bench::WriteBenchJson("microkernels", records,
+                                metrics.Snapshot().ToJson());
 
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;

@@ -106,9 +106,13 @@ inline std::string JsonEscape(const std::string& s) {
 /// Writes `records` to BENCH_<bench_name>.json in the working directory:
 ///   {"benchmark": "...", "results": [{"name": ..., "config": {...},
 ///    "elapsed_seconds": ..., "bytes": ..., "flops": ...}, ...]}
+/// When `metrics_json` is non-empty it must be a pre-rendered JSON value
+/// (e.g. MetricsSnapshot::ToJson()) and is embedded verbatim under a
+/// trailing "metrics_snapshot" key.
 /// Returns false (after printing a warning) when the file is not writable.
 inline bool WriteBenchJson(const std::string& bench_name,
-                           const std::vector<BenchRecord>& records) {
+                           const std::vector<BenchRecord>& records,
+                           const std::string& metrics_json = "") {
   const std::string path = "BENCH_" + bench_name + ".json";
   std::ofstream out(path);
   if (!out) {
@@ -130,7 +134,11 @@ inline bool WriteBenchJson(const std::string& bench_name,
     out << "}, \"elapsed_seconds\": " << elapsed << ", \"bytes\": " << r.bytes
         << ", \"flops\": " << r.flops << "}";
   }
-  out << "\n  ]\n}\n";
+  out << "\n  ]";
+  if (!metrics_json.empty()) {
+    out << ",\n  \"metrics_snapshot\": " << metrics_json;
+  }
+  out << "\n}\n";
   std::printf("wrote %s (%zu results)\n", path.c_str(), records.size());
   return true;
 }

@@ -1,10 +1,13 @@
 #!/usr/bin/env bash
 # One-command correctness gate:
 #   1. build with -Werror + run the plain test suite (build/)
-#   2. clang-tidy static analysis (skipped with a warning when the tool
+#   2. metrics_report end-to-end smoke (Prometheus/JSON export validation)
+#   3. clang-tidy static analysis (skipped with a warning when the tool
 #      is not installed — see scripts/run_tidy.sh)
-#   3. the whole suite under UndefinedBehaviorSanitizer (build-ubsan/)
-#   4. the whole suite under AddressSanitizer (build-asan/)
+#   4. the whole suite under UndefinedBehaviorSanitizer (build-ubsan/)
+#   5. the whole suite under AddressSanitizer (build-asan/)
+# With FUSEME_CHECK_BENCH=1, also smoke-runs the measurement harnesses at
+# tiny shapes and checks their BENCH_*.json sinks (scripts/run_bench_smoke.sh).
 # Usage: scripts/check.sh
 set -euo pipefail
 
@@ -14,6 +17,24 @@ echo "== plain suite, -Werror (build/) =="
 cmake -B build -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DFUSEME_WERROR=ON
 cmake --build build -j "$(nproc)"
 (cd build && ctest --output-on-failure)
+
+echo "== metrics_report smoke (GNMF, --check) =="
+SMOKE_DIR=$(mktemp -d)
+METRICS_REPORT="$PWD/build/examples/metrics_report"
+(cd "$SMOKE_DIR" && "$METRICS_REPORT" gnmf --check \
+  > metrics_report_log.txt 2>&1) || {
+  cat "$SMOKE_DIR/metrics_report_log.txt" >&2
+  rm -rf "$SMOKE_DIR"
+  echo "FAIL: metrics_report smoke" >&2
+  exit 1
+}
+rm -rf "$SMOKE_DIR"
+echo "ok: metrics_report exports validated"
+
+if [[ "${FUSEME_CHECK_BENCH:-0}" == "1" ]]; then
+  echo "== bench smoke (BENCH_*.json + metrics snapshot) =="
+  scripts/run_bench_smoke.sh
+fi
 
 echo "== clang-tidy =="
 scripts/run_tidy.sh

@@ -1,0 +1,53 @@
+#!/usr/bin/env bash
+# Smoke-runs the two measurement harnesses at tiny configurations and
+# asserts that their BENCH_*.json result sinks are written and embed a
+# metrics snapshot (see DESIGN.md section 12).  Used by scripts/check.sh
+# when FUSEME_CHECK_BENCH=1; safe to run standalone.
+# Usage: scripts/run_bench_smoke.sh [build-dir]   (default: build)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR=${1:-build}
+
+if [[ ! -x "$BUILD_DIR/bench/bench_microkernels" ||
+      ! -x "$BUILD_DIR/bench/bench_fig12_operators" ]]; then
+  echo "error: bench binaries missing under $BUILD_DIR/bench -- build first" >&2
+  exit 1
+fi
+
+# Small shapes so the smoke run takes seconds, not minutes.
+export FUSEME_BENCH_GEMM_N=${FUSEME_BENCH_GEMM_N:-256}
+export FUSEME_BENCH_CFO_N=${FUSEME_BENCH_CFO_N:-512}
+
+SCRATCH=$(mktemp -d)
+trap 'rm -rf "$SCRATCH"' EXIT
+
+run_and_check() {
+  local binary=$1 json=$2
+  shift 2
+  (cd "$SCRATCH" && "$binary" "$@" > "$SCRATCH/log.txt" 2>&1) || {
+    echo "FAIL: $binary exited non-zero" >&2
+    cat "$SCRATCH/log.txt" >&2
+    exit 1
+  }
+  if [[ ! -s "$SCRATCH/$json" ]]; then
+    echo "FAIL: $binary did not write $json" >&2
+    exit 1
+  fi
+  for key in '"benchmark"' '"results"' '"metrics_snapshot"'; do
+    if ! grep -q "$key" "$SCRATCH/$json"; then
+      echo "FAIL: $json is missing $key" >&2
+      exit 1
+    fi
+  done
+  echo "ok: $json ($(wc -c < "$SCRATCH/$json") bytes, metrics embedded)"
+}
+
+# --benchmark_filter matching nothing skips the google-benchmark cases;
+# the serial-vs-parallel GEMM suite (which feeds the registry) still runs.
+run_and_check "$PWD/$BUILD_DIR/bench/bench_microkernels" \
+  BENCH_microkernels.json --benchmark_filter='^$'
+run_and_check "$PWD/$BUILD_DIR/bench/bench_fig12_operators" \
+  BENCH_fig12_operators.json
+
+echo "bench smoke passed"

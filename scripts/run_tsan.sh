@@ -14,7 +14,7 @@ cmake --build "$BUILD_DIR" -j "$(nproc)"
 
 # The tests that exercise the thread pool, the parallel kernels, and the
 # parallel operators (including the serial-vs-parallel determinism suite).
-REGEX=${1:-'ThreadPool|GlobalThreadPool|ParallelDeterminism|MatMul|BlockedMatrix|Stage|FusedOperator|OperatorSweep'}
+REGEX=${1:-'ThreadPool|GlobalThreadPool|ParallelDeterminism|MatMul|BlockedMatrix|Stage|FusedOperator|OperatorSweep|Metrics|Logging'}
 
 # Exercise more than one thread even on small CI machines.
 export FUSEME_THREADS=${FUSEME_THREADS:-4}

@@ -28,6 +28,17 @@ const char* LevelName(LogLevel level) {
   return "?";
 }
 
+// Sink and counter hook share one mutex: installs and every emitted
+// message serialize on it, so an uninstall returning means no thread is
+// still inside the old sink/hook.
+std::mutex& SinkMutex() {
+  static std::mutex mu;
+  return mu;
+}
+LogSink* g_sink = nullptr;               // guarded by SinkMutex()
+LogCounterHook g_counter_hook = nullptr;  // guarded by SinkMutex()
+void* g_counter_hook_arg = nullptr;       // guarded by SinkMutex()
+
 }  // namespace
 
 void SetLogLevel(LogLevel level) {
@@ -38,6 +49,58 @@ LogLevel GetLogLevel() {
   return static_cast<LogLevel>(g_log_level.load(std::memory_order_relaxed));
 }
 
+const char* LogLevelLabel(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "debug";
+    case LogLevel::kInfo:
+      return "info";
+    case LogLevel::kWarning:
+      return "warning";
+    case LogLevel::kError:
+      return "error";
+  }
+  return "unknown";
+}
+
+LogSink* SetLogSink(LogSink* sink) {
+  std::lock_guard<std::mutex> lock(SinkMutex());
+  LogSink* previous = g_sink;
+  g_sink = sink;
+  return previous;
+}
+
+void SetLogCounterHook(LogCounterHook hook, void* arg) {
+  std::lock_guard<std::mutex> lock(SinkMutex());
+  g_counter_hook = hook;
+  g_counter_hook_arg = arg;
+}
+
+void CaptureLogSink::Write(LogLevel level, const std::string& line) {
+  std::lock_guard<std::mutex> lock(mu_);
+  messages_.emplace_back(level, line);
+}
+
+std::vector<std::pair<LogLevel, std::string>> CaptureLogSink::messages()
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return messages_;
+}
+
+std::size_t CaptureLogSink::CountAt(LogLevel level) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::size_t n = 0;
+  for (const auto& [msg_level, line] : messages_) {
+    if (msg_level == level) ++n;
+  }
+  return n;
+}
+
+void CaptureLogSink::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  messages_.clear();
+}
+
 namespace internal_logging {
 
 LogMessage::LogMessage(LogLevel level, const char* file, int line)
@@ -46,8 +109,14 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line)
 }
 
 LogMessage::~LogMessage() {
-  (void)level_;
-  std::cerr << stream_.str() << std::endl;
+  const std::string line = stream_.str();
+  std::lock_guard<std::mutex> lock(SinkMutex());
+  if (g_counter_hook != nullptr) g_counter_hook(level_, g_counter_hook_arg);
+  if (g_sink != nullptr) {
+    g_sink->Write(level_, line);
+  } else {
+    std::cerr << line << std::endl;
+  }
 }
 
 FatalMessage::FatalMessage(const char* file, int line, const char* condition) {

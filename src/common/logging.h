@@ -9,8 +9,11 @@
 
 #include <cstdlib>
 #include <iostream>
+#include <mutex>
 #include <sstream>
 #include <string>
+#include <utility>
+#include <vector>
 
 namespace fuseme {
 
@@ -19,6 +22,47 @@ enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
 /// Sets the global minimum level that will be emitted.
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
+
+/// Lowercase level name for metric labels: "debug".."error".
+const char* LogLevelLabel(LogLevel level);
+
+/// Destination for formatted log lines.  The default (no sink installed)
+/// writes to stderr; tests install a CaptureLogSink to assert on warnings
+/// instead of scraping stderr.  Write() is always invoked under the
+/// logging mutex, so implementations see one call at a time.
+class LogSink {
+ public:
+  virtual ~LogSink() = default;
+  /// `line` is the fully formatted message, no trailing newline.
+  virtual void Write(LogLevel level, const std::string& line) = 0;
+};
+
+/// Installs `sink` for subsequent log messages and returns the previous
+/// sink (null means the default stderr destination).  Passing null
+/// restores the default.
+LogSink* SetLogSink(LogSink* sink);
+
+/// Test sink capturing (level, line) pairs in memory.
+class CaptureLogSink : public LogSink {
+ public:
+  void Write(LogLevel level, const std::string& line) override;
+  [[nodiscard]] std::vector<std::pair<LogLevel, std::string>> messages() const;
+  /// Count of captured messages at exactly `level`.
+  [[nodiscard]] std::size_t CountAt(LogLevel level) const;
+  void Clear();
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<std::pair<LogLevel, std::string>> messages_;
+};
+
+/// Counter hook, invoked for every message that passes the level filter
+/// (before the sink write).  The common layer cannot depend on the
+/// metrics registry, so this is a raw function pointer — the telemetry
+/// layer's AttachLogMetrics installs one that bumps
+/// `fuseme_log_messages_total{level=...}`.  Null uninstalls.
+using LogCounterHook = void (*)(LogLevel level, void* arg);
+void SetLogCounterHook(LogCounterHook hook, void* arg);
 
 namespace internal_logging {
 

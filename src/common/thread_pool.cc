@@ -37,6 +37,11 @@ ThreadPool::~ThreadPool() {
 
 bool ThreadPool::InWorker() const { return current_pool == this; }
 
+std::size_t ThreadPool::ApproxQueueDepth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
 void ThreadPool::Enqueue(std::function<void()> task) {
   if (workers_.empty()) {
     // No workers: run inline.  packaged_task catches exceptions into the

@@ -54,6 +54,11 @@ class ThreadPool {
   /// True when the calling thread is one of this pool's workers.
   bool InWorker() const;
 
+  /// Current number of queued (not yet started) tasks.  Approximate by
+  /// nature — the queue moves while the caller looks — used by telemetry
+  /// to sample pool backlog, never for control flow.
+  std::size_t ApproxQueueDepth() const;
+
   /// Schedules `fn` for execution and returns a future for its result;
   /// an exception thrown by `fn` surfaces on future.get().  With zero
   /// workers the task runs inline before Submit returns.
@@ -82,7 +87,7 @@ class ThreadPool {
   void Enqueue(std::function<void()> task);
   void WorkerLoop();
 
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::condition_variable cv_;
   std::deque<std::function<void()>> queue_;
   bool shutdown_ = false;

@@ -3,7 +3,30 @@
 #include <algorithm>
 #include <tuple>
 
+#include "telemetry/metric_names.h"
+#include "telemetry/metrics.h"
+
 namespace fuseme {
+
+void PqrOptimizer::set_metrics(MetricsRegistry* metrics) {
+  if (metrics == nullptr) {
+    searches_ = evaluations_ = pruned_ = infeasible_ = nullptr;
+    return;
+  }
+  searches_ = metrics->GetCounter(metric_names::kOptimizerSearches);
+  evaluations_ = metrics->GetCounter(metric_names::kOptimizerEvaluations);
+  pruned_ = metrics->GetCounter(metric_names::kOptimizerCuboidsPruned);
+  infeasible_ = metrics->GetCounter(metric_names::kOptimizerInfeasible);
+}
+
+void PqrOptimizer::RecordSearch(const PqrChoice& best,
+                                std::int64_t grid_volume) const {
+  if (searches_ == nullptr) return;
+  searches_->Increment();
+  evaluations_->Add(best.evaluations);
+  pruned_->Add(std::max<std::int64_t>(0, grid_volume - best.evaluations));
+  if (!best.feasible) infeasible_->Increment();
+}
 
 namespace {
 
@@ -63,6 +86,7 @@ PqrChoice PqrOptimizer::Exhaustive(const PartialPlan& plan,
     // The grid cannot fill the cluster: use the largest partitioning.
     Consider(plan, Cuboid{g.I, g.J, g.K}, &best);
     if (!best.feasible) best.c = Cuboid{g.I, g.J, g.K};
+    RecordSearch(best, 1);
     return best;
   }
   for (std::int64_t p = 1; p <= g.I; ++p) {
@@ -74,6 +98,7 @@ PqrChoice PqrOptimizer::Exhaustive(const PartialPlan& plan,
     }
   }
   if (!best.feasible) best.c = Cuboid{g.I, g.J, g.K};
+  RecordSearch(best, g.I * g.J * g.K);
   return best;
 }
 
@@ -86,6 +111,7 @@ PqrChoice PqrOptimizer::Pruned(const PartialPlan& plan,
   if (g.I * g.J * g.K < min_volume) {
     Consider(plan, Cuboid{g.I, g.J, g.K}, &best);
     if (!best.feasible) best.c = Cuboid{g.I, g.J, g.K};
+    RecordSearch(best, 1);
     return best;
   }
   for (std::int64_t q = 1; q <= g.J; ++q) {
@@ -105,6 +131,7 @@ PqrChoice PqrOptimizer::Pruned(const PartialPlan& plan,
     }
   }
   if (!best.feasible) best.c = Cuboid{g.I, g.J, g.K};
+  RecordSearch(best, g.I * g.J * g.K);
   return best;
 }
 

@@ -22,6 +22,9 @@
 
 namespace fuseme {
 
+class MetricsRegistry;
+class Counter;
+
 struct PqrChoice {
   Cuboid c;
   double cost = std::numeric_limits<double>::infinity();
@@ -48,7 +51,15 @@ class PqrOptimizer {
   /// Monotonicity-based pruning search (the paper's method).
   PqrChoice Pruned(const PartialPlan& plan, std::int64_t max_r = 0) const;
 
+  /// Optional instrumentation: every search bumps the
+  /// fuseme_optimizer_* counters (see telemetry/metric_names.h).  Null
+  /// disables; the registry is not owned and must outlive the optimizer.
+  void set_metrics(MetricsRegistry* metrics);
+
  private:
+  /// Folds one finished search into the counters (no-op when detached).
+  void RecordSearch(const PqrChoice& best, std::int64_t grid_volume) const;
+
   /// Evaluates one parameter point; updates `best` if feasible and better.
   /// Returns whether the point was memory-feasible (used by Pruned to stop
   /// scanning an axis at the first feasible point).
@@ -56,6 +67,10 @@ class PqrOptimizer {
                 PqrChoice* best) const;
 
   const CostModel* model_;
+  Counter* searches_ = nullptr;
+  Counter* evaluations_ = nullptr;
+  Counter* pruned_ = nullptr;
+  Counter* infeasible_ = nullptr;
 };
 
 }  // namespace fuseme

@@ -9,6 +9,8 @@
 #include "fusion/sparsity_analysis.h"
 #include "matrix/block.h"
 #include "ops/fused_operator.h"
+#include "telemetry/metric_names.h"
+#include "telemetry/metrics.h"
 #include "telemetry/tracer.h"
 #include "verify/plan_verifier.h"
 
@@ -30,6 +32,43 @@ const char* OperatorKindName(OperatorKind kind) {
       break;
   }
   return "?";
+}
+
+const char* RunStatusLabel(const Status& status) {
+  if (status.ok()) return "ok";
+  if (status.IsOutOfMemory()) return "out_of_memory";
+  if (status.IsTimedOut()) return "timed_out";
+  return "error";
+}
+
+/// Mirrors a finished stage's accounting into the engine-wide metric
+/// families (telemetry/metric_names.h).  `pred` supplies the MemEst the
+/// stage was admitted under; an actual per-task high-water above it counts
+/// as a memory overrun.
+void RecordStageMetrics(MetricsRegistry* metrics, const StageStats& stats,
+                        double wall_seconds, const StagePrediction& pred) {
+  if (metrics == nullptr) return;
+  metrics->GetCounter(metric_names::kStages)->Increment();
+  metrics->GetCounter(metric_names::kStageTasks)
+      ->Add(std::max<std::int64_t>(stats.num_tasks, 0));
+  metrics
+      ->GetCounter(metric_names::kStageShuffleBytes,
+                   {{"cause", "consolidation"}})
+      ->Add(std::max<std::int64_t>(stats.consolidation_bytes, 0));
+  metrics
+      ->GetCounter(metric_names::kStageShuffleBytes,
+                   {{"cause", "aggregation"}})
+      ->Add(std::max<std::int64_t>(stats.aggregation_bytes, 0));
+  metrics->GetCounter(metric_names::kStageFlops)
+      ->Add(std::max<std::int64_t>(stats.flops, 0));
+  metrics->GetHistogram(metric_names::kStageSeconds, DefaultTimeBoundaries())
+      ->Observe(wall_seconds);
+  metrics->GetGauge(metric_names::kTaskMemoryBytes)
+      ->Set(static_cast<double>(stats.max_task_memory));
+  if (pred.present &&
+      static_cast<double>(stats.max_task_memory) > pred.mem_per_task) {
+    metrics->GetCounter(metric_names::kStageMemoryOverruns)->Increment();
+  }
 }
 
 }  // namespace
@@ -64,6 +103,7 @@ Engine::Engine(EngineOptions options)
 
 PqrChoice Engine::Optimize(const PartialPlan& plan) const {
   PqrOptimizer optimizer(&model_);
+  optimizer.set_metrics(options_.metrics);
   // Plans whose O-space reshapes the matmul output cannot split the
   // common dimension (no coordinate-wise partial merge is possible).
   const std::int64_t max_r = CuboidSupportsKSplit(plan) ? 0 : 1;
@@ -74,11 +114,14 @@ PqrChoice Engine::Optimize(const PartialPlan& plan) const {
 FusionPlanSet Engine::MakePlans(const Dag& dag) const {
   const bool verify = options_.verify != VerifyLevel::kOff;
   PlanVerifier verifier(&model_);
+  verifier.set_metrics(options_.metrics);
+  const auto plan_begin = std::chrono::steady_clock::now();
 
   FusionPlanSet set;
   switch (options_.system) {
     case SystemMode::kFuseMe: {
       CfgPlanner planner(&model_);
+      planner.set_metrics(options_.metrics);
       if (!verify) {
         set = planner.Plan(dag);
         break;
@@ -123,6 +166,18 @@ FusionPlanSet Engine::MakePlans(const Dag& dag) const {
     std::vector<VerifierDiagnostic> d =
         verifier.VerifyPlanSet(dag, set, /*require_coverage=*/true);
     set.diagnostics.insert(set.diagnostics.end(), d.begin(), d.end());
+  }
+  if (options_.metrics != nullptr) {
+    const double wall =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      plan_begin)
+            .count();
+    options_.metrics
+        ->GetHistogram(metric_names::kPlannerWallSeconds,
+                       DefaultTimeBoundaries())
+        ->Observe(wall);
+    options_.metrics->GetCounter(metric_names::kPlannerPlans)
+        ->Add(static_cast<std::int64_t>(set.plans.size()));
   }
   return set;
 }
@@ -471,8 +526,10 @@ Engine::RunResult Engine::RunWithPlans(
     OperatorKind forced) const {
   RunResult out;
   out.report.plan_description = plans.description;
+  if (options_.tracer != nullptr) options_.tracer->NameCurrentThread("driver");
 
   PlanVerifier verifier(&model_);
+  verifier.set_metrics(options_.metrics);
   if (options_.verify != VerifyLevel::kOff) {
     // Structural verification of everything about to execute: planner
     // diagnostics carried in the set, DAG consistency, per-plan region
@@ -575,6 +632,7 @@ Engine::RunResult Engine::RunWithPlans(
       } else {
         StageContext ctx(label, options_.cluster);
         ctx.set_tracer(options_.tracer);
+        ctx.set_metrics(options_.metrics);
         result = RunPlanReal(plan, kind, *predr, fin, &ctx);
         stats = ctx.Finalize();
         stats.label = label;
@@ -595,6 +653,8 @@ Engine::RunResult Engine::RunWithPlans(
       status = result.status();
     }
     telemetry.actual = stats;
+    RecordStageMetrics(options_.metrics, stats, telemetry.wall_seconds,
+                       telemetry.predicted);
 
     if (options_.tracer != nullptr) {
       TraceSpan span;
@@ -652,6 +712,12 @@ Engine::RunResult Engine::RunWithPlans(
         out.outputs.emplace(output, std::move(it->second));
       }
     }
+  }
+  if (options_.metrics != nullptr) {
+    options_.metrics
+        ->GetCounter(metric_names::kEngineRuns,
+                     {{"status", RunStatusLabel(out.report.status)}})
+        ->Increment();
   }
   return out;
 }

@@ -42,6 +42,7 @@
 namespace fuseme {
 
 class Tracer;
+class MetricsRegistry;  // telemetry/metrics.h
 
 enum class SystemMode {
   kFuseMe,
@@ -78,6 +79,11 @@ struct EngineOptions {
   /// per stage and the physical operators record spans per work item;
   /// export with Tracer::WriteChromeJson.  See DESIGN.md section 10.
   Tracer* tracer = nullptr;
+  /// Optional metrics sink (not owned): when set, the whole pipeline
+  /// (parser, planner, optimizer, verifier, runtime, kernels) records
+  /// counters/gauges/histograms into it — see telemetry/metric_names.h and
+  /// DESIGN.md section 12.  Null disables with no hot-path cost.
+  MetricsRegistry* metrics = nullptr;
   /// How much static plan verification runs before/while executing
   /// (verify/plan_verifier.h, DESIGN.md section 11).  kPlanner checks the
   /// DAG, every plan, and the stage graph up front; kParanoid re-checks

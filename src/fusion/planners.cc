@@ -8,6 +8,8 @@
 #include "common/logging.h"
 #include "cost/optimizer.h"
 #include "fusion/sparsity_analysis.h"
+#include "telemetry/metric_names.h"
+#include "telemetry/metrics.h"
 
 namespace fuseme {
 
@@ -130,6 +132,10 @@ std::vector<PartialPlan> CfgPlanner::ExplorationPhase(const Dag& dag) const {
     }
     plans.push_back(MakePlan(dag, members));
   }
+  if (metrics_ != nullptr) {
+    metrics_->GetCounter(metric_names::kPlannerExplorationCandidates)
+        ->Add(static_cast<std::int64_t>(plans.size()));
+  }
   return plans;
 }
 
@@ -137,6 +143,14 @@ std::vector<PartialPlan> CfgPlanner::ExploitationPhase(
     const Dag& dag, std::vector<PartialPlan> candidates) const {
   (void)dag;
   PqrOptimizer optimizer(model_);
+  optimizer.set_metrics(metrics_);
+  Counter* split_attempts =
+      metrics_ != nullptr
+          ? metrics_->GetCounter(metric_names::kPlannerSplitAttempts)
+          : nullptr;
+  Counter* splits_taken =
+      metrics_ != nullptr ? metrics_->GetCounter(metric_names::kPlannerSplits)
+                          : nullptr;
   // Infeasible plans get a large finite sentinel so that a split producing
   // feasible pieces always reads as an improvement.
   constexpr double kInfeasible = 1e30;
@@ -171,6 +185,7 @@ std::vector<PartialPlan> CfgPlanner::ExploitationPhase(
     bool split = false;
     for (NodeId vi : sp) {
       if (vi == plan.root()) continue;  // cannot split at the root
+      if (split_attempts != nullptr) split_attempts->Increment();
       auto [fm, fi] = plan.SplitAt(vi);
       const double cost_m = plan_cost(fm);
       const double cost_i = plan_cost(fi);
@@ -178,6 +193,7 @@ std::vector<PartialPlan> CfgPlanner::ExploitationPhase(
         work.push_back(std::move(fm));
         work.push_back(std::move(fi));
         split = true;
+        if (splits_taken != nullptr) splits_taken->Increment();
         break;
       }
     }

@@ -30,6 +30,8 @@
 
 namespace fuseme {
 
+class MetricsRegistry;  // telemetry/metrics.h
+
 struct FusionPlanSet {
   /// Plans in a valid execution order (a plan appears after every plan
   /// whose root it consumes).  Together they cover all operator nodes.
@@ -61,6 +63,12 @@ class CfgPlanner : public Planner {
   FusionPlanSet Plan(const Dag& dag) const override;
   std::string_view name() const override { return "CFG"; }
 
+  /// Optional instrumentation: exploration candidates, exploitation split
+  /// attempts/splits, and the exploitation optimizer searches all land in
+  /// fuseme_planner_* / fuseme_optimizer_* (see telemetry/metric_names.h).
+  /// Not owned; null disables.
+  void set_metrics(MetricsRegistry* metrics) { metrics_ = metrics; }
+
   /// The exploration phase alone (paper Alg. 2), exposed for tests.
   std::vector<PartialPlan> ExplorationPhase(const Dag& dag) const;
   /// The exploitation phase alone (paper Alg. 3), exposed for tests.
@@ -69,6 +77,7 @@ class CfgPlanner : public Planner {
 
  private:
   const CostModel* model_;
+  MetricsRegistry* metrics_ = nullptr;
 };
 
 class GenPlanner : public Planner {

@@ -3,6 +3,9 @@
 #include <cctype>
 #include <vector>
 
+#include "telemetry/metric_names.h"
+#include "telemetry/metrics.h"
+
 namespace fuseme {
 
 namespace {
@@ -378,9 +381,7 @@ class Parser {
   std::map<std::string, NodeId>* bound_;
 };
 
-}  // namespace
-
-Result<ParsedQuery> ParseQuery(
+Result<ParsedQuery> ParseQueryImpl(
     std::string_view text,
     const std::map<std::string, MatrixShape>& symbols) {
   Lexer lexer(text);
@@ -395,6 +396,30 @@ Result<ParsedQuery> ParseQuery(
   }
   query.dag->MarkOutput(query.root);
   return query;
+}
+
+}  // namespace
+
+Result<ParsedQuery> ParseQuery(
+    std::string_view text, const std::map<std::string, MatrixShape>& symbols,
+    MetricsRegistry* metrics) {
+  Result<ParsedQuery> result = ParseQueryImpl(text, symbols);
+  if (metrics != nullptr) {
+    metrics->GetCounter(metric_names::kParserQueries)->Increment();
+    if (!result.ok()) {
+      metrics->GetCounter(metric_names::kParserErrors)->Increment();
+    } else {
+      const Dag& dag = *result->dag;
+      for (std::int64_t id = 0; id < dag.num_nodes(); ++id) {
+        metrics
+            ->GetCounter(
+                metric_names::kIrNodes,
+                {{"kind", std::string(OpKindName(dag.node(id).kind))}})
+            ->Increment();
+      }
+    }
+  }
+  return result;
 }
 
 }  // namespace fuseme

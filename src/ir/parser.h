@@ -32,6 +32,8 @@
 
 namespace fuseme {
 
+class MetricsRegistry;  // telemetry/metrics.h
+
 /// Shape (and optional sparsity) of an input matrix named in a query.
 struct MatrixShape {
   std::int64_t rows = 0;
@@ -49,8 +51,12 @@ struct ParsedQuery {
 
 /// Parses `text` against `symbols`.  Unknown identifiers, malformed
 /// syntax, and shape errors come back as InvalidArgument with a position.
+/// With a non-null `metrics`, bumps fuseme_parser_queries_total /
+/// fuseme_parser_errors_total and counts the built DAG's nodes into
+/// fuseme_ir_nodes_total{kind=...}.
 Result<ParsedQuery> ParseQuery(
-    std::string_view text, const std::map<std::string, MatrixShape>& symbols);
+    std::string_view text, const std::map<std::string, MatrixShape>& symbols,
+    MetricsRegistry* metrics = nullptr);
 
 }  // namespace fuseme
 

@@ -108,12 +108,13 @@ Result<Block> KernelEvaluator::EvalUncached(NodeId node, std::int64_t bi,
       DenseMatrix acc(out.TileRows(bi), out.TileCols(bj));
       bool all_meta_inputs = false;
       Block meta_result;
+      std::int64_t mm_flops = 0;
       for (std::int64_t kk = k0; kk < k1; ++kk) {
         FUSEME_ASSIGN_OR_RETURN(Block a, Eval(n.inputs[0], bi, kk));
         FUSEME_ASSIGN_OR_RETURN(Block b, Eval(n.inputs[1], kk, bj));
         if (a.is_meta() || b.is_meta()) {
           // Simulated data: accumulate descriptors instead of numbers.
-          FUSEME_ASSIGN_OR_RETURN(Block partial, MatMul(a, b, &flops_));
+          FUSEME_ASSIGN_OR_RETURN(Block partial, MatMul(a, b, &mm_flops));
           if (!all_meta_inputs) {
             meta_result = partial;
             all_meta_inputs = true;
@@ -124,12 +125,15 @@ Result<Block> KernelEvaluator::EvalUncached(NodeId node, std::int64_t bi,
           }
           continue;
         }
-        FUSEME_RETURN_IF_ERROR(MatMulAcc(&acc, a, b, &flops_));
+        FUSEME_RETURN_IF_ERROR(MatMulAcc(&acc, a, b, &mm_flops));
       }
+      flops_ += mm_flops;
+      gemm_flops_ += mm_flops;
       if (all_meta_inputs) return meta_result;
       Block dense = Block::FromDense(std::move(acc));
       if (dense.nnz() == 0) return Block::Zero(dense.rows(), dense.cols());
       if (dense.density() < kDenseStorageThreshold) {
+        ++dense_to_sparse_;
         return Block::FromSparse(SparseMatrix::FromDense(dense.dense()));
       }
       return dense;
@@ -195,6 +199,7 @@ Result<Block> KernelEvaluator::EvalMaskedMul(const Node& n, std::int64_t bi,
                                                    std::move(triplets));
   if (result.nnz() == 0) return Block::Zero(mask.rows(), mask.cols());
   if (result.density() >= kDenseStorageThreshold) {
+    ++sparse_to_dense_;
     return Block::FromDense(result.ToDense());
   }
   return Block::FromSparse(std::move(result));
@@ -297,6 +302,7 @@ Result<double> KernelEvaluator::EvalElement(NodeId node, std::int64_t gi,
         acc += a * b;
       }
       flops_ += 2 * (gk1 - gk0);
+      gemm_flops_ += 2 * (gk1 - gk0);
       return acc;
     }
     case OpKind::kUnaryAgg:

@@ -89,6 +89,14 @@ class KernelEvaluator {
   std::int64_t flops() const { return flops_; }
   void ResetFlops() { flops_ = 0; }
 
+  /// Matmul-kernel FLOPs — the GEMM subset of flops().
+  std::int64_t gemm_flops() const { return gemm_flops_; }
+  /// Block storage-format conversions the evaluator performed (a matmul
+  /// result densifying below the storage threshold, a sparse-driver result
+  /// densifying above it).
+  std::int64_t sparse_to_dense_conversions() const { return sparse_to_dense_; }
+  std::int64_t dense_to_sparse_conversions() const { return dense_to_sparse_; }
+
   /// Drops memoized blocks (injected values are kept).
   void ClearCache();
 
@@ -113,6 +121,9 @@ class KernelEvaluator {
   std::map<Key, Block> cache_;
   std::map<Key, Block> injected_;
   std::int64_t flops_ = 0;
+  std::int64_t gemm_flops_ = 0;
+  std::int64_t sparse_to_dense_ = 0;
+  std::int64_t dense_to_sparse_ = 0;
 };
 
 }  // namespace fuseme

@@ -1,6 +1,7 @@
 #include "ops/fused_operator.h"
 
 #include <algorithm>
+#include <chrono>
 #include <memory>
 #include <set>
 #include <tuple>
@@ -11,6 +12,8 @@
 #include "common/thread_pool.h"
 #include "matrix/block_ops.h"
 #include "ops/evaluator.h"
+#include "telemetry/metric_names.h"
+#include "telemetry/metrics.h"
 #include "telemetry/tracer.h"
 
 namespace fuseme {
@@ -199,17 +202,100 @@ struct WorkItem {
   std::vector<BlockResult> outputs;
 };
 
+/// A stage's runtime instruments, resolved once per Execute call so the
+/// per-work-item cost is a handful of relaxed atomic bumps.  With a null
+/// registry every pointer stays null and recording is a pointer test.
+struct StageInstruments {
+  Counter* work_items = nullptr;
+  Histogram* queue_wait_seconds = nullptr;
+  Histogram* item_seconds = nullptr;
+  Gauge* queue_depth = nullptr;
+  Gauge* pool_threads = nullptr;
+  Counter* kernel_flops = nullptr;
+  Counter* gemm_flops = nullptr;
+  Counter* sparse_to_dense = nullptr;
+  Counter* dense_to_sparse = nullptr;
+  Counter* output_nnz = nullptr;
+  Counter* output_cells = nullptr;
+
+  static StageInstruments Resolve(MetricsRegistry* metrics) {
+    StageInstruments ins;
+    if (metrics == nullptr) return ins;
+    ins.work_items = metrics->GetCounter(metric_names::kWorkItems);
+    ins.queue_wait_seconds = metrics->GetHistogram(
+        metric_names::kWorkItemQueueWaitSeconds, DefaultTimeBoundaries());
+    ins.item_seconds = metrics->GetHistogram(metric_names::kWorkItemSeconds,
+                                             DefaultTimeBoundaries());
+    ins.queue_depth = metrics->GetGauge(metric_names::kThreadPoolQueueDepth);
+    ins.pool_threads = metrics->GetGauge(metric_names::kThreadPoolThreads);
+    ins.kernel_flops = metrics->GetCounter(metric_names::kKernelFlops);
+    ins.gemm_flops = metrics->GetCounter(metric_names::kKernelGemmFlops);
+    ins.sparse_to_dense = metrics->GetCounter(
+        metric_names::kBlockConversions, {{"direction", "sparse_to_dense"}});
+    ins.dense_to_sparse = metrics->GetCounter(
+        metric_names::kBlockConversions, {{"direction", "dense_to_sparse"}});
+    ins.output_nnz = metrics->GetCounter(metric_names::kKernelOutputNnz);
+    ins.output_cells = metrics->GetCounter(metric_names::kKernelOutputCells);
+    return ins;
+  }
+
+  /// Folds one kernel evaluator's counters in when a work item is done
+  /// with it.
+  void FlushEvaluator(const KernelEvaluator& eval) const {
+    if (kernel_flops == nullptr) return;
+    kernel_flops->Add(eval.flops());
+    gemm_flops->Add(eval.gemm_flops());
+    sparse_to_dense->Add(eval.sparse_to_dense_conversions());
+    dense_to_sparse->Add(eval.dense_to_sparse_conversions());
+  }
+
+  /// Records an emitted output block's density.
+  void CountOutput(const Block& block) const {
+    if (output_nnz == nullptr) return;
+    output_nnz->Add(block.nnz());
+    output_cells->Add(block.rows() * block.cols());
+  }
+};
+
 /// Executes `count` work items: on the global pool when `threads` > 1,
 /// inline and in index order otherwise (threads=1 and meta-block
 /// simulation).  Items are independent, and every observable side effect
 /// is replayed by a sequential commit pass afterwards, so results are
-/// identical for every thread count.
-void RunItems(int threads, std::int64_t count,
-              const std::function<void(std::int64_t)>& fn) {
+/// identical for every thread count.  Instruments (work-item count,
+/// queue-wait/execution histograms, pool backlog) and tracer thread names
+/// are recorded around each item.
+void RunItems(int threads, std::int64_t count, const StageInstruments& ins,
+              Tracer* tracer, const std::function<void(std::int64_t)>& fn) {
+  if (ins.work_items != nullptr) {
+    ins.work_items->Add(count);
+    ins.pool_threads->Set(static_cast<double>(std::max(threads, 1)));
+  }
+  const auto enqueue = std::chrono::steady_clock::now();
+  auto run_one = [&](std::int64_t i) {
+    const auto start = std::chrono::steady_clock::now();
+    if (tracer != nullptr) {
+      tracer->NameCurrentThread(GlobalThreadPool()->InWorker()
+                                    ? "pool-worker"
+                                    : "driver");
+    }
+    if (ins.queue_wait_seconds != nullptr) {
+      ins.queue_wait_seconds->Observe(
+          std::chrono::duration<double>(start - enqueue).count());
+      ins.queue_depth->Set(
+          static_cast<double>(GlobalThreadPool()->ApproxQueueDepth()));
+    }
+    fn(i);
+    if (ins.item_seconds != nullptr) {
+      ins.item_seconds->Observe(
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        start)
+              .count());
+    }
+  };
   if (threads > 1) {
-    GlobalThreadPool()->ParallelFor(0, count, fn, threads);
+    GlobalThreadPool()->ParallelFor(0, count, run_one, threads);
   } else {
-    for (std::int64_t i = 0; i < count; ++i) fn(i);
+    for (std::int64_t i = 0; i < count; ++i) run_one(i);
   }
 }
 
@@ -328,6 +414,7 @@ Result<DistributedMatrix> CuboidFusedOperator::Execute(
   AggMerger agg_merger(root, ctx);
 
   const int threads = AllInputsReal(inputs) ? ctx->Parallelism() : 1;
+  const StageInstruments ins = StageInstruments::Resolve(ctx->metrics());
 
   auto task_id = [&](std::int64_t p, std::int64_t q, std::int64_t r) {
     return static_cast<int>((p * eff_q + q) * eff_r + r);
@@ -342,7 +429,7 @@ Result<DistributedMatrix> CuboidFusedOperator::Execute(
     const std::int64_t gr = out_grid.grid_rows();
     const std::int64_t gc = out_grid.grid_cols();
     std::vector<WorkItem> items(num_tasks);
-    RunItems(threads, num_tasks, [&](std::int64_t t) {
+    RunItems(threads, num_tasks, ins, ctx->tracer(), [&](std::int64_t t) {
       WorkItem& item = items[static_cast<std::size_t>(t)];
       item.task = static_cast<int>(t);
       ScopedSpan span(ctx->tracer(), "cell task " + std::to_string(t),
@@ -363,9 +450,11 @@ Result<DistributedMatrix> CuboidFusedOperator::Execute(
             FUSEME_ASSIGN_OR_RETURN(Block result,
                                     eval->Eval(plan.root(), bi, bj));
             local.ChargeFlops(item.task, eval->flops() - before);
+            ins.CountOutput(result);
             item.outputs.push_back({bi, bj, std::move(result)});
           }
         }
+        if (eval != nullptr) ins.FlushEvaluator(*eval);
         return Status::OK();
       }();
       Status flushed = local.Flush();
@@ -394,8 +483,8 @@ Result<DistributedMatrix> CuboidFusedOperator::Execute(
   }
 
   std::vector<WorkItem> items(columns.size());
-  RunItems(threads, static_cast<std::int64_t>(columns.size()),
-           [&](std::int64_t idx) {
+  RunItems(threads, static_cast<std::int64_t>(columns.size()), ins,
+           ctx->tracer(), [&](std::int64_t idx) {
     const auto [p, q] = columns[static_cast<std::size_t>(idx)];
     WorkItem& item = items[static_cast<std::size_t>(idx)];
     item.task = task_id(p, q, 0);
@@ -448,6 +537,7 @@ Result<DistributedMatrix> CuboidFusedOperator::Execute(
             }
           }
           local.ChargeFlops(task, eval.flops());
+          ins.FlushEvaluator(eval);
         }
       }
 
@@ -469,10 +559,12 @@ Result<DistributedMatrix> CuboidFusedOperator::Execute(
         for (std::int64_t bj = j0; bj < j1; ++bj) {
           FUSEME_ASSIGN_OR_RETURN(Block result,
                                   eval.Eval(plan.root(), bi, bj));
+          ins.CountOutput(result);
           item.outputs.push_back({bi, bj, std::move(result)});
         }
       }
       local.ChargeFlops(item.task, eval.flops());
+      ins.FlushEvaluator(eval);
       return Status::OK();
     }();
     Status flushed = local.Flush();
@@ -549,12 +641,13 @@ Result<DistributedMatrix> BroadcastFusedOperator::Execute(
   const std::int64_t gc = out_grid.grid_cols();
 
   const int threads = AllInputsReal(inputs) ? ctx->Parallelism() : 1;
+  const StageInstruments ins = StageInstruments::Resolve(ctx->metrics());
 
   // One work item per task: receive the broadcast side inputs, then
   // evaluate this task's round-robin share of the output grid, fetching
   // the main matrix blocks it needs (repartition traffic).
   std::vector<WorkItem> items(num_tasks);
-  RunItems(threads, num_tasks, [&](std::int64_t t) {
+  RunItems(threads, num_tasks, ins, ctx->tracer(), [&](std::int64_t t) {
     WorkItem& item = items[static_cast<std::size_t>(t)];
     item.task = static_cast<int>(t);
     ScopedSpan span(ctx->tracer(), "broadcast task " + std::to_string(t),
@@ -585,9 +678,11 @@ Result<DistributedMatrix> BroadcastFusedOperator::Execute(
           FUSEME_ASSIGN_OR_RETURN(Block result,
                                   eval.Eval(plan.root(), bi, bj));
           local.ChargeFlops(item.task, eval.flops() - before);
+          ins.CountOutput(result);
           item.outputs.push_back({bi, bj, std::move(result)});
         }
       }
+      ins.FlushEvaluator(eval);
       return Status::OK();
     }();
     Status flushed = local.Flush();

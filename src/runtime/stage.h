@@ -26,7 +26,8 @@
 
 namespace fuseme {
 
-class Tracer;  // telemetry/tracer.h; carried as an opaque pointer here
+class Tracer;           // telemetry/tracer.h; carried as an opaque pointer here
+class MetricsRegistry;  // telemetry/metrics.h; same opaque-pointer convention
 
 /// Accumulators for one logical task within a stage.
 struct TaskAccounting {
@@ -94,6 +95,11 @@ class StageContext : public StageAccounting {
   void set_tracer(Tracer* tracer) { tracer_ = tracer; }
   Tracer* tracer() const { return tracer_; }
 
+  /// Optional metrics registry for this stage's work items; null disables
+  /// instrumentation (pointer test only).  Not owned.
+  void set_metrics(MetricsRegistry* metrics) { metrics_ = metrics; }
+  MetricsRegistry* metrics() const { return metrics_; }
+
   void ChargeConsolidation(int task, std::int64_t bytes) override;
   void ChargeAggregation(int task, std::int64_t bytes) override;
   void ChargeFlops(int task, std::int64_t flops) override;
@@ -121,6 +127,7 @@ class StageContext : public StageAccounting {
   std::string label_;
   ClusterConfig config_;
   Tracer* tracer_ = nullptr;
+  MetricsRegistry* metrics_ = nullptr;
   std::mutex merge_mu_;
   std::vector<TaskAccounting> tasks_;
 };

@@ -1,0 +1,768 @@
+#include "telemetry/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <functional>
+#include <limits>
+#include <map>
+#include <sstream>
+
+#include "common/json_util.h"
+#include "common/logging.h"
+#include "telemetry/metric_names.h"
+
+namespace fuseme {
+
+void Counter::Add(std::int64_t delta) {
+  FUSEME_CHECK_GE(delta, 0) << "counters are monotone";
+  value_.fetch_add(delta, std::memory_order_relaxed);
+}
+
+void Gauge::RaisePeak(double candidate) {
+  double observed = peak_.load(std::memory_order_relaxed);
+  while (candidate > observed &&
+         !peak_.compare_exchange_weak(observed, candidate,
+                                      std::memory_order_relaxed)) {
+  }
+}
+
+// Peak is raised before the value is published so a snapshot never sees
+// value > peak (the invariant CheckMetricsConsistency enforces).
+void Gauge::Set(double value) {
+  RaisePeak(value);
+  value_.store(value, std::memory_order_relaxed);
+}
+
+void Gauge::Add(double delta) {
+  double observed = value_.load(std::memory_order_relaxed);
+  double desired = observed + delta;
+  RaisePeak(desired);
+  while (!value_.compare_exchange_weak(observed, desired,
+                                       std::memory_order_relaxed)) {
+    desired = observed + delta;
+    RaisePeak(desired);
+  }
+}
+
+Histogram::Histogram(std::vector<double> boundaries)
+    : boundaries_(std::move(boundaries)),
+      buckets_(boundaries_.size() + 1) {
+  FUSEME_CHECK(!boundaries_.empty()) << "histogram needs >= 1 boundary";
+  for (std::size_t i = 1; i < boundaries_.size(); ++i) {
+    FUSEME_CHECK_LT(boundaries_[i - 1], boundaries_[i])
+        << "histogram boundaries must be strictly increasing";
+  }
+}
+
+void Histogram::Observe(double value) {
+  const auto it =
+      std::lower_bound(boundaries_.begin(), boundaries_.end(), value);
+  const auto idx = static_cast<std::size_t>(it - boundaries_.begin());
+  buckets_[idx].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  double observed = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(observed, observed + value,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+std::vector<std::int64_t> Histogram::bucket_counts() const {
+  std::vector<std::int64_t> out(buckets_.size());
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    out[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+std::vector<double> DefaultTimeBoundaries() {
+  return {1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0};
+}
+
+std::vector<double> DefaultByteBoundaries() {
+  std::vector<double> out;
+  for (double b = 1024.0; b <= 17.0 * 1024 * 1024 * 1024; b *= 4.0) {
+    out.push_back(b);
+  }
+  return out;
+}
+
+namespace {
+
+MetricLabels Canonicalize(MetricLabels labels) {
+  std::sort(labels.begin(), labels.end());
+  for (std::size_t i = 1; i < labels.size(); ++i) {
+    FUSEME_CHECK(labels[i].first != labels[i - 1].first)
+        << "duplicate metric label key '" << labels[i].first << "'";
+  }
+  return labels;
+}
+
+std::string InstrumentKey(std::string_view name, const MetricLabels& labels) {
+  std::string key(name);
+  for (const auto& [label_key, label_value] : labels) {
+    key += '\x1f';
+    key += label_key;
+    key += '\x1e';
+    key += label_value;
+  }
+  return key;
+}
+
+/// Shortest decimal form that strtod parses back to exactly `v` (finite
+/// values only), so text and JSON exports round-trip bit-exactly.
+std::string FormatDouble(double v) {
+  char buf[64];
+  for (int precision = 15; precision <= 17; ++precision) {
+    std::snprintf(buf, sizeof(buf), "%.*g", precision, v);
+    if (std::strtod(buf, nullptr) == v) break;
+  }
+  return buf;
+}
+
+std::string PrometheusEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '\\' || c == '"') {
+      out += '\\';
+      out += c;
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+/// Renders `{k="v",...}` (or "" when empty), optionally appending one
+/// extra label — used for the histogram `le` series.
+std::string RenderLabels(const MetricLabels& labels,
+                         const char* extra_key = nullptr,
+                         const std::string& extra_value = {}) {
+  if (labels.empty() && extra_key == nullptr) return {};
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [key, value] : labels) {
+    if (!first) out += ',';
+    first = false;
+    out += key;
+    out += "=\"";
+    out += PrometheusEscape(value);
+    out += '"';
+  }
+  if (extra_key != nullptr) {
+    if (!first) out += ',';
+    out += extra_key;
+    out += "=\"";
+    out += PrometheusEscape(extra_value);
+    out += '"';
+  }
+  out += '}';
+  return out;
+}
+
+const char* KindName(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::kCounter:
+      return "counter";
+    case MetricKind::kGauge:
+      return "gauge";
+    case MetricKind::kHistogram:
+      return "histogram";
+  }
+  return "unknown";
+}
+
+}  // namespace
+
+Counter* MetricsRegistry::GetCounter(std::string_view name,
+                                     MetricLabels labels) {
+  return Lookup(name, std::move(labels), MetricKind::kCounter, nullptr)
+      ->counter.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(std::string_view name, MetricLabels labels) {
+  return Lookup(name, std::move(labels), MetricKind::kGauge, nullptr)
+      ->gauge.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(std::string_view name,
+                                         std::vector<double> boundaries,
+                                         MetricLabels labels) {
+  return Lookup(name, std::move(labels), MetricKind::kHistogram, &boundaries)
+      ->histogram.get();
+}
+
+MetricsRegistry::Entry* MetricsRegistry::Lookup(
+    std::string_view name, MetricLabels labels, MetricKind kind,
+    const std::vector<double>* boundaries) {
+  labels = Canonicalize(std::move(labels));
+  std::string key = InstrumentKey(name, labels);
+  Shard& shard = shards_[std::hash<std::string>{}(key) % kShards];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto [it, inserted] = shard.instruments.try_emplace(std::move(key));
+  Entry& entry = it->second;
+  if (inserted) {
+    entry.name = std::string(name);
+    entry.labels = std::move(labels);
+    entry.kind = kind;
+    switch (kind) {
+      case MetricKind::kCounter:
+        entry.counter = std::make_unique<Counter>();
+        break;
+      case MetricKind::kGauge:
+        entry.gauge = std::make_unique<Gauge>();
+        break;
+      case MetricKind::kHistogram:
+        entry.histogram = std::make_unique<Histogram>(*boundaries);
+        break;
+    }
+    return &entry;
+  }
+  FUSEME_CHECK(entry.kind == kind)
+      << "metric '" << entry.name << "' re-registered as " << KindName(kind)
+      << ", was " << KindName(entry.kind);
+  if (kind == MetricKind::kHistogram) {
+    FUSEME_CHECK(entry.histogram->boundaries() == *boundaries)
+        << "histogram '" << entry.name
+        << "' re-registered with different boundaries";
+  }
+  return &entry;
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  MetricsSnapshot snapshot;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (const auto& [key, entry] : shard.instruments) {
+      MetricSample sample;
+      sample.name = entry.name;
+      sample.labels = entry.labels;
+      sample.kind = entry.kind;
+      switch (entry.kind) {
+        case MetricKind::kCounter:
+          sample.counter_value = entry.counter->value();
+          break;
+        case MetricKind::kGauge:
+          // Peak read after value: RaisePeak-before-publish plus this
+          // order keeps peak >= value even mid-mutation.
+          sample.gauge_value = entry.gauge->value();
+          sample.gauge_peak = entry.gauge->peak();
+          break;
+        case MetricKind::kHistogram:
+          sample.boundaries = entry.histogram->boundaries();
+          sample.bucket_counts = entry.histogram->bucket_counts();
+          sample.histogram_count = entry.histogram->count();
+          sample.histogram_sum = entry.histogram->sum();
+          break;
+      }
+      snapshot.samples.push_back(std::move(sample));
+    }
+  }
+  std::sort(snapshot.samples.begin(), snapshot.samples.end(),
+            [](const MetricSample& a, const MetricSample& b) {
+              return std::tie(a.name, a.labels) < std::tie(b.name, b.labels);
+            });
+  return snapshot;
+}
+
+const MetricSample* MetricsSnapshot::Find(std::string_view name,
+                                          const MetricLabels& labels) const {
+  const MetricLabels canonical = Canonicalize(labels);
+  for (const MetricSample& sample : samples) {
+    if (sample.name == name && sample.labels == canonical) return &sample;
+  }
+  return nullptr;
+}
+
+std::int64_t MetricsSnapshot::CounterTotal(std::string_view name) const {
+  std::int64_t total = 0;
+  for (const MetricSample& sample : samples) {
+    if (sample.name == name && sample.kind == MetricKind::kCounter) {
+      total += sample.counter_value;
+    }
+  }
+  return total;
+}
+
+std::string MetricsSnapshot::ToPrometheusText() const {
+  std::ostringstream out;
+  // Samples are sorted by name, so each family is one contiguous run.
+  for (std::size_t i = 0; i < samples.size();) {
+    std::size_t end = i;
+    while (end < samples.size() && samples[end].name == samples[i].name) {
+      ++end;
+    }
+    const std::string& name = samples[i].name;
+    out << "# TYPE " << name << ' ' << KindName(samples[i].kind) << '\n';
+    switch (samples[i].kind) {
+      case MetricKind::kCounter:
+        for (std::size_t s = i; s < end; ++s) {
+          out << name << RenderLabels(samples[s].labels) << ' '
+              << samples[s].counter_value << '\n';
+        }
+        break;
+      case MetricKind::kGauge:
+        for (std::size_t s = i; s < end; ++s) {
+          out << name << RenderLabels(samples[s].labels) << ' '
+              << FormatDouble(samples[s].gauge_value) << '\n';
+        }
+        out << "# TYPE " << name << "_peak gauge\n";
+        for (std::size_t s = i; s < end; ++s) {
+          out << name << "_peak" << RenderLabels(samples[s].labels) << ' '
+              << FormatDouble(samples[s].gauge_peak) << '\n';
+        }
+        break;
+      case MetricKind::kHistogram:
+        for (std::size_t s = i; s < end; ++s) {
+          const MetricSample& sample = samples[s];
+          std::int64_t cumulative = 0;
+          for (std::size_t b = 0; b < sample.boundaries.size(); ++b) {
+            cumulative += sample.bucket_counts[b];
+            out << name << "_bucket"
+                << RenderLabels(sample.labels, "le",
+                                FormatDouble(sample.boundaries[b]))
+                << ' ' << cumulative << '\n';
+          }
+          cumulative += sample.bucket_counts.back();
+          out << name << "_bucket"
+              << RenderLabels(sample.labels, "le", "+Inf") << ' ' << cumulative
+              << '\n';
+          out << name << "_sum" << RenderLabels(sample.labels) << ' '
+              << FormatDouble(sample.histogram_sum) << '\n';
+          out << name << "_count" << RenderLabels(sample.labels) << ' '
+              << cumulative << '\n';
+        }
+        break;
+    }
+    i = end;
+  }
+  return out.str();
+}
+
+std::string MetricsSnapshot::ToJson() const {
+  std::ostringstream out;
+  out << "{\"metrics\": [";
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    const MetricSample& sample = samples[i];
+    out << (i == 0 ? "" : ",") << "\n  {\"name\": \"" << JsonEscape(sample.name)
+        << "\", \"kind\": \"" << KindName(sample.kind) << "\", \"labels\": {";
+    for (std::size_t l = 0; l < sample.labels.size(); ++l) {
+      out << (l == 0 ? "" : ", ") << '"' << JsonEscape(sample.labels[l].first)
+          << "\": \"" << JsonEscape(sample.labels[l].second) << '"';
+    }
+    out << '}';
+    switch (sample.kind) {
+      case MetricKind::kCounter:
+        out << ", \"value\": " << sample.counter_value;
+        break;
+      case MetricKind::kGauge:
+        out << ", \"value\": " << FormatDouble(sample.gauge_value)
+            << ", \"peak\": " << FormatDouble(sample.gauge_peak);
+        break;
+      case MetricKind::kHistogram: {
+        out << ", \"boundaries\": [";
+        for (std::size_t b = 0; b < sample.boundaries.size(); ++b) {
+          out << (b == 0 ? "" : ", ") << FormatDouble(sample.boundaries[b]);
+        }
+        out << "], \"buckets\": [";
+        for (std::size_t b = 0; b < sample.bucket_counts.size(); ++b) {
+          out << (b == 0 ? "" : ", ") << sample.bucket_counts[b];
+        }
+        out << "], \"count\": " << sample.histogram_count
+            << ", \"sum\": " << FormatDouble(sample.histogram_sum);
+        break;
+      }
+    }
+    out << '}';
+  }
+  out << "\n]}\n";
+  return out.str();
+}
+
+namespace {
+
+Result<MetricSample> ReadSample(JsonReader* r) {
+  MetricSample sample;
+  bool have_kind = false;
+  FUSEME_RETURN_IF_ERROR(r->Expect('{'));
+  if (!r->TryConsume('}')) {
+    do {
+      FUSEME_ASSIGN_OR_RETURN(std::string key, r->ReadString());
+      FUSEME_RETURN_IF_ERROR(r->Expect(':'));
+      if (key == "name") {
+        FUSEME_ASSIGN_OR_RETURN(sample.name, r->ReadString());
+      } else if (key == "kind") {
+        FUSEME_ASSIGN_OR_RETURN(std::string kind, r->ReadString());
+        have_kind = true;
+        if (kind == "counter") {
+          sample.kind = MetricKind::kCounter;
+        } else if (kind == "gauge") {
+          sample.kind = MetricKind::kGauge;
+        } else if (kind == "histogram") {
+          sample.kind = MetricKind::kHistogram;
+        } else {
+          return r->Error("unknown metric kind '" + kind + "'");
+        }
+      } else if (key == "labels") {
+        FUSEME_RETURN_IF_ERROR(r->Expect('{'));
+        if (!r->TryConsume('}')) {
+          do {
+            FUSEME_ASSIGN_OR_RETURN(std::string label_key, r->ReadString());
+            FUSEME_RETURN_IF_ERROR(r->Expect(':'));
+            FUSEME_ASSIGN_OR_RETURN(std::string label_value, r->ReadString());
+            sample.labels.emplace_back(std::move(label_key),
+                                       std::move(label_value));
+          } while (r->TryConsume(','));
+          FUSEME_RETURN_IF_ERROR(r->Expect('}'));
+        }
+      } else if (key == "value") {
+        // The writer emits "kind" before any kind-specific field.
+        if (!have_kind) return r->Error("\"value\" before \"kind\"");
+        if (sample.kind == MetricKind::kCounter) {
+          FUSEME_ASSIGN_OR_RETURN(sample.counter_value, r->ReadInt());
+        } else {
+          FUSEME_ASSIGN_OR_RETURN(sample.gauge_value, r->ReadNumber());
+        }
+      } else if (key == "peak") {
+        FUSEME_ASSIGN_OR_RETURN(sample.gauge_peak, r->ReadNumber());
+      } else if (key == "boundaries") {
+        FUSEME_RETURN_IF_ERROR(r->Expect('['));
+        if (!r->TryConsume(']')) {
+          do {
+            FUSEME_ASSIGN_OR_RETURN(double boundary, r->ReadNumber());
+            sample.boundaries.push_back(boundary);
+          } while (r->TryConsume(','));
+          FUSEME_RETURN_IF_ERROR(r->Expect(']'));
+        }
+      } else if (key == "buckets") {
+        FUSEME_RETURN_IF_ERROR(r->Expect('['));
+        if (!r->TryConsume(']')) {
+          do {
+            FUSEME_ASSIGN_OR_RETURN(std::int64_t bucket, r->ReadInt());
+            sample.bucket_counts.push_back(bucket);
+          } while (r->TryConsume(','));
+          FUSEME_RETURN_IF_ERROR(r->Expect(']'));
+        }
+      } else if (key == "count") {
+        FUSEME_ASSIGN_OR_RETURN(sample.histogram_count, r->ReadInt());
+      } else if (key == "sum") {
+        FUSEME_ASSIGN_OR_RETURN(sample.histogram_sum, r->ReadNumber());
+      } else {
+        FUSEME_RETURN_IF_ERROR(r->SkipValue());
+      }
+    } while (r->TryConsume(','));
+    FUSEME_RETURN_IF_ERROR(r->Expect('}'));
+  }
+  if (!have_kind) return r->Error("sample missing \"kind\"");
+  return sample;
+}
+
+}  // namespace
+
+Result<MetricsSnapshot> ParseMetricsJson(const std::string& json) {
+  JsonReader r(json, "metrics JSON");
+  MetricsSnapshot snapshot;
+  bool saw_metrics = false;
+  FUSEME_RETURN_IF_ERROR(r.Expect('{'));
+  if (!r.TryConsume('}')) {
+    do {
+      FUSEME_ASSIGN_OR_RETURN(std::string key, r.ReadString());
+      FUSEME_RETURN_IF_ERROR(r.Expect(':'));
+      if (key == "metrics") {
+        saw_metrics = true;
+        FUSEME_RETURN_IF_ERROR(r.Expect('['));
+        if (!r.TryConsume(']')) {
+          do {
+            FUSEME_ASSIGN_OR_RETURN(MetricSample sample, ReadSample(&r));
+            snapshot.samples.push_back(std::move(sample));
+          } while (r.TryConsume(','));
+          FUSEME_RETURN_IF_ERROR(r.Expect(']'));
+        }
+      } else {
+        FUSEME_RETURN_IF_ERROR(r.SkipValue());
+      }
+    } while (r.TryConsume(','));
+    FUSEME_RETURN_IF_ERROR(r.Expect('}'));
+  }
+  if (!saw_metrics) return r.Error("missing \"metrics\"");
+  if (!r.AtEnd()) return r.Error("trailing content");
+  return snapshot;
+}
+
+namespace {
+
+Status TextError(std::size_t line_number, const std::string& message) {
+  return Status::InvalidArgument("prometheus text line " +
+                                 std::to_string(line_number) + ": " + message);
+}
+
+bool IsNameStart(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' ||
+         c == ':';
+}
+
+bool IsNameChar(char c) { return IsNameStart(c) || (c >= '0' && c <= '9'); }
+
+}  // namespace
+
+Status ValidatePrometheusText(const std::string& text) {
+  std::map<std::string, std::string> declared;  // family name -> type
+  // Bucket series keyed by name + labels-without-le, in file order.
+  struct BucketSeries {
+    std::vector<std::pair<double, double>> entries;  // (le, cumulative)
+  };
+  std::map<std::string, BucketSeries> bucket_series;
+  std::map<std::string, double> count_values;  // same key as bucket_series
+
+  std::istringstream lines(text);
+  std::string line;
+  std::size_t line_number = 0;
+  while (std::getline(lines, line)) {
+    ++line_number;
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      std::istringstream comment(line);
+      std::string hash, directive, name, type;
+      comment >> hash >> directive;
+      if (directive == "TYPE") {
+        if (!(comment >> name >> type)) {
+          return TextError(line_number, "malformed # TYPE");
+        }
+        if (type != "counter" && type != "gauge" && type != "histogram") {
+          return TextError(line_number, "unknown type '" + type + "'");
+        }
+        if (!declared.emplace(name, type).second) {
+          return TextError(line_number, "duplicate # TYPE for '" + name + "'");
+        }
+      }
+      continue;  // HELP and other comments pass through
+    }
+
+    // Sample line: name[{labels}] value
+    std::size_t pos = 0;
+    if (!IsNameStart(line[pos])) {
+      return TextError(line_number, "bad metric name start");
+    }
+    while (pos < line.size() && IsNameChar(line[pos])) ++pos;
+    const std::string name = line.substr(0, pos);
+
+    MetricLabels labels;
+    if (pos < line.size() && line[pos] == '{') {
+      ++pos;
+      while (pos < line.size() && line[pos] != '}') {
+        std::size_t key_start = pos;
+        while (pos < line.size() && IsNameChar(line[pos])) ++pos;
+        if (pos == key_start || pos >= line.size() || line[pos] != '=') {
+          return TextError(line_number, "malformed label key");
+        }
+        const std::string key = line.substr(key_start, pos - key_start);
+        ++pos;  // '='
+        if (pos >= line.size() || line[pos] != '"') {
+          return TextError(line_number, "label value must be quoted");
+        }
+        ++pos;
+        std::string value;
+        while (pos < line.size() && line[pos] != '"') {
+          if (line[pos] == '\\') {
+            if (pos + 1 >= line.size()) {
+              return TextError(line_number, "truncated label escape");
+            }
+            const char esc = line[pos + 1];
+            if (esc == '\\' || esc == '"') {
+              value += esc;
+            } else if (esc == 'n') {
+              value += '\n';
+            } else {
+              return TextError(line_number, "unknown label escape");
+            }
+            pos += 2;
+          } else {
+            value += line[pos++];
+          }
+        }
+        if (pos >= line.size()) {
+          return TextError(line_number, "unterminated label value");
+        }
+        ++pos;  // closing '"'
+        labels.emplace_back(key, value);
+        if (pos < line.size() && line[pos] == ',') ++pos;
+      }
+      if (pos >= line.size() || line[pos] != '}') {
+        return TextError(line_number, "unterminated label set");
+      }
+      ++pos;
+    }
+
+    if (pos >= line.size() || line[pos] != ' ') {
+      return TextError(line_number, "expected space before value");
+    }
+    ++pos;
+    const std::string value_text = line.substr(pos);
+    double value = 0;
+    if (value_text == "+Inf") {
+      value = std::numeric_limits<double>::infinity();
+    } else if (value_text == "-Inf") {
+      value = -std::numeric_limits<double>::infinity();
+    } else if (value_text == "NaN") {
+      value = std::numeric_limits<double>::quiet_NaN();
+    } else {
+      char* end = nullptr;
+      value = std::strtod(value_text.c_str(), &end);
+      if (end == value_text.c_str() || *end != '\0') {
+        return TextError(line_number, "bad sample value '" + value_text + "'");
+      }
+    }
+
+    // The sample must refer to a declared family: either directly, or as
+    // a _bucket/_sum/_count series of a declared histogram.
+    std::string base = name;
+    std::string suffix;
+    for (const char* candidate : {"_bucket", "_sum", "_count"}) {
+      const std::size_t len = std::strlen(candidate);
+      if (name.size() > len &&
+          name.compare(name.size() - len, len, candidate) == 0) {
+        const std::string stripped = name.substr(0, name.size() - len);
+        auto it = declared.find(stripped);
+        if (it != declared.end() && it->second == "histogram") {
+          base = stripped;
+          suffix = candidate;
+          break;
+        }
+      }
+    }
+    const auto decl = declared.find(base);
+    if (decl == declared.end()) {
+      return TextError(line_number, "sample '" + name + "' has no # TYPE");
+    }
+    if (decl->second == "histogram") {
+      if (suffix.empty()) {
+        return TextError(line_number,
+                         "histogram '" + base +
+                             "' sampled without _bucket/_sum/_count");
+      }
+      double le = 0;
+      MetricLabels series_labels;
+      bool have_le = false;
+      for (const auto& [key, label_value] : labels) {
+        if (key == "le") {
+          have_le = true;
+          le = label_value == "+Inf"
+                   ? std::numeric_limits<double>::infinity()
+                   : std::strtod(label_value.c_str(), nullptr);
+        } else {
+          series_labels.emplace_back(key, label_value);
+        }
+      }
+      std::string series_key = InstrumentKey(base, series_labels);
+      if (suffix == "_bucket") {
+        if (!have_le) {
+          return TextError(line_number, "_bucket line missing le label");
+        }
+        bucket_series[series_key].entries.emplace_back(le, value);
+      } else if (suffix == "_count") {
+        count_values[series_key] = value;
+      }
+    }
+  }
+
+  for (const auto& [series_key, series] : bucket_series) {
+    const auto& entries = series.entries;
+    for (std::size_t i = 1; i < entries.size(); ++i) {
+      if (!(entries[i - 1].first < entries[i].first)) {
+        return Status::InvalidArgument(
+            "prometheus text: le labels not increasing in a bucket series");
+      }
+      if (entries[i].second < entries[i - 1].second) {
+        return Status::InvalidArgument(
+            "prometheus text: bucket counts not cumulative");
+      }
+    }
+    if (entries.empty() ||
+        !std::isinf(entries.back().first)) {
+      return Status::InvalidArgument(
+          "prometheus text: bucket series does not end at le=\"+Inf\"");
+    }
+    const auto count_it = count_values.find(series_key);
+    if (count_it != count_values.end() &&
+        count_it->second != entries.back().second) {
+      return Status::InvalidArgument(
+          "prometheus text: _count disagrees with the +Inf bucket");
+    }
+  }
+  return Status::OK();
+}
+
+Status CheckMetricsConsistency(const MetricsSnapshot& snapshot) {
+  for (const MetricSample& sample : snapshot.samples) {
+    const std::string where =
+        "metric '" + sample.name + RenderLabels(sample.labels) + "'";
+    switch (sample.kind) {
+      case MetricKind::kCounter:
+        if (sample.counter_value < 0) {
+          return Status::Internal(where + ": negative counter");
+        }
+        break;
+      case MetricKind::kGauge:
+        if (!(sample.gauge_peak >= sample.gauge_value)) {
+          return Status::Internal(where + ": peak below current value");
+        }
+        break;
+      case MetricKind::kHistogram: {
+        if (sample.bucket_counts.size() != sample.boundaries.size() + 1) {
+          return Status::Internal(where + ": bucket/boundary size mismatch");
+        }
+        std::int64_t total = 0;
+        for (std::int64_t bucket : sample.bucket_counts) {
+          if (bucket < 0) return Status::Internal(where + ": negative bucket");
+          total += bucket;
+        }
+        if (total != sample.histogram_count) {
+          return Status::Internal(where +
+                                  ": count disagrees with bucket sum");
+        }
+        if (!std::isfinite(sample.histogram_sum)) {
+          return Status::Internal(where + ": non-finite sum");
+        }
+        break;
+      }
+    }
+  }
+  return Status::OK();
+}
+
+namespace {
+
+struct LogMetricsState {
+  Counter* counters[4] = {nullptr, nullptr, nullptr, nullptr};
+};
+LogMetricsState g_log_metrics;
+
+void LogCounterTrampoline(LogLevel level, void* arg) {
+  auto* state = static_cast<LogMetricsState*>(arg);
+  const int index = static_cast<int>(level);
+  if (index >= 0 && index < 4 && state->counters[index] != nullptr) {
+    state->counters[index]->Increment();
+  }
+}
+
+}  // namespace
+
+void AttachLogMetrics(MetricsRegistry* registry) {
+  // Uninstall first: SetLogCounterHook serializes with in-flight log
+  // messages, so after it returns no thread reads g_log_metrics.
+  SetLogCounterHook(nullptr, nullptr);
+  if (registry == nullptr) return;
+  for (LogLevel level : {LogLevel::kDebug, LogLevel::kInfo, LogLevel::kWarning,
+                         LogLevel::kError}) {
+    g_log_metrics.counters[static_cast<int>(level)] = registry->GetCounter(
+        metric_names::kLogMessages, {{"level", LogLevelLabel(level)}});
+  }
+  SetLogCounterHook(&LogCounterTrampoline, &g_log_metrics);
+}
+
+}  // namespace fuseme

@@ -1,10 +1,11 @@
 #include "telemetry/tracer.h"
 
 #include <algorithm>
-#include <cctype>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
+
+#include "common/json_util.h"
 
 namespace fuseme {
 
@@ -23,6 +24,30 @@ int Tracer::CurrentThreadId() {
              .first;
   }
   return it->second;
+}
+
+void Tracer::SetThreadName(int tid, std::string name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  thread_names_[tid] = std::move(name);
+}
+
+void Tracer::SetProcessName(std::string name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  process_name_ = std::move(name);
+}
+
+void Tracer::NameCurrentThread(std::string name) {
+  SetThreadName(CurrentThreadId(), std::move(name));
+}
+
+std::map<int, std::string> Tracer::thread_names() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return thread_names_;
+}
+
+std::string Tracer::process_name() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return process_name_;
 }
 
 void Tracer::Record(TraceSpan span) {
@@ -54,51 +79,32 @@ void Tracer::Clear() {
   spans_.clear();
 }
 
-namespace {
-
-std::string JsonEscape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size());
-  for (char c : s) {
-    switch (c) {
-      case '"':
-        out += "\\\"";
-        break;
-      case '\\':
-        out += "\\\\";
-        break;
-      case '\n':
-        out += "\\n";
-        break;
-      case '\t':
-        out += "\\t";
-        break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
-  return out;
-}
-
-}  // namespace
-
 std::string Tracer::ToChromeJson() const {
   std::ostringstream out;
   out << "{\"traceEvents\": [";
+  bool first = true;
+  // Metadata ("M") records lead: process name, then each named thread,
+  // so viewers label tracks before any span references them.
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    out << "\n  {\"name\": \"process_name\", \"ph\": \"M\", \"pid\": 0, "
+           "\"tid\": 0, \"args\": {\"name\": \""
+        << JsonEscape(process_name_) << "\"}}";
+    first = false;
+    for (const auto& [tid, name] : thread_names_) {
+      out << ",\n  {\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 0, "
+             "\"tid\": "
+          << tid << ", \"args\": {\"name\": \"" << JsonEscape(name) << "\"}}";
+    }
+  }
   const std::vector<TraceSpan> sorted = spans();
-  for (std::size_t i = 0; i < sorted.size(); ++i) {
-    const TraceSpan& s = sorted[i];
-    out << (i == 0 ? "" : ",") << "\n  {\"name\": \"" << JsonEscape(s.name)
+  for (const TraceSpan& s : sorted) {
+    out << (first ? "" : ",") << "\n  {\"name\": \"" << JsonEscape(s.name)
         << "\", \"cat\": \"" << JsonEscape(s.category)
         << "\", \"ph\": \"X\", \"ts\": " << s.begin_us
         << ", \"dur\": " << s.duration_us() << ", \"pid\": 0, \"tid\": "
         << s.tid << ", \"args\": {";
+    first = false;
     for (std::size_t a = 0; a < s.args.size(); ++a) {
       out << (a == 0 ? "" : ", ") << "\"" << JsonEscape(s.args[a].first)
           << "\": \"" << JsonEscape(s.args[a].second) << "\"";
@@ -140,176 +146,13 @@ void ScopedSpan::AddArg(std::string key, std::string value) {
   span_.args.emplace_back(std::move(key), std::move(value));
 }
 
-// --- Minimal JSON reader for the trace format the exporter emits. ---
-
 namespace {
 
-/// Pull parser over the exporter's subset of JSON: objects, arrays,
-/// strings (with the escapes JsonEscape produces), and integer/float
-/// numbers.  Positioned errors make schema violations debuggable.
-class JsonReader {
- public:
-  explicit JsonReader(const std::string& text) : text_(text) {}
-
-  Status Error(const std::string& message) const {
-    return Status::InvalidArgument("trace JSON: " + message + " at offset " +
-                                   std::to_string(pos_));
-  }
-
-  void SkipSpace() {
-    while (pos_ < text_.size() &&
-           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
-      ++pos_;
-    }
-  }
-
-  bool Peek(char c) {
-    SkipSpace();
-    return pos_ < text_.size() && text_[pos_] == c;
-  }
-
-  Status Expect(char c) {
-    SkipSpace();
-    if (pos_ >= text_.size() || text_[pos_] != c) {
-      return Error(std::string("expected '") + c + "'");
-    }
-    ++pos_;
-    return Status::OK();
-  }
-
-  bool TryConsume(char c) {
-    SkipSpace();
-    if (pos_ < text_.size() && text_[pos_] == c) {
-      ++pos_;
-      return true;
-    }
-    return false;
-  }
-
-  Result<std::string> ReadString() {
-    FUSEME_RETURN_IF_ERROR(Expect('"'));
-    std::string out;
-    while (pos_ < text_.size() && text_[pos_] != '"') {
-      char c = text_[pos_++];
-      if (c != '\\') {
-        out += c;
-        continue;
-      }
-      if (pos_ >= text_.size()) return Error("truncated escape");
-      char esc = text_[pos_++];
-      switch (esc) {
-        case '"':
-          out += '"';
-          break;
-        case '\\':
-          out += '\\';
-          break;
-        case '/':
-          out += '/';
-          break;
-        case 'n':
-          out += '\n';
-          break;
-        case 't':
-          out += '\t';
-          break;
-        case 'r':
-          out += '\r';
-          break;
-        case 'b':
-          out += '\b';
-          break;
-        case 'f':
-          out += '\f';
-          break;
-        case 'u': {
-          if (pos_ + 4 > text_.size()) return Error("truncated \\u escape");
-          unsigned code = 0;
-          for (int i = 0; i < 4; ++i) {
-            char h = text_[pos_++];
-            code <<= 4;
-            if (h >= '0' && h <= '9') {
-              code += static_cast<unsigned>(h - '0');
-            } else if (h >= 'a' && h <= 'f') {
-              code += static_cast<unsigned>(h - 'a' + 10);
-            } else if (h >= 'A' && h <= 'F') {
-              code += static_cast<unsigned>(h - 'A' + 10);
-            } else {
-              return Error("bad \\u escape");
-            }
-          }
-          // The exporter only emits \u00XX control codes; anything wider
-          // would need UTF-8 encoding, which this reader doesn't do.
-          if (code > 0x7f) return Error("non-ASCII \\u escape");
-          out += static_cast<char>(code);
-          break;
-        }
-        default:
-          return Error("unknown escape");
-      }
-    }
-    FUSEME_RETURN_IF_ERROR(Expect('"'));
-    return out;
-  }
-
-  Result<double> ReadNumber() {
-    SkipSpace();
-    const std::size_t start = pos_;
-    while (pos_ < text_.size() &&
-           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
-            text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
-            text_[pos_] == 'e' || text_[pos_] == 'E')) {
-      ++pos_;
-    }
-    if (pos_ == start) return Error("expected number");
-    return std::stod(text_.substr(start, pos_ - start));
-  }
-
-  /// Skips one value of any supported type (used for ignored keys).
-  Status SkipValue() {
-    SkipSpace();
-    if (pos_ >= text_.size()) return Error("truncated value");
-    const char c = text_[pos_];
-    if (c == '"') return ReadString().status();
-    if (c == '{' || c == '[') {
-      const char close = c == '{' ? '}' : ']';
-      FUSEME_RETURN_IF_ERROR(Expect(c));
-      if (TryConsume(close)) return Status::OK();
-      do {
-        if (c == '{') {
-          FUSEME_RETURN_IF_ERROR(ReadString().status());
-          FUSEME_RETURN_IF_ERROR(Expect(':'));
-        }
-        FUSEME_RETURN_IF_ERROR(SkipValue());
-      } while (TryConsume(','));
-      return Expect(close);
-    }
-    if (std::isdigit(static_cast<unsigned char>(c)) || c == '-') {
-      return ReadNumber().status();
-    }
-    for (const char* lit : {"true", "false", "null"}) {
-      const std::size_t len = std::char_traits<char>::length(lit);
-      if (text_.compare(pos_, len, lit) == 0) {
-        pos_ += len;
-        return Status::OK();
-      }
-    }
-    return Error("unsupported value");
-  }
-
-  bool AtEnd() {
-    SkipSpace();
-    return pos_ >= text_.size();
-  }
-
- private:
-  const std::string& text_;
-  std::size_t pos_ = 0;
-};
-
-Result<TraceSpan> ReadEvent(JsonReader* r, bool* is_complete) {
+/// One raw trace event: the span fields plus the phase, so the caller
+/// can route "X" to spans and "M" to metadata.
+Result<TraceSpan> ReadEvent(JsonReader* r, std::string* phase) {
   TraceSpan span;
-  std::string phase = "X";
+  *phase = "X";
   double ts = 0, dur = 0, tid = 0;
   FUSEME_RETURN_IF_ERROR(r->Expect('{'));
   if (!r->TryConsume('}')) {
@@ -321,7 +164,7 @@ Result<TraceSpan> ReadEvent(JsonReader* r, bool* is_complete) {
       } else if (key == "cat") {
         FUSEME_ASSIGN_OR_RETURN(span.category, r->ReadString());
       } else if (key == "ph") {
-        FUSEME_ASSIGN_OR_RETURN(phase, r->ReadString());
+        FUSEME_ASSIGN_OR_RETURN(*phase, r->ReadString());
       } else if (key == "ts") {
         FUSEME_ASSIGN_OR_RETURN(ts, r->ReadNumber());
       } else if (key == "dur") {
@@ -348,15 +191,22 @@ Result<TraceSpan> ReadEvent(JsonReader* r, bool* is_complete) {
   span.begin_us = static_cast<std::int64_t>(ts);
   span.end_us = static_cast<std::int64_t>(ts + dur);
   span.tid = static_cast<int>(tid);
-  *is_complete = phase == "X";
   return span;
+}
+
+/// The "name" arg of a metadata record, or "" when absent.
+std::string MetadataName(const TraceSpan& event) {
+  for (const auto& [key, value] : event.args) {
+    if (key == "name") return value;
+  }
+  return {};
 }
 
 }  // namespace
 
-Result<std::vector<TraceSpan>> ParseChromeTrace(const std::string& json) {
-  JsonReader r(json);
-  std::vector<TraceSpan> out;
+Result<ParsedChromeTrace> ParseChromeTraceFull(const std::string& json) {
+  JsonReader r(json, "trace JSON");
+  ParsedChromeTrace out;
   FUSEME_RETURN_IF_ERROR(r.Expect('{'));
   bool saw_events = false;
   if (!r.TryConsume('}')) {
@@ -368,10 +218,17 @@ Result<std::vector<TraceSpan>> ParseChromeTrace(const std::string& json) {
         FUSEME_RETURN_IF_ERROR(r.Expect('['));
         if (!r.TryConsume(']')) {
           do {
-            bool is_complete = false;
-            FUSEME_ASSIGN_OR_RETURN(TraceSpan span,
-                                    ReadEvent(&r, &is_complete));
-            if (is_complete) out.push_back(std::move(span));
+            std::string phase;
+            FUSEME_ASSIGN_OR_RETURN(TraceSpan event, ReadEvent(&r, &phase));
+            if (phase == "X") {
+              out.spans.push_back(std::move(event));
+            } else if (phase == "M") {
+              if (event.name == "thread_name") {
+                out.thread_names[event.tid] = MetadataName(event);
+              } else if (event.name == "process_name") {
+                out.process_name = MetadataName(event);
+              }
+            }
           } while (r.TryConsume(','));
           FUSEME_RETURN_IF_ERROR(r.Expect(']'));
         }
@@ -384,6 +241,11 @@ Result<std::vector<TraceSpan>> ParseChromeTrace(const std::string& json) {
   if (!saw_events) return r.Error("missing traceEvents");
   if (!r.AtEnd()) return r.Error("trailing content");
   return out;
+}
+
+Result<std::vector<TraceSpan>> ParseChromeTrace(const std::string& json) {
+  FUSEME_ASSIGN_OR_RETURN(ParsedChromeTrace parsed, ParseChromeTraceFull(json));
+  return std::move(parsed.spans);
 }
 
 }  // namespace fuseme

@@ -57,6 +57,17 @@ class Tracer {
   /// Stable small id for the calling thread (assigned on first use).
   int CurrentThreadId();
 
+  /// Names a thread / the process for the trace viewers: exported as
+  /// Chrome "M" (metadata) records, so Perfetto's track list shows
+  /// "pool-worker-3" instead of a bare tid.  Last write wins.
+  void SetThreadName(int tid, std::string name);
+  void SetProcessName(std::string name);
+  /// SetThreadName(CurrentThreadId(), name) — what work items call.
+  void NameCurrentThread(std::string name);
+
+  [[nodiscard]] std::map<int, std::string> thread_names() const;
+  [[nodiscard]] std::string process_name() const;
+
   void Record(TraceSpan span);
 
   /// Snapshot of the recorded spans, sorted by (begin_us, tid, name) so
@@ -77,6 +88,8 @@ class Tracer {
   mutable std::mutex mu_;
   std::vector<TraceSpan> spans_;
   std::map<std::thread::id, int> thread_ids_;
+  std::map<int, std::string> thread_names_;
+  std::string process_name_ = "fuseme";
 };
 
 /// RAII span: captures begin on construction, records on destruction.
@@ -96,11 +109,24 @@ class ScopedSpan {
   TraceSpan span_;
 };
 
+/// Everything ParseChromeTraceFull recovers from an exported trace:
+/// complete ("X") spans plus the thread/process-name metadata ("M")
+/// records.
+struct ParsedChromeTrace {
+  std::vector<TraceSpan> spans;
+  std::map<int, std::string> thread_names;
+  std::string process_name;
+};
+
 /// Parses a trace produced by Tracer::ToChromeJson back into spans (the
 /// inverse of the exporter; used by the round-trip tests and any tooling
 /// that post-processes traces).  Unknown top-level keys are ignored;
 /// events other than "X" (complete) are skipped.
 Result<std::vector<TraceSpan>> ParseChromeTrace(const std::string& json);
+
+/// Like ParseChromeTrace but also returns the "M" metadata records
+/// (thread_name / process_name) the exporter emits.
+Result<ParsedChromeTrace> ParseChromeTraceFull(const std::string& json);
 
 }  // namespace fuseme
 

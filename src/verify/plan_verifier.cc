@@ -8,6 +8,8 @@
 
 #include "matrix/sparsity.h"
 #include "ops/fused_operator.h"
+#include "telemetry/metric_names.h"
+#include "telemetry/metrics.h"
 
 namespace fuseme {
 
@@ -191,7 +193,7 @@ std::int64_t RederiveNnz(const Dag& dag, NodeId id) {
 
 }  // namespace
 
-std::vector<VerifierDiagnostic> PlanVerifier::VerifyDag(
+std::vector<VerifierDiagnostic> PlanVerifier::VerifyDagImpl(
     const Dag& dag) const {
   std::vector<VerifierDiagnostic> diags;
   for (NodeId id : dag.TopologicalOrder()) {
@@ -248,7 +250,7 @@ std::vector<VerifierDiagnostic> PlanVerifier::VerifyDag(
   return diags;
 }
 
-std::vector<VerifierDiagnostic> PlanVerifier::VerifyPlan(
+std::vector<VerifierDiagnostic> PlanVerifier::VerifyPlanImpl(
     const Dag& dag, const PartialPlan& plan, bool require_matmul) const {
   std::vector<VerifierDiagnostic> diags;
   const std::vector<NodeId>& members = plan.members();
@@ -402,7 +404,7 @@ std::vector<VerifierDiagnostic> PlanVerifier::VerifyPlan(
   return diags;
 }
 
-std::vector<VerifierDiagnostic> PlanVerifier::VerifyPlanSet(
+std::vector<VerifierDiagnostic> PlanVerifier::VerifyPlanSetImpl(
     const Dag& dag, const FusionPlanSet& set, bool require_coverage) const {
   std::vector<VerifierDiagnostic> diags;
 
@@ -444,7 +446,7 @@ std::vector<VerifierDiagnostic> PlanVerifier::VerifyPlanSet(
   return diags;
 }
 
-std::vector<VerifierDiagnostic> PlanVerifier::VerifyStageGraph(
+std::vector<VerifierDiagnostic> PlanVerifier::VerifyStageGraphImpl(
     const Dag& dag, const FusionPlanSet& set) const {
   std::vector<VerifierDiagnostic> diags;
 
@@ -488,7 +490,7 @@ std::vector<VerifierDiagnostic> PlanVerifier::VerifyStageGraph(
   return diags;
 }
 
-std::vector<VerifierDiagnostic> PlanVerifier::VerifyCuboid(
+std::vector<VerifierDiagnostic> PlanVerifier::VerifyCuboidImpl(
     const PartialPlan& plan, const Cuboid& c) const {
   std::vector<VerifierDiagnostic> diags;
   const NodeId root = plan.root();
@@ -526,6 +528,60 @@ std::vector<VerifierDiagnostic> PlanVerifier::VerifyCuboid(
                "-byte budget the optimizer selected under");
     }
   }
+  return diags;
+}
+
+void PlanVerifier::set_metrics(MetricsRegistry* metrics) { metrics_ = metrics; }
+
+// Each public entry point wraps its Impl so every check lands in
+// fuseme_verifier_checks_total{artifact=...} and every diagnostic in
+// fuseme_verifier_diagnostics_total{rule=...}.
+void PlanVerifier::Record(
+    const char* artifact,
+    const std::vector<VerifierDiagnostic>& diags) const {
+  if (metrics_ == nullptr) return;
+  metrics_->GetCounter(metric_names::kVerifierChecks, {{"artifact", artifact}})
+      ->Increment();
+  for (const VerifierDiagnostic& diag : diags) {
+    metrics_->GetCounter(metric_names::kVerifierDiagnostics,
+                         {{"rule", diag.rule}})
+        ->Increment();
+  }
+}
+
+std::vector<VerifierDiagnostic> PlanVerifier::VerifyDag(const Dag& dag) const {
+  std::vector<VerifierDiagnostic> diags = VerifyDagImpl(dag);
+  Record("dag", diags);
+  return diags;
+}
+
+std::vector<VerifierDiagnostic> PlanVerifier::VerifyPlan(
+    const Dag& dag, const PartialPlan& plan, bool require_matmul) const {
+  std::vector<VerifierDiagnostic> diags =
+      VerifyPlanImpl(dag, plan, require_matmul);
+  Record("plan", diags);
+  return diags;
+}
+
+std::vector<VerifierDiagnostic> PlanVerifier::VerifyPlanSet(
+    const Dag& dag, const FusionPlanSet& set, bool require_coverage) const {
+  std::vector<VerifierDiagnostic> diags =
+      VerifyPlanSetImpl(dag, set, require_coverage);
+  Record("plan_set", diags);
+  return diags;
+}
+
+std::vector<VerifierDiagnostic> PlanVerifier::VerifyStageGraph(
+    const Dag& dag, const FusionPlanSet& set) const {
+  std::vector<VerifierDiagnostic> diags = VerifyStageGraphImpl(dag, set);
+  Record("stage_graph", diags);
+  return diags;
+}
+
+std::vector<VerifierDiagnostic> PlanVerifier::VerifyCuboid(
+    const PartialPlan& plan, const Cuboid& c) const {
+  std::vector<VerifierDiagnostic> diags = VerifyCuboidImpl(plan, c);
+  Record("cuboid", diags);
   return diags;
 }
 

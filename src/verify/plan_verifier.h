@@ -28,6 +28,8 @@
 
 namespace fuseme {
 
+class MetricsRegistry;  // telemetry/metrics.h
+
 /// Stable rule identifiers (the `rule` field of VerifierDiagnostic).
 namespace rules {
 
@@ -123,8 +125,28 @@ class PlanVerifier {
                                          const FusionPlanSet& set,
                                          VerifyLevel level) const;
 
+  /// Optional instrumentation: each check bumps
+  /// fuseme_verifier_checks_total{artifact=...}; each diagnostic bumps
+  /// fuseme_verifier_diagnostics_total{rule=...}.  Not owned; null
+  /// disables.
+  void set_metrics(MetricsRegistry* metrics);
+
  private:
+  std::vector<VerifierDiagnostic> VerifyDagImpl(const Dag& dag) const;
+  std::vector<VerifierDiagnostic> VerifyPlanImpl(const Dag& dag,
+                                                 const PartialPlan& plan,
+                                                 bool require_matmul) const;
+  std::vector<VerifierDiagnostic> VerifyPlanSetImpl(
+      const Dag& dag, const FusionPlanSet& set, bool require_coverage) const;
+  std::vector<VerifierDiagnostic> VerifyStageGraphImpl(
+      const Dag& dag, const FusionPlanSet& set) const;
+  std::vector<VerifierDiagnostic> VerifyCuboidImpl(const PartialPlan& plan,
+                                                   const Cuboid& c) const;
+  void Record(const char* artifact,
+              const std::vector<VerifierDiagnostic>& diags) const;
+
   const CostModel* model_;
+  MetricsRegistry* metrics_ = nullptr;
 };
 
 }  // namespace fuseme

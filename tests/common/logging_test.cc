@@ -1,0 +1,97 @@
+#include "common/logging.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace fuseme {
+namespace {
+
+/// Restores the global logging state (sink, hook, level) on scope exit so
+/// test order never matters.
+class ScopedLoggingState {
+ public:
+  ScopedLoggingState() : previous_level_(GetLogLevel()) {}
+  ~ScopedLoggingState() {
+    SetLogSink(nullptr);
+    SetLogCounterHook(nullptr, nullptr);
+    SetLogLevel(previous_level_);
+  }
+
+ private:
+  LogLevel previous_level_;
+};
+
+TEST(LoggingTest, CaptureSinkReceivesFormattedLines) {
+  ScopedLoggingState guard;
+  SetLogLevel(LogLevel::kDebug);
+  CaptureLogSink capture;
+  EXPECT_EQ(SetLogSink(&capture), nullptr);
+
+  FUSEME_LOG(Info) << "hello " << 42;
+  FUSEME_LOG(Warning) << "uh oh";
+
+  const auto messages = capture.messages();
+  ASSERT_EQ(messages.size(), 2u);
+  EXPECT_EQ(messages[0].first, LogLevel::kInfo);
+  EXPECT_NE(messages[0].second.find("hello 42"), std::string::npos);
+  EXPECT_EQ(capture.CountAt(LogLevel::kWarning), 1u);
+  EXPECT_EQ(capture.CountAt(LogLevel::kError), 0u);
+
+  // Restoring the default returns the capture sink.
+  EXPECT_EQ(SetLogSink(nullptr), &capture);
+}
+
+TEST(LoggingTest, LevelFilterSuppressesSinkAndHook) {
+  ScopedLoggingState guard;
+  SetLogLevel(LogLevel::kError);
+  CaptureLogSink capture;
+  SetLogSink(&capture);
+  int hook_calls = 0;
+  SetLogCounterHook(
+      [](LogLevel, void* arg) { ++*static_cast<int*>(arg); }, &hook_calls);
+
+  FUSEME_LOG(Info) << "filtered out";
+  FUSEME_LOG(Error) << "kept";
+
+  EXPECT_EQ(capture.messages().size(), 1u);
+  EXPECT_EQ(capture.CountAt(LogLevel::kError), 1u);
+  EXPECT_EQ(hook_calls, 1);
+}
+
+TEST(LoggingTest, CounterHookSeesEveryEmittedLevel) {
+  ScopedLoggingState guard;
+  SetLogLevel(LogLevel::kDebug);
+  CaptureLogSink capture;  // keep the test's own stderr clean
+  SetLogSink(&capture);
+  int counts[4] = {0, 0, 0, 0};
+  SetLogCounterHook(
+      [](LogLevel level, void* arg) {
+        ++static_cast<int*>(arg)[static_cast<int>(level)];
+      },
+      counts);
+
+  FUSEME_LOG(Debug) << "d";
+  FUSEME_LOG(Info) << "i";
+  FUSEME_LOG(Info) << "i";
+  FUSEME_LOG(Warning) << "w";
+
+  EXPECT_EQ(counts[0], 1);
+  EXPECT_EQ(counts[1], 2);
+  EXPECT_EQ(counts[2], 1);
+  EXPECT_EQ(counts[3], 0);
+
+  SetLogCounterHook(nullptr, nullptr);
+  FUSEME_LOG(Info) << "no hook anymore";
+  EXPECT_EQ(counts[1], 2);
+}
+
+TEST(LoggingTest, LevelLabelsAreLowercase) {
+  EXPECT_STREQ(LogLevelLabel(LogLevel::kDebug), "debug");
+  EXPECT_STREQ(LogLevelLabel(LogLevel::kInfo), "info");
+  EXPECT_STREQ(LogLevelLabel(LogLevel::kWarning), "warning");
+  EXPECT_STREQ(LogLevelLabel(LogLevel::kError), "error");
+}
+
+}  // namespace
+}  // namespace fuseme

@@ -146,6 +146,43 @@ TEST(TracerTest, ParseSkipsNonCompleteEvents) {
   EXPECT_EQ((*parsed)[0].tid, 2);
 }
 
+TEST(TracerTest, MetadataRecordsRoundTrip) {
+  Tracer tracer;
+  tracer.SetProcessName("unit-test");
+  tracer.SetThreadName(0, "driver");
+  tracer.SetThreadName(3, "pool-worker");
+  { ScopedSpan span(&tracer, "work", "test"); }
+
+  const std::string json = tracer.ToChromeJson();
+  // Metadata events use the Chrome "M" phase and precede the spans.
+  EXPECT_NE(json.find("\"ph\": \"M\""), std::string::npos);
+  EXPECT_NE(json.find("\"process_name\""), std::string::npos);
+  EXPECT_NE(json.find("\"thread_name\""), std::string::npos);
+  EXPECT_LT(json.find("\"ph\": \"M\""), json.find("\"ph\": \"X\""));
+
+  Result<ParsedChromeTrace> parsed = ParseChromeTraceFull(json);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed->process_name, "unit-test");
+  EXPECT_EQ(parsed->spans, tracer.spans());
+  ASSERT_EQ(parsed->thread_names.size(), 2u);
+  EXPECT_EQ(parsed->thread_names.at(0), "driver");
+  EXPECT_EQ(parsed->thread_names.at(3), "pool-worker");
+
+  // The span-only parser still works on metadata-bearing traces.
+  Result<std::vector<TraceSpan>> spans_only = ParseChromeTrace(json);
+  ASSERT_TRUE(spans_only.ok()) << spans_only.status();
+  EXPECT_EQ(*spans_only, tracer.spans());
+}
+
+TEST(TracerTest, NameCurrentThreadUsesCallingThreadId) {
+  Tracer tracer;
+  tracer.NameCurrentThread("main-thread");
+  const auto names = tracer.thread_names();
+  ASSERT_EQ(names.size(), 1u);
+  EXPECT_EQ(names.begin()->first, tracer.CurrentThreadId());
+  EXPECT_EQ(names.begin()->second, "main-thread");
+}
+
 TEST(TracerTest, ClearEmptiesTheTracer) {
   Tracer tracer;
   { ScopedSpan span(&tracer, "s", "t"); }
