@@ -9,11 +9,7 @@
 
 #include <cstdio>
 
-#include "common/string_util.h"
-#include "engine/engine.h"
-#include "engine/reference.h"
-#include "matrix/generators.h"
-#include "workloads/queries.h"
+#include "fuseme.h"
 
 using namespace fuseme;  // NOLINT — example brevity
 

@@ -6,9 +6,7 @@
 
 #include <cstdio>
 
-#include "engine/engine.h"
-#include "matrix/generators.h"
-#include "workloads/autoencoder.h"
+#include "fuseme.h"
 
 using namespace fuseme;  // NOLINT — example brevity
 

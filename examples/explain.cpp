@@ -12,13 +12,7 @@
 
 #include <cstdio>
 
-#include "common/string_util.h"
-#include "engine/engine.h"
-#include "ir/expr.h"
-#include "ir/printer.h"
-#include "matrix/generators.h"
-#include "telemetry/prediction.h"
-#include "telemetry/tracer.h"
+#include "fuseme.h"
 
 using namespace fuseme;  // NOLINT — example brevity
 

@@ -7,9 +7,7 @@
 #include <cstdio>
 #include <vector>
 
-#include "engine/engine.h"
-#include "matrix/generators.h"
-#include "workloads/queries.h"
+#include "fuseme.h"
 
 using namespace fuseme;  // NOLINT — example brevity
 

@@ -27,13 +27,7 @@
 #include <map>
 #include <string>
 
-#include "engine/engine.h"
-#include "ir/parser.h"
-#include "matrix/generators.h"
-#include "telemetry/metrics.h"
-#include "telemetry/run_report.h"
-#include "telemetry/tracer.h"
-#include "workloads/queries.h"
+#include "fuseme.h"
 
 using namespace fuseme;  // NOLINT — example brevity
 

@@ -5,10 +5,7 @@
 
 #include <cstdio>
 
-#include "cost/optimizer.h"
-#include "engine/engine.h"
-#include "ir/printer.h"
-#include "workloads/queries.h"
+#include "fuseme.h"
 
 using namespace fuseme;  // NOLINT — example brevity
 

@@ -10,10 +10,7 @@
 
 #include <cstdio>
 
-#include "common/string_util.h"
-#include "engine/engine.h"
-#include "ir/parser.h"
-#include "ir/printer.h"
+#include "fuseme.h"
 
 using namespace fuseme;  // NOLINT — example brevity
 

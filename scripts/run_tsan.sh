@@ -13,8 +13,10 @@ cmake -B "$BUILD_DIR" -S . \
 cmake --build "$BUILD_DIR" -j "$(nproc)"
 
 # The tests that exercise the thread pool, the parallel kernels, and the
-# parallel operators (including the serial-vs-parallel determinism suite).
-REGEX=${1:-'ThreadPool|GlobalThreadPool|ParallelDeterminism|MatMul|BlockedMatrix|Stage|FusedOperator|OperatorSweep|Metrics|Logging'}
+# parallel operators (including the serial-vs-parallel determinism suite
+# and the fault-injection retry path, which merges recovery accounting
+# from worker threads).
+REGEX=${1:-'ThreadPool|GlobalThreadPool|ParallelDeterminism|MatMul|BlockedMatrix|Stage|FusedOperator|OperatorSweep|Metrics|Logging|FaultTolerance|FaultInjector|FaultSpec|RetryPolicy|StageRecovery|OptionsValidation'}
 
 # Exercise more than one thread even on small CI machines.
 export FUSEME_THREADS=${FUSEME_THREADS:-4}

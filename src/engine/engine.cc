@@ -34,6 +34,11 @@ const char* OperatorKindName(OperatorKind kind) {
   return "?";
 }
 
+/// Straggler enumeration bound per stage: analytic paper-scale stages can
+/// model millions of tasks, and scanning the whole schedule would swamp
+/// the run for no modeling benefit.  The scan is deterministic either way.
+constexpr std::int64_t kStragglerScanCap = 65536;
+
 const char* RunStatusLabel(const Status& status) {
   if (status.ok()) return "ok";
   if (status.IsOutOfMemory()) return "out_of_memory";
@@ -93,22 +98,51 @@ std::string ExecutionReport::Summary() const {
   if (status.IsOutOfMemory()) return "O.O.M. (" + status.message() + ")";
   if (status.IsTimedOut()) return "T.O. (" + status.message() + ")";
   if (!status.ok()) return status.ToString();
-  return HumanSeconds(elapsed_seconds) + ", " +
-         HumanBytes(static_cast<double>(total_bytes())) + " shuffled, " +
-         std::to_string(stages.size()) + " stages";
+  std::string out = HumanSeconds(elapsed_seconds) + ", " +
+                    HumanBytes(static_cast<double>(total_bytes())) +
+                    " shuffled, " + std::to_string(stages.size()) + " stages";
+  const std::int64_t retries = total_retries();
+  if (retries > 0) {
+    out += ", " + std::to_string(retries) + " retr" +
+           (retries == 1 ? "y" : "ies");
+  }
+  if (!degradations.empty()) {
+    out += ", " + std::to_string(degradations.size()) + " degradation" +
+           (degradations.size() == 1 ? "" : "s");
+  }
+  return out;
+}
+
+Engine::Engine(ValidatedTag, EngineOptions options)
+    : options_(std::move(options)), model_(options_.cluster) {
+  if (options_.faults.enabled()) injector_.emplace(options_.faults);
 }
 
 Engine::Engine(EngineOptions options)
-    : options_(std::move(options)), model_(options_.cluster) {}
+    : Engine(ValidatedTag{}, std::move(options)) {
+  const Status valid = options_.Validate();
+  FUSEME_CHECK(valid.ok()) << valid.message();
+}
 
-PqrChoice Engine::Optimize(const PartialPlan& plan) const {
-  PqrOptimizer optimizer(&model_);
-  optimizer.set_metrics(options_.metrics);
+Result<Engine> Engine::Create(EngineOptions options) {
+  FUSEME_RETURN_IF_ERROR(options.Validate());
+  return Engine(ValidatedTag{}, std::move(options));
+}
+
+PqrChoice Engine::Optimize(const PartialPlan& plan,
+                           double budget_factor) const {
   // Plans whose O-space reshapes the matmul output cannot split the
   // common dimension (no coordinate-wise partial merge is possible).
   const std::int64_t max_r = CuboidSupportsKSplit(plan) ? 0 : 1;
-  return options_.pruned_search ? optimizer.Pruned(plan, max_r)
-                                : optimizer.Exhaustive(plan, max_r);
+  auto search = [&](const CostModel* model) {
+    PqrOptimizer optimizer(model);
+    optimizer.set_metrics(options_.metrics);
+    return options_.pruned_search ? optimizer.Pruned(plan, max_r)
+                                  : optimizer.Exhaustive(plan, max_r);
+  };
+  if (budget_factor == 1.0) return search(&model_);
+  const CostModel tight = model_.WithBudgetFactor(budget_factor);
+  return search(&tight);
 }
 
 FusionPlanSet Engine::MakePlans(const Dag& dag) const {
@@ -306,7 +340,8 @@ InputSplit SplitInputs(const PartialPlan& plan) {
 
 Result<StagePrediction> Engine::PredictStage(const PartialPlan& plan,
                                              OperatorKind kind,
-                                             const FusedInputs* inputs) const {
+                                             const FusedInputs* inputs,
+                                             double budget_factor) const {
   const Dag& dag = plan.dag();
   const ClusterConfig& cluster = options_.cluster;
 
@@ -335,11 +370,14 @@ Result<StagePrediction> Engine::PredictStage(const PartialPlan& plan,
 
   switch (kind) {
     case OperatorKind::kCfo: {
-      const PqrChoice choice = Optimize(plan);
+      const PqrChoice choice = Optimize(plan, budget_factor);
       if (!choice.feasible) {
         return Status::OutOfMemory(
             "no feasible (P,Q,R) for plan " + plan.ToString() +
-            " within the per-task budget");
+            " within the per-task budget" +
+            (budget_factor == 1.0
+                 ? ""
+                 : " (degraded to " + std::to_string(budget_factor) + "x)"));
       }
       CostModel::Estimates est;
       est.mem_per_task = choice.mem_per_task;
@@ -457,6 +495,54 @@ Result<StagePrediction> Engine::PredictStage(const PartialPlan& plan,
   return Status::Internal("unresolved operator kind");
 }
 
+Result<Engine::DegradationStep> Engine::NextDegradation(
+    const PartialPlan& plan, OperatorKind kind, const StagePrediction& failed,
+    const FusedInputs* inputs, double budget_factor) const {
+  // cpmm is the ladder's last rung; there is nothing below it.
+  if (kind == OperatorKind::kCpmm) {
+    return Status::OutOfMemory(
+        "degradation ladder exhausted (already at cpmm) for " +
+        plan.ToString());
+  }
+  // Broadcast/replication operators carry no cuboid to shrink: degrade to
+  // the optimizer-chosen CFO, which partitions what BFO/RFO broadcast or
+  // replicate wholesale.
+  if (kind == OperatorKind::kBfo || kind == OperatorKind::kRfo) {
+    Result<StagePrediction> pred =
+        PredictStage(plan, OperatorKind::kCfo, inputs, 1.0);
+    if (pred.ok()) {
+      return DegradationStep{OperatorKind::kCfo, *std::move(pred), 1.0,
+                             "shrink_cuboid"};
+    }
+  } else {
+    // CFO: re-optimize under a shrinking modeled budget until the search
+    // picks a different (finer) cuboid.
+    double factor = budget_factor;
+    while (factor > 1.0 / 1024.0) {
+      factor *= 0.5;
+      Result<StagePrediction> pred =
+          PredictStage(plan, OperatorKind::kCfo, inputs, factor);
+      if (!pred.ok()) break;  // nothing feasible under the tighter budget
+      if (!failed.present || !(pred->cuboid == failed.cuboid)) {
+        return DegradationStep{OperatorKind::kCfo, *std::move(pred), factor,
+                               "shrink_cuboid"};
+      }
+    }
+  }
+  // Final rung: the (1,1,R) shuffle matmul, feasible only for plans whose
+  // output merges coordinate-wise.
+  if (!plan.MatMuls().empty() && CuboidSupportsKSplit(plan)) {
+    Result<StagePrediction> pred =
+        PredictStage(plan, OperatorKind::kCpmm, inputs, 1.0);
+    if (pred.ok()) {
+      return DegradationStep{OperatorKind::kCpmm, *std::move(pred), 1.0,
+                             "cpmm"};
+    }
+  }
+  return Status::OutOfMemory("degradation ladder exhausted for " +
+                             plan.ToString());
+}
+
 Result<DistributedMatrix> Engine::RunPlanAnalytic(const PartialPlan& plan,
                                                   OperatorKind kind,
                                                   const StagePrediction& pred,
@@ -525,7 +611,13 @@ Engine::RunResult Engine::RunWithPlans(
     const std::map<NodeId, BlockedMatrix>& inputs,
     OperatorKind forced) const {
   RunResult out;
-  out.report.plan_description = plans.description;
+  // Both entry points populate the description: MakePlans-produced sets
+  // carry the planner's own, caller-assembled sets get a synthesized one.
+  out.report.plan_description =
+      !plans.description.empty()
+          ? plans.description
+          : "caller-supplied (" + std::to_string(plans.plans.size()) +
+                " plan" + (plans.plans.size() == 1 ? "" : "s") + ")";
   if (options_.tracer != nullptr) options_.tracer->NameCurrentThread("driver");
 
   PlanVerifier verifier(&model_);
@@ -560,7 +652,11 @@ Engine::RunResult Engine::RunWithPlans(
   }
 
   Status status;
+  const FaultInjector* injector =
+      injector_.has_value() ? &*injector_ : nullptr;
+  int stage_ordinal = -1;
   for (const PartialPlan& plan : plans.plans) {
+    ++stage_ordinal;
     // Bind external inputs.
     FusedInputs fin;
     bool inputs_ok = true;
@@ -591,53 +687,117 @@ Engine::RunResult Engine::RunWithPlans(
 
     OperatorKind kind =
         forced == OperatorKind::kAuto ? PickOperator(plan, fin) : forced;
-    const std::string label =
-        plan.ToString() + " [" + OperatorKindName(kind) + "]";
 
     StageTelemetry telemetry;
-    telemetry.label = label;
-
-    Result<StagePrediction> predr = PredictStage(plan, kind, &fin);
-    if (predr.ok()) telemetry.predicted = *predr;
-
     const std::int64_t span_begin =
         options_.tracer ? options_.tracer->NowMicros() : 0;
     const auto host_begin = std::chrono::steady_clock::now();
 
-    Result<DistributedMatrix> result =
-        predr.ok() ? Status::Internal("unset") : predr.status();
-    bool cuboid_ok = true;
-    if (predr.ok() && options_.verify == VerifyLevel::kParanoid &&
-        (kind == OperatorKind::kCfo || kind == OperatorKind::kCpmm)) {
-      // Re-check the chosen cuboid against the same grid bounds, k-split
-      // restriction, and MemEst the optimizer selected under; a violation
-      // here means the search or the estimate drifted from execution.
-      std::vector<VerifierDiagnostic> cuboid_diags =
-          verifier.VerifyCuboid(plan, predr->cuboid);
-      if (!cuboid_diags.empty()) {
-        cuboid_ok = false;
-        result = Status::Internal("stage cuboid verification failed: " +
-                                  cuboid_diags.front().ToString());
-        out.report.verifier_diagnostics.insert(
-            out.report.verifier_diagnostics.end(), cuboid_diags.begin(),
-            cuboid_diags.end());
-      }
-    }
+    // Degradation ladder (DESIGN.md section 13): a stage that fails with
+    // OutOfMemory — genuine or injected — retries under a degraded
+    // configuration when recovery allows, instead of failing the run.
+    StageRecovery recovery;
+    bool oom_pending =
+        injector != nullptr && injector->InjectOom(stage_ordinal);
+    double budget_factor = 1.0;
+    int rungs = 0;
+    Result<DistributedMatrix> result = Status::Internal("unset");
     StageStats stats;
-    stats.label = label;
-    if (predr.ok() && cuboid_ok) {
-      if (options_.analytic) {
-        result = RunPlanAnalytic(plan, kind, *predr, &stats);
-        telemetry.threads = 1;
-      } else {
-        StageContext ctx(label, options_.cluster);
-        ctx.set_tracer(options_.tracer);
-        ctx.set_metrics(options_.metrics);
-        result = RunPlanReal(plan, kind, *predr, fin, &ctx);
-        stats = ctx.Finalize();
-        stats.label = label;
-        telemetry.threads = ctx.Parallelism();
+    std::string label;
+    for (;;) {
+      label = plan.ToString() + " [" + OperatorKindName(kind) + "]";
+      telemetry.label = label;
+      telemetry.predicted = StagePrediction{};
+
+      Result<StagePrediction> predr =
+          PredictStage(plan, kind, &fin, budget_factor);
+      if (predr.ok()) telemetry.predicted = *predr;
+
+      result = predr.ok() ? Status::Internal("unset") : predr.status();
+      bool cuboid_ok = true;
+      if (predr.ok() && options_.verify == VerifyLevel::kParanoid &&
+          (kind == OperatorKind::kCfo || kind == OperatorKind::kCpmm)) {
+        // Re-check the chosen cuboid against the same grid bounds, k-split
+        // restriction, and MemEst the optimizer selected under; a violation
+        // here means the search or the estimate drifted from execution.
+        std::vector<VerifierDiagnostic> cuboid_diags =
+            verifier.VerifyCuboid(plan, predr->cuboid);
+        if (!cuboid_diags.empty()) {
+          cuboid_ok = false;
+          result = Status::Internal("stage cuboid verification failed: " +
+                                    cuboid_diags.front().ToString());
+          out.report.verifier_diagnostics.insert(
+              out.report.verifier_diagnostics.end(), cuboid_diags.begin(),
+              cuboid_diags.end());
+        }
       }
+      stats = StageStats{};
+      stats.label = label;
+      if (predr.ok() && cuboid_ok) {
+        if (oom_pending) {
+          // Synthetic memory pressure: the schedule kills this stage's
+          // first execution attempt before it runs.
+          oom_pending = false;
+          ++recovery.injected_oom;
+          if (options_.metrics != nullptr) {
+            options_.metrics
+                ->GetCounter(metric_names::kFaultInjected, {{"kind", "oom"}})
+                ->Increment();
+          }
+          result = Status::OutOfMemory(
+              "injected OutOfMemory on stage " +
+              std::to_string(stage_ordinal) + " (" + label + ")");
+        } else if (options_.analytic) {
+          result = RunPlanAnalytic(plan, kind, *predr, &stats);
+          telemetry.threads = 1;
+        } else {
+          StageContext ctx(label, options_.cluster);
+          ctx.set_tracer(options_.tracer);
+          ctx.set_metrics(options_.metrics);
+          if (injector != nullptr) {
+            ctx.ConfigureRecovery(injector, stage_ordinal,
+                                  options_.recovery.retry);
+          }
+          result = RunPlanReal(plan, kind, *predr, fin, &ctx);
+          stats = ctx.Finalize();
+          stats.label = label;
+          telemetry.threads = ctx.Parallelism();
+          const StageRecovery items = ctx.recovery();
+          recovery.attempts += items.attempts;
+          recovery.retries += items.retries;
+          recovery.injected_failures += items.injected_failures;
+          recovery.exhausted_items += items.exhausted_items;
+          recovery.backoff_seconds += items.backoff_seconds;
+        }
+      }
+      if (result.ok() || !result.status().IsOutOfMemory() ||
+          !options_.recovery.degrade_on_oom ||
+          rungs >= options_.recovery.max_degradations_per_stage) {
+        break;
+      }
+      Result<DegradationStep> next = NextDegradation(
+          plan, kind, telemetry.predicted, &fin, budget_factor);
+      if (!next.ok()) break;  // ladder exhausted: surface the original OOM
+      ++rungs;
+      ++recovery.degradations;
+      DegradationEvent event;
+      event.stage_label = label;
+      event.from = std::string(OperatorKindName(kind)) +
+                   (telemetry.predicted.present
+                        ? " " + telemetry.predicted.cuboid.ToString()
+                        : "");
+      event.to = std::string(OperatorKindName(next->kind)) + " " +
+                 next->pred.cuboid.ToString();
+      event.cause = result.status().message();
+      if (options_.metrics != nullptr) {
+        options_.metrics
+            ->GetCounter(metric_names::kStageDegradations,
+                         {{"action", next->action}})
+            ->Increment();
+      }
+      out.report.degradations.push_back(std::move(event));
+      kind = next->kind;
+      budget_factor = next->budget_factor;
     }
     telemetry.wall_seconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
@@ -645,7 +805,45 @@ Engine::RunResult Engine::RunWithPlans(
             .count();
 
     if (result.ok()) {
-      status = sim.CompleteStage(stats);
+      if (injector != nullptr &&
+          injector->spec().straggler_probability > 0.0) {
+        // Enumerate the schedule's stragglers among this stage's tasks
+        // (capped so paper-scale analytic task counts stay cheap; the
+        // scan is deterministic either way).
+        const std::int64_t scan =
+            std::min<std::int64_t>(stats.num_tasks, kStragglerScanCap);
+        for (std::int64_t t = 0; t < scan; ++t) {
+          const double factor = injector->StragglerFactor(stage_ordinal, t);
+          if (factor > 1.0) {
+            ++recovery.stragglers;
+            recovery.max_straggler_factor =
+                std::max(recovery.max_straggler_factor, factor);
+          }
+        }
+        if (options_.metrics != nullptr && recovery.stragglers > 0) {
+          options_.metrics
+              ->GetCounter(metric_names::kFaultInjected,
+                           {{"kind", "straggler"}})
+              ->Add(recovery.stragglers);
+        }
+      }
+      StageFaultEffects effects;
+      effects.retries = recovery.retries;
+      effects.backoff_seconds = recovery.backoff_seconds;
+      effects.stage_relaunches = recovery.degradations;
+      effects.stragglers = recovery.stragglers;
+      effects.straggler_factor = recovery.max_straggler_factor;
+      effects.speculation = options_.recovery.speculative_execution;
+      effects.speculation_launch_factor =
+          options_.recovery.speculation_launch_factor;
+      std::int64_t speculative = 0;
+      status = sim.CompleteStage(stats, recovery.any() ? &effects : nullptr,
+                                 &speculative);
+      recovery.speculative_tasks = speculative;
+      if (options_.metrics != nullptr && speculative > 0) {
+        options_.metrics->GetCounter(metric_names::kSpeculativeTasks)
+            ->Add(speculative);
+      }
       if (status.ok() && !sim.stages().empty()) {
         stats.elapsed_seconds = sim.stages().back().elapsed_seconds;
       }
@@ -653,6 +851,12 @@ Engine::RunResult Engine::RunWithPlans(
       status = result.status();
     }
     telemetry.actual = stats;
+    telemetry.recovery = recovery;
+    out.report.attempts += recovery.attempts;
+    if (recovery.retries > 0) {
+      out.report.retries_by_cause["injected_failure"] += recovery.retries;
+    }
+    out.report.speculative_tasks += recovery.speculative_tasks;
     RecordStageMetrics(options_.metrics, stats, telemetry.wall_seconds,
                        telemetry.predicted);
 
@@ -686,6 +890,17 @@ Engine::RunResult Engine::RunWithPlans(
                              std::to_string(stats.aggregation_bytes));
       span.args.emplace_back("actual_flops", std::to_string(stats.flops));
       span.args.emplace_back("num_tasks", std::to_string(stats.num_tasks));
+      if (recovery.any()) {
+        span.args.emplace_back("retries", std::to_string(recovery.retries));
+        span.args.emplace_back("degradations",
+                               std::to_string(recovery.degradations));
+        span.args.emplace_back("injected_oom",
+                               std::to_string(recovery.injected_oom));
+        span.args.emplace_back("stragglers",
+                               std::to_string(recovery.stragglers));
+        span.args.emplace_back("speculative_tasks",
+                               std::to_string(recovery.speculative_tasks));
+      }
       options_.tracer->Record(std::move(span));
     }
 

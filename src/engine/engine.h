@@ -31,10 +31,14 @@
 #include <string>
 #include <vector>
 
+#include <optional>
+
+#include "common/result.h"
 #include "cost/optimizer.h"
 #include "fusion/planners.h"
 #include "ops/fused_operator.h"
 #include "runtime/distributed_matrix.h"
+#include "runtime/fault_injector.h"
 #include "runtime/simulator.h"
 #include "telemetry/prediction.h"
 #include "verify/diagnostic.h"
@@ -64,6 +68,32 @@ std::string_view SystemModeName(SystemMode mode);
 /// replication fits.
 enum class OperatorKind { kAuto, kCfo, kBfo, kRfo, kCpmm };
 
+/// How the engine recovers from failures (DESIGN.md section 13).  The
+/// defaults preserve the paper's semantics: a stage that runs out of
+/// memory reports O.O.M. exactly like the experiment tables, and nothing
+/// retries unless a fault schedule is active.
+struct RecoveryOptions {
+  /// Per-work-item attempt budget for injected task failures.  Only
+  /// consulted when EngineOptions::faults schedules failures — genuine
+  /// statuses are deterministic and never retried at item level.
+  RetryPolicy retry;
+  /// Climb the OOM degradation ladder instead of failing the run: first
+  /// re-optimize the cuboid under a shrinking modeled budget (finer
+  /// partitions, less memory per task), then fall back to the (1,1,R)
+  /// cpmm shuffle operator.  Off by default so O.O.M. cells reproduce.
+  bool degrade_on_oom = false;
+  /// Ladder length: rungs tried per stage before the original OutOfMemory
+  /// is surfaced unchanged.
+  int max_degradations_per_stage = 6;
+  /// Launch speculative copies of scheduled stragglers in the simulator's
+  /// cluster-time model (Spark's spark.speculation); the first finisher
+  /// wins, cutting the straggler tail.
+  bool speculative_execution = true;
+  /// A copy launches once a straggler runs this factor past the modeled
+  /// wave duration.
+  double speculation_launch_factor = 1.5;
+};
+
 struct EngineOptions {
   SystemMode system = SystemMode::kFuseMe;
   ClusterConfig cluster;
@@ -91,6 +121,58 @@ struct EngineOptions {
   /// before the stage runs.  Diagnostics fail the run with
   /// StatusCode::kInternal and land in ExecutionReport.
   VerifyLevel verify = VerifyLevel::kPlanner;
+  /// Deterministic fault schedule (off by default).  When enabled, work
+  /// items are killed / stages OOM / tasks straggle exactly as the seeded
+  /// schedule dictates, and `recovery` governs how the engine survives.
+  FaultSpec faults;
+  /// Recovery policy applied when `faults` is active or a stage genuinely
+  /// runs out of memory (see RecoveryOptions).
+  RecoveryOptions recovery;
+
+  /// Checks the options for structural validity: cluster shape, budgets,
+  /// bandwidths, probabilities, retry/degradation knobs, and contradictory
+  /// flags (balance_sparsity in analytic mode).  Engine::Create rejects
+  /// invalid options with this status; the legacy Engine constructor
+  /// CHECK-fails on it.
+  Status Validate() const;
+
+  class Builder;
+};
+
+/// Fluent construction for EngineOptions; Build() validates.
+///
+///   FUSEME_ASSIGN_OR_RETURN(
+///       EngineOptions opts,
+///       EngineOptions::Builder().System(SystemMode::kFuseMe)
+///           .Cluster(cluster).Analytic(true).Build());
+class EngineOptions::Builder {
+ public:
+  Builder& System(SystemMode system);
+  Builder& Cluster(const ClusterConfig& cluster);
+  Builder& Analytic(bool analytic);
+  Builder& PrunedSearch(bool pruned);
+  Builder& BalanceSparsity(bool balance);
+  Builder& WithTracer(Tracer* tracer);
+  Builder& WithMetrics(MetricsRegistry* metrics);
+  Builder& Verify(VerifyLevel level);
+  Builder& Faults(const FaultSpec& faults);
+  Builder& Recovery(const RecoveryOptions& recovery);
+
+  /// Validates and returns the assembled options.
+  Result<EngineOptions> Build() const;
+
+ private:
+  EngineOptions options_;
+};
+
+/// One rung of the OOM degradation ladder actually taken while a stage
+/// recovered: the stage moved from the `from` configuration to `to`
+/// because of `cause` (the OutOfMemory message that fired).
+struct DegradationEvent {
+  std::string stage_label;
+  std::string from;  // e.g. "CFO (4,3,1)"
+  std::string to;    // e.g. "CFO (8,6,1)" or "cpmm (1,1,5)"
+  std::string cause;
 };
 
 struct ExecutionReport {
@@ -111,6 +193,24 @@ struct ExecutionReport {
   std::vector<VerifierDiagnostic> verifier_diagnostics;
   std::string plan_description;
 
+  // --- Recovery accounting (DESIGN.md section 13; all zero/empty on
+  // clean runs, so paper-mode reports are unchanged). ---
+  /// Work-item attempts across all stages, first tries included.
+  std::int64_t attempts = 0;
+  /// Re-launches beyond each item's first attempt, keyed by cause
+  /// ("injected_failure", ...).
+  std::map<std::string, std::int64_t> retries_by_cause;
+  /// OOM degradation rungs taken, in the order they fired.
+  std::vector<DegradationEvent> degradations;
+  /// Speculative task copies the simulator launched against stragglers.
+  std::int64_t speculative_tasks = 0;
+
+  std::int64_t total_retries() const {
+    std::int64_t total = 0;
+    for (const auto& [cause, n] : retries_by_cause) total += n;
+    return total;
+  }
+
   std::int64_t total_bytes() const {
     return consolidation_bytes + aggregation_bytes;
   }
@@ -122,6 +222,13 @@ struct ExecutionReport {
 
 class Engine {
  public:
+  /// Validated construction — the preferred entry point.  Rejects invalid
+  /// options (EngineOptions::Validate) with InvalidArgument instead of
+  /// aborting.
+  static Result<Engine> Create(EngineOptions options);
+
+  /// Legacy constructor, kept as a checked wrapper around Create:
+  /// CHECK-fails on options Create would reject.
   explicit Engine(EngineOptions options);
 
   const EngineOptions& options() const { return options_; }
@@ -135,6 +242,12 @@ class Engine {
     /// Root-node values of dag.outputs() (meta descriptors in analytic
     /// mode).  Empty when execution failed.
     std::map<NodeId, DistributedMatrix> outputs;
+
+    /// Passthroughs to the report, so callers of either Run entry point
+    /// read outcomes uniformly.
+    bool ok() const { return report.ok(); }
+    const Status& status() const { return report.status; }
+    std::string Summary() const { return report.Summary(); }
   };
 
   /// Plans and executes the whole DAG.  `inputs` binds leaf nodes to
@@ -157,12 +270,18 @@ class Engine {
   /// refines the narrow-dependency model (a same-shaped input only skips
   /// the shuffle where its owner task coincides with the consuming task);
   /// without them, inputs are assumed grid-partitioned over the cluster.
+  /// `budget_factor` scales the modeled per-task budget the CFO cuboid
+  /// search runs under (the OOM degradation ladder passes < 1 to force
+  /// finer partitions); 1.0 is the configured budget.
   Result<StagePrediction> PredictStage(const PartialPlan& plan,
                                        OperatorKind kind,
-                                       const FusedInputs* inputs =
-                                           nullptr) const;
+                                       const FusedInputs* inputs = nullptr,
+                                       double budget_factor = 1.0) const;
 
  private:
+  struct ValidatedTag {};
+  Engine(ValidatedTag, EngineOptions options);
+
   /// Operator the current SystemMode uses for `plan`.
   OperatorKind PickOperator(const PartialPlan& plan,
                             const FusedInputs& inputs) const;
@@ -181,10 +300,33 @@ class Engine {
                                             const StagePrediction& pred,
                                             StageStats* stats) const;
 
-  PqrChoice Optimize(const PartialPlan& plan) const;
+  /// (P,Q,R) search under the configured budget scaled by `budget_factor`
+  /// (< 1 models a tighter budget, steering the search toward finer
+  /// cuboids with smaller per-task footprints).
+  PqrChoice Optimize(const PartialPlan& plan,
+                     double budget_factor = 1.0) const;
+
+  /// One rung up the OOM degradation ladder from the failed attempt at
+  /// (`kind`, `failed`, `budget_factor`): the next operator/prediction to
+  /// try, or the error when the ladder is exhausted (callers then surface
+  /// the original OutOfMemory).
+  struct DegradationStep {
+    OperatorKind kind;
+    StagePrediction pred;
+    double budget_factor;
+    std::string action;  // "shrink_cuboid" | "cpmm"
+  };
+  Result<DegradationStep> NextDegradation(const PartialPlan& plan,
+                                          OperatorKind kind,
+                                          const StagePrediction& failed,
+                                          const FusedInputs* inputs,
+                                          double budget_factor) const;
 
   EngineOptions options_;
   CostModel model_;
+  /// Present iff options_.faults.enabled(); stages consult it for task
+  /// kills, synthetic OOMs, and straggler factors.
+  std::optional<FaultInjector> injector_;
 };
 
 }  // namespace fuseme

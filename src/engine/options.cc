@@ -1,0 +1,164 @@
+#include <string>
+
+#include "engine/engine.h"
+
+namespace fuseme {
+
+namespace {
+
+Status Invalid(const std::string& message) {
+  return Status::InvalidArgument("invalid EngineOptions: " + message);
+}
+
+Status ValidateCluster(const ClusterConfig& c) {
+  if (c.num_nodes < 1) {
+    return Invalid("cluster.num_nodes must be >= 1, got " +
+                   std::to_string(c.num_nodes));
+  }
+  if (c.tasks_per_node < 1) {
+    return Invalid("cluster.tasks_per_node must be >= 1, got " +
+                   std::to_string(c.tasks_per_node));
+  }
+  if (c.task_memory_budget <= 0) {
+    return Invalid("cluster.task_memory_budget must be positive, got " +
+                   std::to_string(c.task_memory_budget));
+  }
+  if (c.block_size < 1) {
+    return Invalid("cluster.block_size must be >= 1, got " +
+                   std::to_string(c.block_size));
+  }
+  if (!(c.net_bandwidth > 0)) {
+    return Invalid("cluster.net_bandwidth must be positive");
+  }
+  if (!(c.compute_bandwidth > 0)) {
+    return Invalid("cluster.compute_bandwidth must be positive");
+  }
+  if (!(c.timeout_seconds > 0)) {
+    return Invalid("cluster.timeout_seconds must be positive");
+  }
+  if (c.task_launch_overhead < 0) {
+    return Invalid("cluster.task_launch_overhead must be >= 0");
+  }
+  if (c.shuffle_cpu_factor < 0) {
+    return Invalid("cluster.shuffle_cpu_factor must be >= 0");
+  }
+  if (c.local_threads < 0) {
+    return Invalid("cluster.local_threads must be >= 0 (0 = process default)");
+  }
+  return Status::OK();
+}
+
+Status ValidateFaults(const FaultSpec& f) {
+  if (f.task_failure_probability < 0.0 || f.task_failure_probability > 1.0) {
+    return Invalid("faults.task_failure_probability must lie in [0, 1]");
+  }
+  if (f.straggler_probability < 0.0 || f.straggler_probability > 1.0) {
+    return Invalid("faults.straggler_probability must lie in [0, 1]");
+  }
+  if (f.straggler_slowdown < 1.0) {
+    return Invalid("faults.straggler_slowdown must be >= 1");
+  }
+  for (int stage : f.oom_stages) {
+    if (stage < 0) {
+      return Invalid("faults.oom_stages entries are 0-based ordinals, got " +
+                     std::to_string(stage));
+    }
+  }
+  return Status::OK();
+}
+
+Status ValidateRecovery(const RecoveryOptions& r) {
+  if (r.retry.max_attempts < 1) {
+    return Invalid("recovery.retry.max_attempts must be >= 1, got " +
+                   std::to_string(r.retry.max_attempts));
+  }
+  if (r.retry.backoff_base_seconds < 0) {
+    return Invalid("recovery.retry.backoff_base_seconds must be >= 0");
+  }
+  if (r.retry.backoff_max_seconds < 0) {
+    return Invalid("recovery.retry.backoff_max_seconds must be >= 0");
+  }
+  if (r.max_degradations_per_stage < 0) {
+    return Invalid("recovery.max_degradations_per_stage must be >= 0");
+  }
+  if (!(r.speculation_launch_factor > 0)) {
+    return Invalid("recovery.speculation_launch_factor must be positive");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status EngineOptions::Validate() const {
+  FUSEME_RETURN_IF_ERROR(ValidateCluster(cluster));
+  if (balance_sparsity && analytic) {
+    // The analytic path models aggregate totals, which skew-aware splits
+    // do not change — asking for both is a configuration bug.
+    return Invalid(
+        "balance_sparsity has no effect in analytic mode; drop one flag");
+  }
+  FUSEME_RETURN_IF_ERROR(ValidateFaults(faults));
+  FUSEME_RETURN_IF_ERROR(ValidateRecovery(recovery));
+  return Status::OK();
+}
+
+EngineOptions::Builder& EngineOptions::Builder::System(SystemMode system) {
+  options_.system = system;
+  return *this;
+}
+
+EngineOptions::Builder& EngineOptions::Builder::Cluster(
+    const ClusterConfig& cluster) {
+  options_.cluster = cluster;
+  return *this;
+}
+
+EngineOptions::Builder& EngineOptions::Builder::Analytic(bool analytic) {
+  options_.analytic = analytic;
+  return *this;
+}
+
+EngineOptions::Builder& EngineOptions::Builder::PrunedSearch(bool pruned) {
+  options_.pruned_search = pruned;
+  return *this;
+}
+
+EngineOptions::Builder& EngineOptions::Builder::BalanceSparsity(bool balance) {
+  options_.balance_sparsity = balance;
+  return *this;
+}
+
+EngineOptions::Builder& EngineOptions::Builder::WithTracer(Tracer* tracer) {
+  options_.tracer = tracer;
+  return *this;
+}
+
+EngineOptions::Builder& EngineOptions::Builder::WithMetrics(
+    MetricsRegistry* metrics) {
+  options_.metrics = metrics;
+  return *this;
+}
+
+EngineOptions::Builder& EngineOptions::Builder::Verify(VerifyLevel level) {
+  options_.verify = level;
+  return *this;
+}
+
+EngineOptions::Builder& EngineOptions::Builder::Faults(
+    const FaultSpec& faults) {
+  options_.faults = faults;
+  return *this;
+}
+
+EngineOptions::Builder& EngineOptions::Builder::Recovery(
+    const RecoveryOptions& recovery) {
+  options_.recovery = recovery;
+  return *this;
+}
+
+Result<EngineOptions> EngineOptions::Builder::Build() const {
+  FUSEME_RETURN_IF_ERROR(options_.Validate());
+  return options_;
+}
+
+}  // namespace fuseme

@@ -1,0 +1,66 @@
+// FuseME public facade: the one header applications include.
+//
+//   #include "fuseme.h"
+//
+//   fuseme::EngineOptions options;  // or EngineOptions::Builder()...
+//   FUSEME_ASSIGN_OR_RETURN(fuseme::Engine engine,
+//                           fuseme::Engine::Create(options));
+//   auto result = engine.Run(dag, inputs);
+//   std::cout << result.Summary() << "\n";
+//
+// Everything re-exported here is the supported user-facing API: query
+// parsing and DAG construction (ir/), matrix generation and I/O
+// (matrix/), the engine with its planners, cost model, fault injection
+// and recovery knobs (engine/, cost/, fusion/, runtime/), observability
+// (telemetry/), and the paper's workloads (workloads/).  Internal layers
+// — kernels, physical operators, the verifier's rule internals — stay
+// behind their own headers on purpose; depend on them only from tests.
+
+#ifndef FUSEME_FUSEME_H_
+#define FUSEME_FUSEME_H_
+
+// Status/Result error handling, logging, formatting helpers.
+#include "common/logging.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "common/string_util.h"
+
+// Cost model and the (P,Q,R) cuboid optimizer (paper §3).
+#include "cost/cost_model.h"
+#include "cost/optimizer.h"
+
+// The engine facade itself plus the single-node reference executor.
+#include "engine/engine.h"
+#include "engine/reference.h"
+
+// Fusion planners (CFG and the compared systems' strategies, paper §4).
+#include "fusion/planners.h"
+
+// Expression IR: builder DSL, parser, DAG, pretty-printer.
+#include "ir/dag.h"
+#include "ir/expr.h"
+#include "ir/parser.h"
+#include "ir/printer.h"
+
+// Matrix generation and I/O.
+#include "matrix/generators.h"
+#include "matrix/matrix_io.h"
+
+// Runtime vocabulary: cluster shape, fault schedules, the simulator.
+#include "runtime/cluster_config.h"
+#include "runtime/fault_injector.h"
+#include "runtime/simulator.h"
+
+// Observability: metrics, tracing, predicted-vs-actual telemetry.
+#include "telemetry/metric_names.h"
+#include "telemetry/metrics.h"
+#include "telemetry/prediction.h"
+#include "telemetry/run_report.h"
+#include "telemetry/tracer.h"
+
+// Paper workloads and dataset descriptions (§6.1).
+#include "workloads/autoencoder.h"
+#include "workloads/datasets.h"
+#include "workloads/queries.h"
+
+#endif  // FUSEME_FUSEME_H_

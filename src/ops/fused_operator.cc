@@ -257,20 +257,41 @@ struct StageInstruments {
   }
 };
 
-/// Executes `count` work items: on the global pool when `threads` > 1,
-/// inline and in index order otherwise (threads=1 and meta-block
+/// The work of one item, charged against a per-attempt local accounting.
+/// Must be idempotent: the retry loop re-invokes it with a fresh
+/// accounting after an injected failure, and the item's buffered outputs
+/// are cleared between attempts.
+using ItemBody = std::function<Status(std::int64_t, LocalStageAccounting*)>;
+
+/// Executes `items->size()` work items: on the global pool when `threads`
+/// > 1, inline and in index order otherwise (threads=1 and meta-block
 /// simulation).  Items are independent, and every observable side effect
 /// is replayed by a sequential commit pass afterwards, so results are
-/// identical for every thread count.  Instruments (work-item count,
-/// queue-wait/execution histograms, pool backlog) and tracer thread names
-/// are recorded around each item.
-void RunItems(int threads, std::int64_t count, const StageInstruments& ins,
-              Tracer* tracer, const std::function<void(std::int64_t)>& fn) {
+/// identical for every thread count.
+///
+/// Fault tolerance (DESIGN.md section 13): when the stage carries a
+/// FaultInjector, each attempt of each item consults the deterministic
+/// schedule.  A killed attempt discards its buffered outputs and its
+/// *unflushed* local accounting — nothing reached the shared context —
+/// then relaunches after modeled exponential backoff, up to the retry
+/// policy's attempt budget.  Because the schedule is a pure function of
+/// (stage, item, attempt) and a successful attempt recomputes identical
+/// blocks, results and StageStats are bitwise-identical to a failure-free
+/// run under any schedule and thread count.  Genuine statuses (OutOfMemory,
+/// Internal, ...) are deterministic and never retried here.
+void RunItems(StageContext* ctx, int threads, std::vector<WorkItem>* items,
+              const StageInstruments& ins, const ItemBody& body) {
+  const auto count = static_cast<std::int64_t>(items->size());
+  Tracer* tracer = ctx->tracer();
   if (ins.work_items != nullptr) {
     ins.work_items->Add(count);
     ins.pool_threads->Set(static_cast<double>(std::max(threads, 1)));
   }
   const auto enqueue = std::chrono::steady_clock::now();
+  const FaultInjector* injector = ctx->fault_injector();
+  const RetryPolicy& policy = ctx->retry_policy();
+  const int max_attempts =
+      injector != nullptr ? std::max(policy.max_attempts, 1) : 1;
   auto run_one = [&](std::int64_t i) {
     const auto start = std::chrono::steady_clock::now();
     if (tracer != nullptr) {
@@ -284,7 +305,77 @@ void RunItems(int threads, std::int64_t count, const StageInstruments& ins,
       ins.queue_depth->Set(
           static_cast<double>(GlobalThreadPool()->ApproxQueueDepth()));
     }
-    fn(i);
+    WorkItem& item = (*items)[static_cast<std::size_t>(i)];
+    int attempts = 0;
+    int injected = 0;
+    double backoff_seconds = 0.0;
+    bool exhausted = false;
+    for (int attempt = 0; attempt < max_attempts; ++attempt) {
+      ++attempts;
+      item.outputs.clear();
+      item.status = Status::OK();
+      const InjectedFault fault =
+          injector != nullptr
+              ? injector->TaskFault(ctx->stage_ordinal(), i, attempt)
+              : InjectedFault::kNone;
+      LocalStageAccounting local(ctx);
+      Status run = Status::OK();
+      if (fault != InjectedFault::kLostAtLaunch) run = body(i, &local);
+      if (run.ok() && fault != InjectedFault::kNone) {
+        // The task died before committing: its buffered outputs and the
+        // unflushed local accounting are discarded here, so the shared
+        // context never sees the failed attempt.
+        ++injected;
+        if (ctx->metrics() != nullptr) {
+          ctx->metrics()
+              ->GetCounter(metric_names::kFaultInjected,
+                           {{"kind", fault == InjectedFault::kLostAtLaunch
+                                         ? "lost_at_launch"
+                                         : "lost_before_commit"}})
+              ->Increment();
+        }
+        if (tracer != nullptr) {
+          TraceSpan span;
+          span.name = "injected task failure";
+          span.category = "fault";
+          span.begin_us = span.end_us = tracer->NowMicros();
+          span.tid = tracer->CurrentThreadId();
+          span.args.emplace_back("stage", ctx->label());
+          span.args.emplace_back("item", std::to_string(i));
+          span.args.emplace_back("attempt", std::to_string(attempt));
+          span.args.emplace_back("point",
+                                 fault == InjectedFault::kLostAtLaunch
+                                     ? "launch"
+                                     : "pre-commit");
+          tracer->Record(std::move(span));
+        }
+        if (attempt + 1 < max_attempts) {
+          backoff_seconds += policy.BackoffSeconds(attempt);
+          continue;
+        }
+        exhausted = true;
+        item.outputs.clear();
+        item.status = Status::Internal(
+            "injected task failure on work item " + std::to_string(i) +
+            " of " + ctx->label() + ": attempt budget (" +
+            std::to_string(max_attempts) + ") exhausted");
+        break;
+      }
+      item.status = run.ok() ? local.Flush() : std::move(run);
+      break;
+    }
+    ctx->RecordItemRecovery(attempts, injected, backoff_seconds, exhausted);
+    if (ctx->metrics() != nullptr) {
+      ctx->metrics()
+          ->GetCounter(metric_names::kWorkItemAttempts)
+          ->Add(attempts);
+      if (attempts > 1) {
+        ctx->metrics()
+            ->GetCounter(metric_names::kTaskRetries,
+                         {{"cause", "injected_failure"}})
+            ->Add(attempts - 1);
+      }
+    }
     if (ins.item_seconds != nullptr) {
       ins.item_seconds->Observe(
           std::chrono::duration<double>(std::chrono::steady_clock::now() -
@@ -429,36 +520,32 @@ Result<DistributedMatrix> CuboidFusedOperator::Execute(
     const std::int64_t gr = out_grid.grid_rows();
     const std::int64_t gc = out_grid.grid_cols();
     std::vector<WorkItem> items(num_tasks);
-    RunItems(threads, num_tasks, ins, ctx->tracer(), [&](std::int64_t t) {
+    for (int t = 0; t < num_tasks; ++t) items[t].task = t;
+    RunItems(ctx, threads, &items, ins,
+             [&](std::int64_t t, LocalStageAccounting* local) -> Status {
       WorkItem& item = items[static_cast<std::size_t>(t)];
-      item.task = static_cast<int>(t);
       ScopedSpan span(ctx->tracer(), "cell task " + std::to_string(t),
                       "work-item");
       span.AddArg("stage", ctx->label());
-      LocalStageAccounting local(ctx);
-      TaskFetcher fetcher(&inputs, &local);
-      Status run = [&]() -> Status {
-        std::unique_ptr<KernelEvaluator> eval;
-        for (std::int64_t bi = 0; bi < gr; ++bi) {
-          for (std::int64_t bj = 0; bj < gc; ++bj) {
-            if ((bi * gc + bj) % num_tasks != t) continue;
-            if (eval == nullptr) {
-              eval = std::make_unique<KernelEvaluator>(
-                  &plan, bs, fetcher.For(item.task));
-            }
-            const std::int64_t before = eval->flops();
-            FUSEME_ASSIGN_OR_RETURN(Block result,
-                                    eval->Eval(plan.root(), bi, bj));
-            local.ChargeFlops(item.task, eval->flops() - before);
-            ins.CountOutput(result);
-            item.outputs.push_back({bi, bj, std::move(result)});
+      TaskFetcher fetcher(&inputs, local);
+      std::unique_ptr<KernelEvaluator> eval;
+      for (std::int64_t bi = 0; bi < gr; ++bi) {
+        for (std::int64_t bj = 0; bj < gc; ++bj) {
+          if ((bi * gc + bj) % num_tasks != t) continue;
+          if (eval == nullptr) {
+            eval = std::make_unique<KernelEvaluator>(
+                &plan, bs, fetcher.For(item.task));
           }
+          const std::int64_t before = eval->flops();
+          FUSEME_ASSIGN_OR_RETURN(Block result,
+                                  eval->Eval(plan.root(), bi, bj));
+          local->ChargeFlops(item.task, eval->flops() - before);
+          ins.CountOutput(result);
+          item.outputs.push_back({bi, bj, std::move(result)});
         }
-        if (eval != nullptr) ins.FlushEvaluator(*eval);
-        return Status::OK();
-      }();
-      Status flushed = local.Flush();
-      item.status = run.ok() ? std::move(flushed) : std::move(run);
+      }
+      if (eval != nullptr) ins.FlushEvaluator(*eval);
+      return Status::OK();
     });
     FUSEME_RETURN_IF_ERROR(CommitRoundRobin(gr, gc, &items, agg_root,
                                             &agg_merger, &out_blocks, ctx));
@@ -483,19 +570,21 @@ Result<DistributedMatrix> CuboidFusedOperator::Execute(
   }
 
   std::vector<WorkItem> items(columns.size());
-  RunItems(threads, static_cast<std::int64_t>(columns.size()), ins,
-           ctx->tracer(), [&](std::int64_t idx) {
+  for (std::size_t idx = 0; idx < columns.size(); ++idx) {
+    items[idx].task = task_id(columns[idx].first, columns[idx].second, 0);
+  }
+  RunItems(ctx, threads, &items, ins,
+           [&](std::int64_t idx, LocalStageAccounting* local_ptr) -> Status {
     const auto [p, q] = columns[static_cast<std::size_t>(idx)];
     WorkItem& item = items[static_cast<std::size_t>(idx)];
-    item.task = task_id(p, q, 0);
     ScopedSpan span(ctx->tracer(),
                     "cuboid column (" + std::to_string(p) + "," +
                         std::to_string(q) + ")",
                     "work-item");
     span.AddArg("stage", ctx->label());
-    LocalStageAccounting local(ctx);
+    LocalStageAccounting& local = *local_ptr;
     TaskFetcher fetcher(&inputs, &local);
-    Status run = [&, p = p, q = q]() -> Status {
+    return [&, p = p, q = q]() -> Status {
       const auto [i0, i1] = i_parts[p];
       const auto [j0, j1] = j_parts[q];
 
@@ -567,8 +656,6 @@ Result<DistributedMatrix> CuboidFusedOperator::Execute(
       ins.FlushEvaluator(eval);
       return Status::OK();
     }();
-    Status flushed = local.Flush();
-    item.status = run.ok() ? std::move(flushed) : std::move(run);
   });
 
   // Sequential commit in the serial (p, q, bi, bj) order.
@@ -647,46 +734,42 @@ Result<DistributedMatrix> BroadcastFusedOperator::Execute(
   // evaluate this task's round-robin share of the output grid, fetching
   // the main matrix blocks it needs (repartition traffic).
   std::vector<WorkItem> items(num_tasks);
-  RunItems(threads, num_tasks, ins, ctx->tracer(), [&](std::int64_t t) {
+  for (int t = 0; t < num_tasks; ++t) items[t].task = t;
+  RunItems(ctx, threads, &items, ins,
+           [&](std::int64_t t, LocalStageAccounting* local) -> Status {
     WorkItem& item = items[static_cast<std::size_t>(t)];
-    item.task = static_cast<int>(t);
     ScopedSpan span(ctx->tracer(), "broadcast task " + std::to_string(t),
                     "work-item");
     span.AddArg("stage", ctx->label());
-    LocalStageAccounting local(ctx);
-    TaskFetcher fetcher(&inputs, &local);
-    Status run = [&]() -> Status {
-      // Broadcast: this task receives every block of every side input.
-      for (NodeId ext : plan.ExternalInputs()) {
-        if (!dag.node(ext).is_matrix() || ext == main_input) continue;
-        const BlockedMatrix& side = inputs.at(ext)->blocks();
-        for (std::int64_t bi = 0; bi < side.grid_rows(); ++bi) {
-          for (std::int64_t bj = 0; bj < side.grid_cols(); ++bj) {
-            const std::int64_t bytes = side.block(bi, bj).SizeBytes();
-            local.ChargeConsolidation(item.task, bytes);
-            FUSEME_RETURN_IF_ERROR(local.ChargeMemory(item.task, bytes));
-            fetcher.MarkResident(item.task, ext, bi, bj);
-          }
+    TaskFetcher fetcher(&inputs, local);
+    // Broadcast: this task receives every block of every side input.
+    for (NodeId ext : plan.ExternalInputs()) {
+      if (!dag.node(ext).is_matrix() || ext == main_input) continue;
+      const BlockedMatrix& side = inputs.at(ext)->blocks();
+      for (std::int64_t bi = 0; bi < side.grid_rows(); ++bi) {
+        for (std::int64_t bj = 0; bj < side.grid_cols(); ++bj) {
+          const std::int64_t bytes = side.block(bi, bj).SizeBytes();
+          local->ChargeConsolidation(item.task, bytes);
+          FUSEME_RETURN_IF_ERROR(local->ChargeMemory(item.task, bytes));
+          fetcher.MarkResident(item.task, ext, bi, bj);
         }
       }
-      KernelEvaluator eval(&plan, bs, fetcher.For(item.task));
-      if (driver.found()) eval.SetSparseDriver(driver);
-      for (std::int64_t bi = 0; bi < gr; ++bi) {
-        for (std::int64_t bj = 0; bj < gc; ++bj) {
-          if ((bi * gc + bj) % num_tasks != t) continue;
-          const std::int64_t before = eval.flops();
-          FUSEME_ASSIGN_OR_RETURN(Block result,
-                                  eval.Eval(plan.root(), bi, bj));
-          local.ChargeFlops(item.task, eval.flops() - before);
-          ins.CountOutput(result);
-          item.outputs.push_back({bi, bj, std::move(result)});
-        }
+    }
+    KernelEvaluator eval(&plan, bs, fetcher.For(item.task));
+    if (driver.found()) eval.SetSparseDriver(driver);
+    for (std::int64_t bi = 0; bi < gr; ++bi) {
+      for (std::int64_t bj = 0; bj < gc; ++bj) {
+        if ((bi * gc + bj) % num_tasks != t) continue;
+        const std::int64_t before = eval.flops();
+        FUSEME_ASSIGN_OR_RETURN(Block result,
+                                eval.Eval(plan.root(), bi, bj));
+        local->ChargeFlops(item.task, eval.flops() - before);
+        ins.CountOutput(result);
+        item.outputs.push_back({bi, bj, std::move(result)});
       }
-      ins.FlushEvaluator(eval);
-      return Status::OK();
-    }();
-    Status flushed = local.Flush();
-    item.status = run.ok() ? std::move(flushed) : std::move(run);
+    }
+    ins.FlushEvaluator(eval);
+    return Status::OK();
   });
 
   FUSEME_RETURN_IF_ERROR(CommitRoundRobin(gr, gc, &items, agg_root,

@@ -1,0 +1,68 @@
+#include "runtime/fault_injector.h"
+
+#include <algorithm>
+
+namespace fuseme {
+
+namespace {
+
+/// splitmix64: a high-quality 64-bit mixer — the decisions must be stable
+/// across platforms, so only integer arithmetic is used.
+std::uint64_t SplitMix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+// Domain-separation tags so the task-failure, failure-point, and
+// straggler draws are independent streams of the same seed.
+constexpr std::uint64_t kTagTaskFailure = 0x7461736b6661696cULL;  // "taskfail"
+constexpr std::uint64_t kTagFailurePoint = 0x6661696c706f696eULL;
+constexpr std::uint64_t kTagStraggler = 0x7374726167676c65ULL;    // "straggle"
+
+}  // namespace
+
+FaultInjector::FaultInjector(FaultSpec spec) : spec_(std::move(spec)) {
+  oom_stages_.insert(spec_.oom_stages.begin(), spec_.oom_stages.end());
+}
+
+double FaultInjector::Uniform(std::uint64_t a, std::uint64_t b,
+                              std::uint64_t c) const {
+  const std::uint64_t h =
+      SplitMix64(spec_.seed ^ SplitMix64(a ^ SplitMix64(b ^ SplitMix64(c))));
+  // 53 high bits -> uniform double in [0, 1).
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+InjectedFault FaultInjector::TaskFault(int stage, std::int64_t item,
+                                       int attempt) const {
+  if (spec_.task_failure_probability <= 0.0) return InjectedFault::kNone;
+  const auto s = static_cast<std::uint64_t>(stage);
+  const auto key = (static_cast<std::uint64_t>(item) << 8) ^
+                   static_cast<std::uint64_t>(attempt);
+  if (Uniform(kTagTaskFailure, s, key) >= spec_.task_failure_probability) {
+    return InjectedFault::kNone;
+  }
+  return Uniform(kTagFailurePoint, s, key) < 0.5
+             ? InjectedFault::kLostAtLaunch
+             : InjectedFault::kLostBeforeCommit;
+}
+
+double FaultInjector::StragglerFactor(int stage, std::int64_t task) const {
+  if (spec_.straggler_probability <= 0.0) return 1.0;
+  const bool slow = Uniform(kTagStraggler, static_cast<std::uint64_t>(stage),
+                            static_cast<std::uint64_t>(task)) <
+                    spec_.straggler_probability;
+  return slow ? std::max(spec_.straggler_slowdown, 1.0) : 1.0;
+}
+
+double RetryPolicy::BackoffSeconds(int retry_index) const {
+  double backoff = backoff_base_seconds;
+  for (int i = 0; i < retry_index && backoff < backoff_max_seconds; ++i) {
+    backoff *= 2.0;
+  }
+  return std::min(backoff, backoff_max_seconds);
+}
+
+}  // namespace fuseme

@@ -1,0 +1,142 @@
+// Deterministic fault injection and recovery policy (DESIGN.md section 13).
+//
+// The paper's experiments report O.O.M. and T.O. cells as terminal
+// outcomes, but a production engine must survive lost tasks, memory
+// pressure, and stragglers.  This header is the runtime vocabulary for
+// that machinery:
+//
+//  * FaultSpec / FaultInjector — a seeded fault schedule.  Every decision
+//    is a pure function of (seed, stage ordinal, item, attempt), so a
+//    schedule replays bit-for-bit regardless of thread interleaving, and
+//    tests can recompute the exact retry counters the engine must report.
+//  * RetryPolicy — per-work-item attempt budget with exponential backoff.
+//    Backoff is *modeled* cluster time (fed to the Simulator's clock), not
+//    host sleeping, so fault runs stay fast and deterministic.
+//  * StageRecovery — what one stage's recovery actually did: attempts,
+//    retries, injected faults, backoff, stragglers, degradations.
+//
+// The injector only ever *schedules* faults; surviving them is the job of
+// the work-item retry loop (ops/fused_operator.cc), the engine's OOM
+// degradation ladder (engine/engine.cc), and the simulator's speculative
+// re-execution model (runtime/simulator.cc).
+
+#ifndef FUSEME_RUNTIME_FAULT_INJECTOR_H_
+#define FUSEME_RUNTIME_FAULT_INJECTOR_H_
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+namespace fuseme {
+
+/// How an injected task failure strikes a work item.
+enum class InjectedFault {
+  kNone = 0,
+  /// The task is lost before doing any work (a container that never
+  /// started) — the cheap failure.
+  kLostAtLaunch,
+  /// The task finishes its compute but dies before committing; its
+  /// buffered outputs and unflushed accounting must be discarded — the
+  /// failure that exercises rollback.
+  kLostBeforeCommit,
+};
+
+/// A deterministic fault schedule (everything off by default).
+struct FaultSpec {
+  std::uint64_t seed = 0;
+  /// Per-work-item-attempt probability of an injected task failure, in
+  /// [0, 1].  The failure point (launch vs. pre-commit) is drawn from the
+  /// same hash, so both rollback paths get exercised.
+  double task_failure_probability = 0.0;
+  /// Stage ordinals (0-based execution order) where a synthetic
+  /// OutOfMemory fires on the stage's first execution attempt, driving
+  /// the engine's degradation ladder.
+  std::vector<int> oom_stages;
+  /// Per-task probability that a task is a straggler, in [0, 1].
+  double straggler_probability = 0.0;
+  /// Slowdown factor applied to a straggling task (>= 1).
+  double straggler_slowdown = 4.0;
+
+  bool enabled() const {
+    return task_failure_probability > 0.0 || !oom_stages.empty() ||
+           straggler_probability > 0.0;
+  }
+};
+
+/// Pure-function fault oracle over a FaultSpec.  Thread-safe (const and
+/// stateless after construction); decisions never depend on call order.
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultSpec spec);
+
+  const FaultSpec& spec() const { return spec_; }
+
+  /// Whether (and how) attempt `attempt` of work item `item` in stage
+  /// `stage` is killed.
+  InjectedFault TaskFault(int stage, std::int64_t item, int attempt) const;
+
+  /// Whether a synthetic OutOfMemory fires on `stage`'s first attempt.
+  bool InjectOom(int stage) const { return oom_stages_.contains(stage); }
+
+  /// Slowdown factor for `task` of `stage`: spec().straggler_slowdown for
+  /// scheduled stragglers, 1.0 for healthy tasks.
+  double StragglerFactor(int stage, std::int64_t task) const;
+
+ private:
+  /// Uniform draw in [0, 1) from (seed, a, b, c).
+  double Uniform(std::uint64_t a, std::uint64_t b, std::uint64_t c) const;
+
+  FaultSpec spec_;
+  std::set<int> oom_stages_;
+};
+
+/// Retry budget for work items killed by injected faults.  Genuine
+/// statuses (OutOfMemory, Internal, ...) are deterministic in this engine
+/// and are never retried at item level — OOM recovers via the engine's
+/// degradation ladder instead.
+struct RetryPolicy {
+  /// Total attempts per work item (>= 1); 1 disables retry.
+  int max_attempts = 3;
+  /// Modeled backoff before retry i is base * 2^i seconds, capped below.
+  double backoff_base_seconds = 1.0;
+  double backoff_max_seconds = 60.0;
+
+  /// Backoff charged before the (retry_index+1)-th re-launch (0-based).
+  double BackoffSeconds(int retry_index) const;
+};
+
+/// Aggregated recovery record of one stage (a fresh one per execution
+/// attempt of the stage; the engine keeps the final attempt's record and
+/// folds ladder-level counts on top).
+struct StageRecovery {
+  /// Work-item attempts, first tries included (== item count on a clean
+  /// run — the baseline the retry counters are read against).
+  std::int64_t attempts = 0;
+  /// Attempts beyond each item's first (attempts - items).
+  std::int64_t retries = 0;
+  /// Injected task failures absorbed (== retries unless a budget ran out).
+  std::int64_t injected_failures = 0;
+  /// Work items whose attempt budget was exhausted (fails the stage).
+  std::int64_t exhausted_items = 0;
+  /// Synthetic OutOfMemory injections consumed by this stage.
+  std::int64_t injected_oom = 0;
+  /// Modeled backoff seconds accumulated across retries.
+  double backoff_seconds = 0.0;
+  /// Tasks the schedule slowed down, and the worst factor among them.
+  std::int64_t stragglers = 0;
+  double max_straggler_factor = 1.0;
+  /// Speculative copies the simulator launched to cut the straggler tail.
+  std::int64_t speculative_tasks = 0;
+  /// OOM degradation rungs taken before this stage completed.
+  std::int64_t degradations = 0;
+
+  bool any() const {
+    return retries > 0 || injected_failures > 0 || exhausted_items > 0 ||
+           injected_oom > 0 || stragglers > 0 || speculative_tasks > 0 ||
+           degradations > 0;
+  }
+};
+
+}  // namespace fuseme
+
+#endif  // FUSEME_RUNTIME_FAULT_INJECTOR_H_

@@ -23,6 +23,7 @@
 
 #include "common/status.h"
 #include "runtime/cluster_config.h"
+#include "runtime/fault_injector.h"
 
 namespace fuseme {
 
@@ -100,6 +101,28 @@ class StageContext : public StageAccounting {
   void set_metrics(MetricsRegistry* metrics) { metrics_ = metrics; }
   MetricsRegistry* metrics() const { return metrics_; }
 
+  /// Wires fault injection and the retry budget for this stage's work
+  /// items (DESIGN.md section 13).  `injector` may be null (no injection;
+  /// the retry loop then never fires) and is not owned; `stage_ordinal`
+  /// is the stage's 0-based position in the run's execution order — the
+  /// injector keys its schedule on it.
+  void ConfigureRecovery(const FaultInjector* injector, int stage_ordinal,
+                         const RetryPolicy& retry);
+  const FaultInjector* fault_injector() const { return injector_; }
+  int stage_ordinal() const { return stage_ordinal_; }
+  const RetryPolicy& retry_policy() const { return retry_; }
+
+  /// Folds one work item's recovery outcome into the stage record under
+  /// the context mutex (safe from concurrent work items): `attempts` runs
+  /// of the item, `injected_failures` of them killed by the schedule,
+  /// `backoff_seconds` of modeled backoff, and whether the item ran out
+  /// of attempts.
+  void RecordItemRecovery(int attempts, int injected_failures,
+                          double backoff_seconds, bool exhausted);
+
+  /// Snapshot of the stage's recovery accounting.
+  StageRecovery recovery() const;
+
   void ChargeConsolidation(int task, std::int64_t bytes) override;
   void ChargeAggregation(int task, std::int64_t bytes) override;
   void ChargeFlops(int task, std::int64_t flops) override;
@@ -128,8 +151,12 @@ class StageContext : public StageAccounting {
   ClusterConfig config_;
   Tracer* tracer_ = nullptr;
   MetricsRegistry* metrics_ = nullptr;
-  std::mutex merge_mu_;
+  const FaultInjector* injector_ = nullptr;
+  int stage_ordinal_ = 0;
+  RetryPolicy retry_{.max_attempts = 1};
+  mutable std::mutex merge_mu_;
   std::vector<TaskAccounting> tasks_;
+  StageRecovery recovery_;
 };
 
 /// Task-local accounting for one work item of a parallel operator.  Not

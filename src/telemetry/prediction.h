@@ -43,6 +43,10 @@ struct StageTelemetry {
   StageStats actual;
   double wall_seconds = 0;  // host wall clock for the stage
   int threads = 1;          // work-item parallelism used
+  /// What recovery did while the stage ran: attempts, retries, injected
+  /// faults, degradation rungs, stragglers (runtime/fault_injector.h).
+  /// All-zero on clean runs.
+  StageRecovery recovery;
 };
 
 /// Per-dimension prediction error of one stage, as actual/predicted

@@ -1,0 +1,216 @@
+// EngineOptions::Validate / Builder / Engine::Create: malformed
+// configurations must be rejected with InvalidArgument before any engine
+// machinery runs, and the RunResult passthroughs must mirror the report.
+
+#include <gtest/gtest.h>
+
+#include "engine/engine.h"
+#include "matrix/generators.h"
+#include "workloads/queries.h"
+
+namespace fuseme {
+namespace {
+
+EngineOptions SmallValid() {
+  EngineOptions options;
+  options.cluster.num_nodes = 2;
+  options.cluster.tasks_per_node = 3;
+  options.cluster.block_size = 8;
+  return options;
+}
+
+TEST(OptionsValidationTest, DefaultsValidate) {
+  EXPECT_TRUE(EngineOptions{}.Validate().ok());
+  EXPECT_TRUE(SmallValid().Validate().ok());
+}
+
+TEST(OptionsValidationTest, RejectsZeroNodeCluster) {
+  EngineOptions options = SmallValid();
+  options.cluster.num_nodes = 0;
+  const Status status = options.Validate();
+  EXPECT_TRUE(status.IsInvalidArgument());
+  EXPECT_NE(status.message().find("num_nodes"), std::string::npos);
+}
+
+TEST(OptionsValidationTest, RejectsBadClusterShape) {
+  auto expect_invalid = [](EngineOptions options, const char* what) {
+    EXPECT_TRUE(options.Validate().IsInvalidArgument()) << what;
+  };
+  EngineOptions o = SmallValid();
+  o.cluster.tasks_per_node = 0;
+  expect_invalid(o, "tasks_per_node");
+  o = SmallValid();
+  o.cluster.task_memory_budget = 0;
+  expect_invalid(o, "zero budget");
+  o = SmallValid();
+  o.cluster.task_memory_budget = -4096;
+  expect_invalid(o, "negative budget");
+  o = SmallValid();
+  o.cluster.block_size = 0;
+  expect_invalid(o, "block_size");
+  o = SmallValid();
+  o.cluster.net_bandwidth = 0.0;
+  expect_invalid(o, "net_bandwidth");
+  o = SmallValid();
+  o.cluster.compute_bandwidth = -1.0;
+  expect_invalid(o, "compute_bandwidth");
+  o = SmallValid();
+  o.cluster.timeout_seconds = 0.0;
+  expect_invalid(o, "timeout");
+  o = SmallValid();
+  o.cluster.task_launch_overhead = -0.1;
+  expect_invalid(o, "launch overhead");
+  o = SmallValid();
+  o.cluster.shuffle_cpu_factor = -1.0;
+  expect_invalid(o, "shuffle factor");
+  o = SmallValid();
+  o.cluster.local_threads = -2;
+  expect_invalid(o, "local_threads");
+}
+
+TEST(OptionsValidationTest, RejectsContradictoryFlags) {
+  EngineOptions options = SmallValid();
+  options.analytic = true;
+  options.balance_sparsity = true;
+  const Status status = options.Validate();
+  EXPECT_TRUE(status.IsInvalidArgument());
+  EXPECT_NE(status.message().find("balance_sparsity"), std::string::npos);
+  // Each flag alone is fine.
+  options.balance_sparsity = false;
+  EXPECT_TRUE(options.Validate().ok());
+  options.analytic = false;
+  options.balance_sparsity = true;
+  EXPECT_TRUE(options.Validate().ok());
+}
+
+TEST(OptionsValidationTest, RejectsBadFaultSpec) {
+  EngineOptions o = SmallValid();
+  o.faults.task_failure_probability = 1.5;
+  EXPECT_TRUE(o.Validate().IsInvalidArgument());
+  o = SmallValid();
+  o.faults.task_failure_probability = -0.1;
+  EXPECT_TRUE(o.Validate().IsInvalidArgument());
+  o = SmallValid();
+  o.faults.straggler_probability = 2.0;
+  EXPECT_TRUE(o.Validate().IsInvalidArgument());
+  o = SmallValid();
+  o.faults.straggler_slowdown = 0.5;
+  EXPECT_TRUE(o.Validate().IsInvalidArgument());
+  o = SmallValid();
+  o.faults.oom_stages = {-1};
+  EXPECT_TRUE(o.Validate().IsInvalidArgument());
+}
+
+TEST(OptionsValidationTest, RejectsBadRecovery) {
+  EngineOptions o = SmallValid();
+  o.recovery.retry.max_attempts = 0;
+  EXPECT_TRUE(o.Validate().IsInvalidArgument());
+  o = SmallValid();
+  o.recovery.retry.backoff_base_seconds = -1.0;
+  EXPECT_TRUE(o.Validate().IsInvalidArgument());
+  o = SmallValid();
+  o.recovery.retry.backoff_max_seconds = -1.0;
+  EXPECT_TRUE(o.Validate().IsInvalidArgument());
+  o = SmallValid();
+  o.recovery.max_degradations_per_stage = -1;
+  EXPECT_TRUE(o.Validate().IsInvalidArgument());
+  o = SmallValid();
+  o.recovery.speculation_launch_factor = 0.0;
+  EXPECT_TRUE(o.Validate().IsInvalidArgument());
+}
+
+TEST(OptionsValidationTest, BuilderAssemblesAndValidates) {
+  ClusterConfig cluster;
+  cluster.num_nodes = 2;
+  cluster.tasks_per_node = 3;
+  cluster.block_size = 8;
+  FaultSpec faults;
+  faults.seed = 9;
+  faults.task_failure_probability = 0.1;
+  RecoveryOptions recovery;
+  recovery.retry.max_attempts = 5;
+
+  Result<EngineOptions> built = EngineOptions::Builder()
+                                    .System(SystemMode::kSystemDs)
+                                    .Cluster(cluster)
+                                    .Analytic(true)
+                                    .PrunedSearch(false)
+                                    .Verify(VerifyLevel::kOff)
+                                    .Faults(faults)
+                                    .Recovery(recovery)
+                                    .Build();
+  ASSERT_TRUE(built.ok()) << built.status();
+  EXPECT_EQ(built->system, SystemMode::kSystemDs);
+  EXPECT_TRUE(built->analytic);
+  EXPECT_FALSE(built->pruned_search);
+  EXPECT_EQ(built->verify, VerifyLevel::kOff);
+  EXPECT_EQ(built->faults.seed, 9u);
+  EXPECT_EQ(built->recovery.retry.max_attempts, 5);
+}
+
+TEST(OptionsValidationTest, BuilderRejectsInvalidAssembly) {
+  ClusterConfig cluster;
+  cluster.num_nodes = 0;
+  Result<EngineOptions> built =
+      EngineOptions::Builder().Cluster(cluster).Build();
+  EXPECT_FALSE(built.ok());
+  EXPECT_TRUE(built.status().IsInvalidArgument());
+}
+
+TEST(OptionsValidationTest, EngineCreateRejectsInvalidOptions) {
+  EngineOptions options = SmallValid();
+  options.cluster.num_nodes = 0;
+  Result<Engine> engine = Engine::Create(options);
+  EXPECT_FALSE(engine.ok());
+  EXPECT_TRUE(engine.status().IsInvalidArgument());
+}
+
+TEST(OptionsValidationTest, EngineCreateAcceptsValidOptions) {
+  Result<Engine> engine = Engine::Create(SmallValid());
+  ASSERT_TRUE(engine.ok()) << engine.status();
+  EXPECT_EQ(engine->options().cluster.num_nodes, 2);
+}
+
+TEST(OptionsValidationTest, RunResultPassthroughsMirrorReport) {
+  GnmfQuery q = BuildGnmf(26, 20, 6, /*x_nnz=*/104);
+  SparseMatrix x = RandomSparse(26, 20, 0.2, /*seed=*/51, 1.0, 5.0);
+  std::map<NodeId, BlockedMatrix> inputs;
+  inputs[q.X] = BlockedMatrix::FromSparse(x, 8);
+  inputs[q.V] = BlockedMatrix::FromDense(RandomDense(26, 6, 52), 8);
+  inputs[q.U] = BlockedMatrix::FromDense(RandomDense(6, 20, 53), 8);
+
+  Result<Engine> engine = Engine::Create(SmallValid());
+  ASSERT_TRUE(engine.ok());
+  Engine::RunResult run = engine->Run(q.dag, inputs);
+  EXPECT_EQ(run.ok(), run.report.ok());
+  EXPECT_EQ(run.status().code(), run.report.status.code());
+  EXPECT_EQ(run.Summary(), run.report.Summary());
+  ASSERT_TRUE(run.ok()) << run.status();
+  EXPECT_FALSE(run.report.plan_description.empty());
+}
+
+TEST(OptionsValidationTest, PlanDescriptionPopulatedOnBothPaths) {
+  GnmfQuery q = BuildGnmf(26, 20, 6, /*x_nnz=*/104);
+  Engine engine([] {
+    EngineOptions o;
+    o.analytic = true;
+    return o;
+  }());
+
+  // Run(): the planner's own description.
+  auto planned = engine.Run(q.dag, {});
+  ASSERT_TRUE(planned.ok()) << planned.status();
+  EXPECT_FALSE(planned.report.plan_description.empty());
+
+  // RunWithPlans() with a caller-assembled set and no description: the
+  // engine synthesizes one instead of leaving the field empty.
+  FusionPlanSet set = engine.MakePlans(q.dag);
+  set.description.clear();
+  auto supplied = engine.RunWithPlans(q.dag, set, {});
+  ASSERT_TRUE(supplied.ok()) << supplied.status();
+  EXPECT_NE(supplied.report.plan_description.find("caller-supplied"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace fuseme

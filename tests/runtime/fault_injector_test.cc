@@ -1,0 +1,172 @@
+// FaultInjector: the schedule must be a pure function of
+// (seed, stage, item, attempt) — replayable by tests and independent of
+// call order — with frequencies tracking the configured probabilities.
+
+#include "runtime/fault_injector.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace fuseme {
+namespace {
+
+FaultSpec FailSpec(double p, std::uint64_t seed = 7) {
+  FaultSpec spec;
+  spec.seed = seed;
+  spec.task_failure_probability = p;
+  return spec;
+}
+
+TEST(FaultSpecTest, DisabledByDefault) {
+  EXPECT_FALSE(FaultSpec{}.enabled());
+  EXPECT_TRUE(FailSpec(0.1).enabled());
+  FaultSpec oom;
+  oom.oom_stages = {2};
+  EXPECT_TRUE(oom.enabled());
+  FaultSpec straggle;
+  straggle.straggler_probability = 0.5;
+  EXPECT_TRUE(straggle.enabled());
+}
+
+TEST(FaultInjectorTest, DecisionsAreDeterministic) {
+  const FaultInjector a(FailSpec(0.3));
+  const FaultInjector b(FailSpec(0.3));
+  for (int stage = 0; stage < 4; ++stage) {
+    for (std::int64_t item = 0; item < 64; ++item) {
+      for (int attempt = 0; attempt < 3; ++attempt) {
+        EXPECT_EQ(a.TaskFault(stage, item, attempt),
+                  b.TaskFault(stage, item, attempt));
+      }
+    }
+  }
+}
+
+TEST(FaultInjectorTest, DecisionsIndependentOfCallOrder) {
+  const FaultInjector injector(FailSpec(0.3));
+  // Query backwards first, then forwards; every answer must agree.
+  std::vector<InjectedFault> reversed;
+  for (std::int64_t item = 63; item >= 0; --item) {
+    reversed.push_back(injector.TaskFault(1, item, 0));
+  }
+  for (std::int64_t item = 0; item < 64; ++item) {
+    EXPECT_EQ(injector.TaskFault(1, item, 0),
+              reversed[static_cast<std::size_t>(63 - item)]);
+  }
+}
+
+TEST(FaultInjectorTest, SeedChangesTheSchedule) {
+  const FaultInjector a(FailSpec(0.5, /*seed=*/1));
+  const FaultInjector b(FailSpec(0.5, /*seed=*/2));
+  int differing = 0;
+  for (std::int64_t item = 0; item < 256; ++item) {
+    if (a.TaskFault(0, item, 0) != b.TaskFault(0, item, 0)) ++differing;
+  }
+  EXPECT_GT(differing, 0);
+}
+
+TEST(FaultInjectorTest, FailureFrequencyTracksProbability) {
+  const FaultInjector injector(FailSpec(0.25));
+  int failures = 0;
+  const int n = 4000;
+  for (std::int64_t item = 0; item < n; ++item) {
+    if (injector.TaskFault(0, item, 0) != InjectedFault::kNone) ++failures;
+  }
+  EXPECT_NEAR(static_cast<double>(failures) / n, 0.25, 0.05);
+}
+
+TEST(FaultInjectorTest, BothFailurePointsOccur) {
+  const FaultInjector injector(FailSpec(0.5));
+  int at_launch = 0, before_commit = 0;
+  for (std::int64_t item = 0; item < 512; ++item) {
+    switch (injector.TaskFault(0, item, 0)) {
+      case InjectedFault::kLostAtLaunch:
+        ++at_launch;
+        break;
+      case InjectedFault::kLostBeforeCommit:
+        ++before_commit;
+        break;
+      case InjectedFault::kNone:
+        break;
+    }
+  }
+  EXPECT_GT(at_launch, 0);
+  EXPECT_GT(before_commit, 0);
+}
+
+TEST(FaultInjectorTest, ZeroAndOneProbabilitiesAreExact) {
+  const FaultInjector never(FailSpec(0.0));
+  const FaultInjector always(FailSpec(1.0));
+  for (std::int64_t item = 0; item < 64; ++item) {
+    EXPECT_EQ(never.TaskFault(0, item, 0), InjectedFault::kNone);
+    EXPECT_NE(always.TaskFault(0, item, 0), InjectedFault::kNone);
+  }
+}
+
+TEST(FaultInjectorTest, AttemptsDrawIndependently) {
+  // With p = 0.5 some item must fail on attempt 0 yet pass on attempt 1 —
+  // otherwise retrying could never succeed.
+  const FaultInjector injector(FailSpec(0.5));
+  bool recovered = false;
+  for (std::int64_t item = 0; item < 256 && !recovered; ++item) {
+    recovered = injector.TaskFault(0, item, 0) != InjectedFault::kNone &&
+                injector.TaskFault(0, item, 1) == InjectedFault::kNone;
+  }
+  EXPECT_TRUE(recovered);
+}
+
+TEST(FaultInjectorTest, OomFiresOnlyOnListedStages) {
+  FaultSpec spec;
+  spec.oom_stages = {0, 3};
+  const FaultInjector injector(spec);
+  EXPECT_TRUE(injector.InjectOom(0));
+  EXPECT_FALSE(injector.InjectOom(1));
+  EXPECT_FALSE(injector.InjectOom(2));
+  EXPECT_TRUE(injector.InjectOom(3));
+}
+
+TEST(FaultInjectorTest, StragglerFactorIsSlowdownOrOne) {
+  FaultSpec spec;
+  spec.seed = 11;
+  spec.straggler_probability = 0.5;
+  spec.straggler_slowdown = 6.0;
+  const FaultInjector injector(spec);
+  int stragglers = 0;
+  for (std::int64_t task = 0; task < 512; ++task) {
+    const double f = injector.StragglerFactor(2, task);
+    EXPECT_TRUE(f == 1.0 || f == 6.0);
+    if (f > 1.0) ++stragglers;
+  }
+  EXPECT_NEAR(static_cast<double>(stragglers) / 512, 0.5, 0.1);
+  // Straggler draws are keyed separately from failure draws.
+  const FaultInjector none(FaultSpec{});
+  EXPECT_EQ(none.StragglerFactor(2, 0), 1.0);
+}
+
+TEST(RetryPolicyTest, BackoffDoublesAndCaps) {
+  RetryPolicy policy;
+  policy.backoff_base_seconds = 1.5;
+  policy.backoff_max_seconds = 10.0;
+  EXPECT_DOUBLE_EQ(policy.BackoffSeconds(0), 1.5);
+  EXPECT_DOUBLE_EQ(policy.BackoffSeconds(1), 3.0);
+  EXPECT_DOUBLE_EQ(policy.BackoffSeconds(2), 6.0);
+  EXPECT_DOUBLE_EQ(policy.BackoffSeconds(3), 10.0);  // capped
+  EXPECT_DOUBLE_EQ(policy.BackoffSeconds(10), 10.0);
+}
+
+TEST(StageRecoveryTest, AnyReflectsActivity) {
+  StageRecovery recovery;
+  recovery.attempts = 12;  // clean run: attempts alone are not "activity"
+  EXPECT_FALSE(recovery.any());
+  recovery.retries = 1;
+  EXPECT_TRUE(recovery.any());
+  recovery = StageRecovery{};
+  recovery.degradations = 1;
+  EXPECT_TRUE(recovery.any());
+  recovery = StageRecovery{};
+  recovery.stragglers = 2;
+  EXPECT_TRUE(recovery.any());
+}
+
+}  // namespace
+}  // namespace fuseme
