@@ -3,14 +3,18 @@
 //
 //   $ ./build/examples/quickstart
 //   $ ./build/examples/quickstart --faults   # same run under fault injection
+//   $ ./build/examples/quickstart --prefetch-depth=0   # synchronous fetch
 //
 // The query is the paper's running example, O = X * log(U × Vᵀ + eps),
 // with a sparse X — the pattern where cuboid-based fusion shines.  With
 // --faults, a seeded schedule kills work items and stages OOM; the engine
 // retries and degrades, and the result must stay bitwise identical to the
-// clean run's.
+// clean run's.  --prefetch-depth=N sets how many output blocks ahead the
+// async shuffle stages input copies (0 disables prefetching entirely);
+// every depth must produce the same result and report.
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 
 #include "fuseme.h"
@@ -18,8 +22,18 @@
 using namespace fuseme;  // NOLINT — example brevity
 
 int main(int argc, char** argv) {
-  const bool with_faults =
-      argc > 1 && std::strcmp(argv[1], "--faults") == 0;
+  bool with_faults = false;
+  int prefetch_depth = -1;  // -1 = keep the ClusterConfig default
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--faults") == 0) {
+      with_faults = true;
+    } else if (std::strncmp(argv[i], "--prefetch-depth=", 17) == 0) {
+      prefetch_depth = std::atoi(argv[i] + 17);
+    } else {
+      std::printf("usage: %s [--faults] [--prefetch-depth=N]\n", argv[0]);
+      return 1;
+    }
+  }
 
   // --- 1. Describe the query as an expression DAG. -----------------------
   const std::int64_t n = 96, k = 16, block = 16;
@@ -46,6 +60,7 @@ int main(int argc, char** argv) {
   cluster.num_nodes = 4;
   cluster.tasks_per_node = 4;
   cluster.block_size = block;
+  if (prefetch_depth >= 0) cluster.prefetch_depth = prefetch_depth;
 
   EngineOptions::Builder builder;
   builder.System(SystemMode::kFuseMe).Cluster(cluster);

@@ -40,6 +40,19 @@ build/examples/quickstart --faults > /dev/null || {
 }
 echo "ok: injected failures recovered deterministically"
 
+echo "== prefetch smoke (quickstart, async default vs --prefetch-depth=0) =="
+# Both shuffle modes must complete with the same report; the async path is
+# the default, depth 0 forces the synchronous legacy fetch.
+build/examples/quickstart > /dev/null || {
+  echo "FAIL: prefetch smoke (async default)" >&2
+  exit 1
+}
+build/examples/quickstart --prefetch-depth=0 > /dev/null || {
+  echo "FAIL: prefetch smoke (synchronous)" >&2
+  exit 1
+}
+echo "ok: async and synchronous shuffle modes both pass"
+
 if [[ "${FUSEME_CHECK_BENCH:-0}" == "1" ]]; then
   echo "== bench smoke (BENCH_*.json + metrics snapshot) =="
   scripts/run_bench_smoke.sh

@@ -10,7 +10,8 @@ cd "$(dirname "$0")/.."
 BUILD_DIR=${1:-build}
 
 if [[ ! -x "$BUILD_DIR/bench/bench_microkernels" ||
-      ! -x "$BUILD_DIR/bench/bench_fig12_operators" ]]; then
+      ! -x "$BUILD_DIR/bench/bench_fig12_operators" ||
+      ! -x "$BUILD_DIR/bench/bench_overlap" ]]; then
   echo "error: bench binaries missing under $BUILD_DIR/bench -- build first" >&2
   exit 1
 fi
@@ -18,6 +19,7 @@ fi
 # Small shapes so the smoke run takes seconds, not minutes.
 export FUSEME_BENCH_GEMM_N=${FUSEME_BENCH_GEMM_N:-256}
 export FUSEME_BENCH_CFO_N=${FUSEME_BENCH_CFO_N:-512}
+export FUSEME_BENCH_OVERLAP_N=${FUSEME_BENCH_OVERLAP_N:-256}
 
 SCRATCH=$(mktemp -d)
 trap 'rm -rf "$SCRATCH"' EXIT
@@ -49,5 +51,8 @@ run_and_check "$PWD/$BUILD_DIR/bench/bench_microkernels" \
   BENCH_microkernels.json --benchmark_filter='^$'
 run_and_check "$PWD/$BUILD_DIR/bench/bench_fig12_operators" \
   BENCH_fig12_operators.json
+# Serial vs double-buffered prefetch; exits non-zero if prefetching
+# changes outputs or StageStats.
+run_and_check "$PWD/$BUILD_DIR/bench/bench_overlap" BENCH_overlap.json
 
 echo "bench smoke passed"

@@ -762,6 +762,7 @@ Engine::RunResult Engine::RunWithPlans(
           stats = ctx.Finalize();
           stats.label = label;
           telemetry.threads = ctx.Parallelism();
+          telemetry.pipeline = ctx.pipeline();
           const StageRecovery items = ctx.recovery();
           recovery.attempts += items.attempts;
           recovery.retries += items.retries;
@@ -859,6 +860,19 @@ Engine::RunResult Engine::RunWithPlans(
     out.report.speculative_tasks += recovery.speculative_tasks;
     RecordStageMetrics(options_.metrics, stats, telemetry.wall_seconds,
                        telemetry.predicted);
+    if (options_.metrics != nullptr &&
+        (telemetry.pipeline.fetch_wait_seconds > 0.0 ||
+         telemetry.pipeline.compute_busy_seconds > 0.0)) {
+      // Overlap telemetry (DESIGN.md section 14): host wall-clock split of
+      // work-item time into transfer stalls and kernel compute, plus the
+      // per-stage overlap efficiency the prefetcher achieved.
+      options_.metrics->GetGauge(metric_names::kFetchWaitSeconds)
+          ->Add(telemetry.pipeline.fetch_wait_seconds);
+      options_.metrics->GetGauge(metric_names::kComputeBusySeconds)
+          ->Add(telemetry.pipeline.compute_busy_seconds);
+      options_.metrics->GetGauge(metric_names::kStageOverlapEfficiency)
+          ->Set(telemetry.pipeline.OverlapEfficiency());
+    }
 
     if (options_.tracer != nullptr) {
       TraceSpan span;

@@ -1,0 +1,282 @@
+#include "runtime/prefetcher.h"
+
+#include <chrono>
+#include <utility>
+
+#include "common/logging.h"
+#include "telemetry/metric_names.h"
+#include "telemetry/metrics.h"
+
+namespace fuseme {
+
+namespace {
+
+double SecondsSince(std::chrono::steady_clock::time_point begin) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       begin)
+      .count();
+}
+
+}  // namespace
+
+const char* PrefetchOutcomeName(PrefetchOutcome outcome) {
+  switch (outcome) {
+    case PrefetchOutcome::kReady:
+      return "ready";
+    case PrefetchOutcome::kWaited:
+      return "waited";
+    case PrefetchOutcome::kStolen:
+      return "stolen";
+    case PrefetchOutcome::kCancelled:
+      return "cancelled";
+  }
+  return "unknown";
+}
+
+/// One staged copy.  `state` transitions kQueued -> kRunning ->
+/// kReady/kFailed, or kQueued -> kCancelled; the CAS out of kQueued is the
+/// race arbiter between the pool task and a stealing consumer, so exactly
+/// one of them runs the copy.
+struct BlockPrefetcher::Entry {
+  enum State { kQueued, kRunning, kReady, kFailed, kCancelled };
+
+  std::atomic<int> state{kQueued};
+  /// Written by the copying thread before state stores kReady/kFailed
+  /// (under Shared::mu), read by the consumer after it observes that
+  /// state (under the same mutex).
+  Result<Block> value = Status::Internal("prefetch not completed");
+};
+
+struct BlockPrefetcher::Shared {
+  Source source;
+  Options opts;
+
+  mutable std::mutex mu;
+  std::condition_variable cv;
+  std::map<PrefetchKey, std::shared_ptr<Entry>> entries;
+  /// Copies currently executing on pool threads; the destructor drains
+  /// this to zero so no task outlives the source's inputs.
+  int pool_copies_running = 0;
+  PrefetchCounters counters;
+
+  // Resolved once; null with a null registry (pointer test per event).
+  Counter* issued_metric = nullptr;
+  Counter* ready_metric = nullptr;
+  Counter* waited_metric = nullptr;
+  Counter* stolen_metric = nullptr;
+  Counter* cancelled_metric = nullptr;
+  Gauge* in_flight_metric = nullptr;
+  Histogram* wait_seconds_metric = nullptr;
+
+  /// Unconsumed entries, under mu.
+  std::int64_t InFlightLocked() const {
+    return static_cast<std::int64_t>(entries.size());
+  }
+  void UpdateDepthGaugeLocked() {
+    if (in_flight_metric != nullptr) {
+      in_flight_metric->Set(static_cast<double>(InFlightLocked()));
+    }
+  }
+};
+
+BlockPrefetcher::BlockPrefetcher(Source source, Options options)
+    : shared_(std::make_shared<Shared>()) {
+  FUSEME_CHECK(source != nullptr);
+  shared_->source = std::move(source);
+  shared_->opts = std::move(options);
+  MetricsRegistry* metrics = shared_->opts.metrics;
+  if (metrics != nullptr) {
+    shared_->issued_metric =
+        metrics->GetCounter(metric_names::kPrefetchIssued);
+    shared_->ready_metric = metrics->GetCounter(
+        metric_names::kPrefetchConsumed, {{"outcome", "ready"}});
+    shared_->waited_metric = metrics->GetCounter(
+        metric_names::kPrefetchConsumed, {{"outcome", "waited"}});
+    shared_->stolen_metric = metrics->GetCounter(
+        metric_names::kPrefetchConsumed, {{"outcome", "stolen"}});
+    shared_->cancelled_metric =
+        metrics->GetCounter(metric_names::kPrefetchCancelled);
+    shared_->in_flight_metric =
+        metrics->GetGauge(metric_names::kPrefetchInFlight);
+    shared_->wait_seconds_metric = metrics->GetHistogram(
+        metric_names::kPrefetchWaitSeconds, DefaultTimeBoundaries());
+  }
+}
+
+BlockPrefetcher::~BlockPrefetcher() { Drain(); }
+
+void BlockPrefetcher::Drain() {
+  CancelPending();
+  std::unique_lock<std::mutex> lock(shared_->mu);
+  shared_->cv.wait(lock,
+                   [this] { return shared_->pool_copies_running == 0; });
+  // Copies that completed but were never consumed are dropped here; they
+  // count as cancelled so the telemetry shows over-prefetching.
+  const auto leftovers =
+      static_cast<std::int64_t>(shared_->entries.size());
+  if (leftovers > 0) {
+    shared_->counters.cancelled += leftovers;
+    if (shared_->cancelled_metric != nullptr) {
+      shared_->cancelled_metric->Add(leftovers);
+    }
+  }
+  shared_->entries.clear();
+  shared_->UpdateDepthGaugeLocked();
+}
+
+void BlockPrefetcher::RunCopy(const std::shared_ptr<Shared>& shared,
+                              const std::shared_ptr<Entry>& entry,
+                              const PrefetchKey& key) {
+  {
+    std::lock_guard<std::mutex> lock(shared->mu);
+    int expected = Entry::kQueued;
+    if (!entry->state.compare_exchange_strong(expected, Entry::kRunning)) {
+      return;  // stolen by the consumer or cancelled
+    }
+    ++shared->pool_copies_running;
+  }
+  std::function<void(PrefetchOutcome)> done;
+  if (shared->opts.copy_hook != nullptr) {
+    done = shared->opts.copy_hook(key);
+  }
+  Result<Block> value = shared->source(key);
+  {
+    std::lock_guard<std::mutex> lock(shared->mu);
+    const bool ok = value.ok();
+    entry->value = std::move(value);
+    entry->state.store(ok ? Entry::kReady : Entry::kFailed);
+    --shared->pool_copies_running;
+  }
+  shared->cv.notify_all();
+  if (done != nullptr) done(PrefetchOutcome::kReady);
+}
+
+void BlockPrefetcher::Prefetch(const PrefetchKey& key) {
+  std::shared_ptr<Entry> entry;
+  {
+    std::lock_guard<std::mutex> lock(shared_->mu);
+    auto [it, inserted] =
+        shared_->entries.emplace(key, nullptr);
+    if (!inserted) return;  // already staged (and not yet consumed)
+    it->second = std::make_shared<Entry>();
+    entry = it->second;
+    ++shared_->counters.issued;
+    if (shared_->issued_metric != nullptr) {
+      shared_->issued_metric->Increment();
+    }
+    shared_->UpdateDepthGaugeLocked();
+  }
+  ThreadPool* pool = shared_->opts.pool;
+  if (pool != nullptr) {
+    // Fire-and-forget: the entry's state machine and pool_copies_running
+    // carry completion; the future is not needed (packaged_task futures do
+    // not block on destruction).
+    pool->Submit([shared = shared_, entry, key] {
+      RunCopy(shared, entry, key);
+    });
+  } else {
+    RunCopy(shared_, entry, key);
+  }
+}
+
+std::optional<Result<Block>> BlockPrefetcher::Take(const PrefetchKey& key) {
+  std::unique_lock<std::mutex> lock(shared_->mu);
+  auto it = shared_->entries.find(key);
+  if (it == shared_->entries.end()) return std::nullopt;
+  std::shared_ptr<Entry> entry = it->second;
+
+  bool outcome_counted = false;
+  int state = entry->state.load();
+  if (state == Entry::kQueued) {
+    int expected = Entry::kQueued;
+    if (entry->state.compare_exchange_strong(expected, Entry::kRunning)) {
+      // Steal: the pool has not started this copy; run it inline instead
+      // of waiting for a saturated queue.
+      lock.unlock();
+      std::function<void(PrefetchOutcome)> done;
+      if (shared_->opts.copy_hook != nullptr) {
+        done = shared_->opts.copy_hook(key);
+      }
+      const auto begin = std::chrono::steady_clock::now();
+      Result<Block> value = shared_->source(key);
+      const double elapsed = SecondsSince(begin);
+      if (done != nullptr) done(PrefetchOutcome::kStolen);
+      lock.lock();
+      const bool ok = value.ok();
+      entry->value = std::move(value);
+      entry->state.store(ok ? Entry::kReady : Entry::kFailed);
+      ++shared_->counters.stolen;
+      shared_->counters.fetch_wait_seconds += elapsed;
+      if (shared_->stolen_metric != nullptr) {
+        shared_->stolen_metric->Increment();
+        shared_->wait_seconds_metric->Observe(elapsed);
+      }
+      outcome_counted = true;
+      state = entry->state.load();
+    } else {
+      state = entry->state.load();
+    }
+  }
+
+  if (outcome_counted) {
+    // The steal above already attributed this consumption.
+  } else if (state == Entry::kRunning) {
+    const auto begin = std::chrono::steady_clock::now();
+    shared_->cv.wait(lock, [&entry] {
+      const int s = entry->state.load();
+      return s == Entry::kReady || s == Entry::kFailed ||
+             s == Entry::kCancelled;
+    });
+    const double elapsed = SecondsSince(begin);
+    ++shared_->counters.waited;
+    shared_->counters.fetch_wait_seconds += elapsed;
+    if (shared_->waited_metric != nullptr) {
+      shared_->waited_metric->Increment();
+      shared_->wait_seconds_metric->Observe(elapsed);
+    }
+    state = entry->state.load();
+  } else if (state == Entry::kReady || state == Entry::kFailed) {
+    ++shared_->counters.ready;
+    if (shared_->ready_metric != nullptr) shared_->ready_metric->Increment();
+  }
+
+  if (state == Entry::kCancelled) {
+    shared_->entries.erase(key);
+    shared_->UpdateDepthGaugeLocked();
+    return std::nullopt;
+  }
+  Result<Block> out = std::move(entry->value);
+  shared_->entries.erase(key);
+  shared_->UpdateDepthGaugeLocked();
+  return out;
+}
+
+void BlockPrefetcher::CancelPending() {
+  std::lock_guard<std::mutex> lock(shared_->mu);
+  for (auto it = shared_->entries.begin(); it != shared_->entries.end();) {
+    int expected = Entry::kQueued;
+    if (it->second->state.compare_exchange_strong(expected,
+                                                  Entry::kCancelled)) {
+      ++shared_->counters.cancelled;
+      if (shared_->cancelled_metric != nullptr) {
+        shared_->cancelled_metric->Increment();
+      }
+      it = shared_->entries.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  shared_->UpdateDepthGaugeLocked();
+}
+
+std::int64_t BlockPrefetcher::InFlight() const {
+  std::lock_guard<std::mutex> lock(shared_->mu);
+  return shared_->InFlightLocked();
+}
+
+PrefetchCounters BlockPrefetcher::counters() const {
+  std::lock_guard<std::mutex> lock(shared_->mu);
+  return shared_->counters;
+}
+
+}  // namespace fuseme

@@ -1,0 +1,149 @@
+// BlockPrefetcher: asynchronous block consolidation (DESIGN.md section 14).
+//
+// A fused stage's work item fetches every external input block of an
+// output block before it can compute it; synchronously, transfer and
+// compute serialize.  The prefetcher decouples them: the operator issues
+// the blocks of *upcoming* output blocks as copy tasks on the thread pool
+// (double-buffered waves, ClusterConfig::prefetch_depth ahead of the
+// consumer), and the work item's fetcher consumes staged copies — so the
+// next wave's transfers are in flight while the current block's GEMM or
+// elementwise kernel runs.
+//
+// Determinism (the PR 1/PR 5 invariants) is preserved by charging on
+// consumption, not on transfer: the prefetcher never touches stage
+// accounting.  The consuming fetcher performs the same dedup and charges
+// in the same serial scan order whether a block was staged, stolen, or
+// fetched directly, so StageStats are bitwise-identical for every
+// prefetch depth and thread count.  Entries hold plain copies of input
+// blocks; an unconsumed entry is dropped without observable effect, which
+// is what lets the fault injector kill a work-item attempt with
+// prefetches still in flight — the destructor cancels queued copies,
+// drains running ones, and the retry replays from scratch.
+//
+// Thread-safety: Prefetch/Take/CancelPending may be called concurrently
+// with the pool-side copy tasks.  A Take of a still-queued entry *steals*
+// it (runs the copy inline) instead of waiting for a pool slot, so a
+// saturated pool degrades to the synchronous path rather than stalling.
+
+#ifndef FUSEME_RUNTIME_PREFETCHER_H_
+#define FUSEME_RUNTIME_PREFETCHER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+
+#include "common/result.h"
+#include "common/thread_pool.h"
+#include "ir/node.h"
+#include "matrix/block.h"
+
+namespace fuseme {
+
+class MetricsRegistry;  // telemetry/metrics.h; opaque-pointer convention
+
+/// Identity of one staged transfer: block (bi, bj) of external node `node`.
+struct PrefetchKey {
+  NodeId node = kInvalidNode;
+  std::int64_t bi = 0;
+  std::int64_t bj = 0;
+
+  auto operator<=>(const PrefetchKey&) const = default;
+};
+
+/// How a consumed (or dropped) entry resolved.
+enum class PrefetchOutcome {
+  kReady,      ///< staged copy was complete when the consumer asked
+  kWaited,     ///< consumer blocked on an in-flight copy
+  kStolen,     ///< consumer ran a still-queued copy inline
+  kCancelled,  ///< dropped by CancelPending / destruction
+};
+
+const char* PrefetchOutcomeName(PrefetchOutcome outcome);
+
+/// What a prefetcher did over its lifetime.  Host wall-clock telemetry —
+/// never folded into StageStats (which must stay deterministic).
+struct PrefetchCounters {
+  std::int64_t issued = 0;
+  std::int64_t ready = 0;
+  std::int64_t waited = 0;
+  std::int64_t stolen = 0;
+  std::int64_t cancelled = 0;
+  /// Seconds the consumer spent acquiring staged blocks: stall waits on
+  /// in-flight copies plus inline stolen copies.
+  double fetch_wait_seconds = 0.0;
+};
+
+/// Per-work-item staging area for asynchronous block copies.
+class BlockPrefetcher {
+ public:
+  /// Produces the copy of block (bi, bj) of node `key.node` — the modeled
+  /// transfer.  Must be safe to call from any thread concurrently (the
+  /// operators' source only reads immutable stage inputs).
+  using Source = std::function<Result<Block>(const PrefetchKey&)>;
+
+  /// Called on the copying thread when a copy starts; the returned
+  /// callback fires when it completes.  Lets the ops layer record tracer
+  /// spans without the runtime linking the tracer.  May be null.
+  using CopyHook = std::function<std::function<void(PrefetchOutcome)>(
+      const PrefetchKey&)>;
+
+  struct Options {
+    /// Pool the copies run on.  With zero workers Submit runs inline, so
+    /// a serial process degrades to synchronous fetching gracefully.
+    ThreadPool* pool = nullptr;
+    MetricsRegistry* metrics = nullptr;  ///< optional; not owned
+    CopyHook copy_hook;                  ///< optional tracer bridge
+  };
+
+  BlockPrefetcher(Source source, Options options);
+  /// Cancels queued copies and drains in-flight ones before returning, so
+  /// no pool task outlives the stage inputs the source reads.
+  ~BlockPrefetcher();
+
+  BlockPrefetcher(const BlockPrefetcher&) = delete;
+  BlockPrefetcher& operator=(const BlockPrefetcher&) = delete;
+
+  /// Stages the copy of `key` (no-op if already staged or consumed).
+  void Prefetch(const PrefetchKey& key);
+
+  /// Consumes the staged copy of `key`: returns the copy if it was issued
+  /// (waiting for an in-flight transfer, or running a still-queued one
+  /// inline), std::nullopt if it was never issued or was cancelled — the
+  /// caller then fetches directly.
+  std::optional<Result<Block>> Take(const PrefetchKey& key);
+
+  /// Cancels entries that have not started copying.  In-flight copies
+  /// complete (their results stay takeable); queued ones are dropped.
+  void CancelPending();
+
+  /// CancelPending, then waits for in-flight copies to finish and drops
+  /// every unconsumed entry (counted as cancelled).  After Drain the
+  /// source is guaranteed not to be called again — what the destructor
+  /// relies on, exposed so callers can snapshot final counters() first.
+  void Drain();
+
+  /// Entries staged but not yet consumed (queued + running + ready).
+  std::int64_t InFlight() const;
+
+  PrefetchCounters counters() const;
+
+ private:
+  struct Entry;
+  struct Shared;
+
+  static void RunCopy(const std::shared_ptr<Shared>& shared,
+                      const std::shared_ptr<Entry>& entry,
+                      const PrefetchKey& key);
+
+  std::shared_ptr<Shared> shared_;
+};
+
+}  // namespace fuseme
+
+#endif  // FUSEME_RUNTIME_PREFETCHER_H_

@@ -34,7 +34,15 @@ double Simulator::EstimateStageSeconds(const StageStats& stats) const {
     // max(net, comp).
     const double stretched_net =
         net_time * (1.0 + config_.shuffle_cpu_factor);
-    return std::max(stretched_net, comp_time);
+    // Compute/communication overlap (DESIGN.md section 14): with overlap
+    // factor f, the overlappable fraction of the shorter phase hides
+    // behind the longer one.  f = 1 (the default) gives the classic
+    // max(net, comp) wave; f = 0 is a fully serial net + comp pipeline.
+    const double f =
+        std::clamp(config_.overlap_factor, 0.0, 1.0);
+    const double hi = std::max(stretched_net, comp_time);
+    const double lo = std::min(stretched_net, comp_time);
+    return hi + (1.0 - f) * lo;
   };
 
   const int full_waves = stats.num_tasks / slots;

@@ -47,10 +47,49 @@ struct StageStats {
   std::int64_t aggregation_bytes = 0;
   std::int64_t flops = 0;
   std::int64_t max_task_memory = 0;
-  double elapsed_seconds = 0.0;  // filled in by the Simulator
+  /// Modeled cluster seconds for this stage.  The Simulator computes it
+  /// (EstimateStageSeconds + recovery overhead) and the engine writes it
+  /// back on BOTH execution paths — analytic *and* real-mode runs carry a
+  /// nonzero value for every stage that launched tasks.  Always modeled
+  /// time from the deterministic accounting above, never host wall clock
+  /// (wall time lives in StageTelemetry), so it is bitwise-identical
+  /// across thread counts and prefetch depths.
+  double elapsed_seconds = 0.0;
 
   std::int64_t total_bytes() const {
     return consolidation_bytes + aggregation_bytes;
+  }
+};
+
+/// Wall-clock transfer/compute telemetry of one stage's fetch pipeline
+/// (DESIGN.md section 14).  Host measurements — nondeterministic by
+/// nature — so they live beside StageStats, never inside it: StageStats
+/// must stay bitwise-identical across thread counts and prefetch depths.
+struct StagePipeline {
+  /// Block copies staged ahead of the consumer by prefetchers.
+  std::int64_t prefetch_issued = 0;
+  /// Staged copies consumed with the transfer already complete.
+  std::int64_t prefetch_ready = 0;
+  /// Staged copies the consumer stalled on (transfer still in flight).
+  std::int64_t prefetch_waited = 0;
+  /// Staged copies the consumer ran inline (pool had not started them).
+  std::int64_t prefetch_stolen = 0;
+  /// Staged copies dropped unconsumed (cancellation / retry replay).
+  std::int64_t prefetch_cancelled = 0;
+  /// Blocks fetched directly while a pipeline was active (enumeration
+  /// missed them); always 0 when prefetch_depth = 0 disables pipelines.
+  std::int64_t prefetch_misses = 0;
+  /// Consumer-thread seconds spent acquiring input blocks: direct copies,
+  /// stalls on in-flight transfers, and inline steals.
+  double fetch_wait_seconds = 0.0;
+  /// Consumer-thread seconds spent computing between fetches.
+  double compute_busy_seconds = 0.0;
+
+  /// compute/(compute + fetch-wait) in [0, 1]; 1.0 when idle (nothing
+  /// measured) or when every transfer hid behind compute.
+  double OverlapEfficiency() const {
+    const double total = fetch_wait_seconds + compute_busy_seconds;
+    return total > 0.0 ? compute_busy_seconds / total : 1.0;
   }
 };
 
@@ -123,6 +162,13 @@ class StageContext : public StageAccounting {
   /// Snapshot of the stage's recovery accounting.
   StageRecovery recovery() const;
 
+  /// Folds one work item's fetch-pipeline telemetry into the stage record
+  /// under the context mutex (safe from concurrent work items).
+  void RecordItemPipeline(const StagePipeline& item);
+
+  /// Snapshot of the stage's fetch-pipeline telemetry.
+  StagePipeline pipeline() const;
+
   void ChargeConsolidation(int task, std::int64_t bytes) override;
   void ChargeAggregation(int task, std::int64_t bytes) override;
   void ChargeFlops(int task, std::int64_t flops) override;
@@ -157,6 +203,7 @@ class StageContext : public StageAccounting {
   mutable std::mutex merge_mu_;
   std::vector<TaskAccounting> tasks_;
   StageRecovery recovery_;
+  StagePipeline pipeline_;
 };
 
 /// Task-local accounting for one work item of a parallel operator.  Not

@@ -63,8 +63,11 @@ std::vector<TraceSpan> Tracer::spans() const {
   }
   std::sort(out.begin(), out.end(),
             [](const TraceSpan& a, const TraceSpan& b) {
-              return std::tie(a.begin_us, a.tid, a.name) <
-                     std::tie(b.begin_us, b.tid, b.name);
+              // Spans beginning in the same microsecond: the enclosing
+              // span (the one ending later) sorts first, so nesting
+              // order survives a coarse clock.
+              return std::tuple(a.begin_us, -a.end_us, a.tid, a.name) <
+                     std::tuple(b.begin_us, -b.end_us, b.tid, b.name);
             });
   return out;
 }

@@ -1,0 +1,281 @@
+#include "runtime/prefetcher.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/thread_pool.h"
+#include "telemetry/metric_names.h"
+#include "telemetry/metrics.h"
+
+namespace fuseme {
+namespace {
+
+PrefetchKey Key(int node, std::int64_t bi, std::int64_t bj) {
+  PrefetchKey key;
+  key.node = node;
+  key.bi = bi;
+  key.bj = bj;
+  return key;
+}
+
+/// Source producing a Constant block whose value encodes the key, so the
+/// consumer can verify it got the right copy.
+BlockPrefetcher::Source CountingSource(std::atomic<int>* calls) {
+  return [calls](const PrefetchKey& key) -> Result<Block> {
+    if (calls != nullptr) calls->fetch_add(1);
+    const double value =
+        static_cast<double>(key.node) * 100.0 +
+        static_cast<double>(key.bi) * 10.0 + static_cast<double>(key.bj);
+    return Block::Constant(2, 2, value);
+  };
+}
+
+double BlockValue(const Block& block) { return block.ToDense()(0, 0); }
+
+TEST(PrefetcherTest, TakeReturnsStagedCopy) {
+  ThreadPool pool(2);
+  std::atomic<int> calls{0};
+  BlockPrefetcher::Options opts;
+  opts.pool = &pool;
+  BlockPrefetcher prefetcher(CountingSource(&calls), opts);
+
+  prefetcher.Prefetch(Key(1, 0, 0));
+  prefetcher.Prefetch(Key(1, 0, 1));
+  auto a = prefetcher.Take(Key(1, 0, 0));
+  auto b = prefetcher.Take(Key(1, 0, 1));
+  ASSERT_TRUE(a.has_value());
+  ASSERT_TRUE(b.has_value());
+  ASSERT_TRUE(a->ok());
+  ASSERT_TRUE(b->ok());
+  EXPECT_DOUBLE_EQ(BlockValue(**a), 100.0);
+  EXPECT_DOUBLE_EQ(BlockValue(**b), 101.0);
+  EXPECT_EQ(calls.load(), 2);
+
+  const PrefetchCounters c = prefetcher.counters();
+  EXPECT_EQ(c.issued, 2);
+  EXPECT_EQ(c.ready + c.waited + c.stolen, 2);
+  EXPECT_EQ(c.cancelled, 0);
+  EXPECT_EQ(prefetcher.InFlight(), 0);
+}
+
+TEST(PrefetcherTest, TakeOfUnissuedKeyIsMiss) {
+  ThreadPool pool(1);
+  BlockPrefetcher::Options opts;
+  opts.pool = &pool;
+  BlockPrefetcher prefetcher(CountingSource(nullptr), opts);
+  EXPECT_FALSE(prefetcher.Take(Key(1, 0, 0)).has_value());
+}
+
+TEST(PrefetcherTest, DuplicatePrefetchIssuesOneCopy) {
+  ThreadPool pool(1);
+  std::atomic<int> calls{0};
+  BlockPrefetcher::Options opts;
+  opts.pool = &pool;
+  BlockPrefetcher prefetcher(CountingSource(&calls), opts);
+  prefetcher.Prefetch(Key(3, 1, 2));
+  prefetcher.Prefetch(Key(3, 1, 2));
+  auto got = prefetcher.Take(Key(3, 1, 2));
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(calls.load(), 1);
+  EXPECT_EQ(prefetcher.counters().issued, 1);
+  // Consumed: a second Take is a miss (the caller would fetch directly).
+  EXPECT_FALSE(prefetcher.Take(Key(3, 1, 2)).has_value());
+}
+
+TEST(PrefetcherTest, NullPoolRunsCopiesInline) {
+  std::atomic<int> calls{0};
+  BlockPrefetcher prefetcher(CountingSource(&calls),
+                             BlockPrefetcher::Options{});
+  prefetcher.Prefetch(Key(2, 0, 0));
+  EXPECT_EQ(calls.load(), 1);  // ran synchronously on this thread
+  auto got = prefetcher.Take(Key(2, 0, 0));
+  ASSERT_TRUE(got.has_value());
+  ASSERT_TRUE(got->ok());
+  EXPECT_DOUBLE_EQ(BlockValue(**got), 200.0);
+  EXPECT_EQ(prefetcher.counters().ready, 1);
+}
+
+TEST(PrefetcherTest, StealRunsQueuedCopyOnConsumer) {
+  // One worker, blocked on a gate task: the staged copy stays kQueued, so
+  // Take must steal it inline instead of waiting for the pool.
+  ThreadPool pool(1);
+  std::mutex mu;
+  std::condition_variable cv;
+  bool release = false;
+  auto gate = pool.Submit([&] {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return release; });
+  });
+
+  std::atomic<int> calls{0};
+  BlockPrefetcher::Options opts;
+  opts.pool = &pool;
+  BlockPrefetcher prefetcher(CountingSource(&calls), opts);
+  prefetcher.Prefetch(Key(4, 2, 1));
+  auto got = prefetcher.Take(Key(4, 2, 1));
+  ASSERT_TRUE(got.has_value());
+  ASSERT_TRUE(got->ok());
+  EXPECT_DOUBLE_EQ(BlockValue(**got), 421.0);
+  EXPECT_EQ(calls.load(), 1);
+  EXPECT_EQ(prefetcher.counters().stolen, 1);
+
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    release = true;
+  }
+  cv.notify_all();
+  gate.wait();
+}
+
+TEST(PrefetcherTest, CancelPendingDropsQueuedCopies) {
+  ThreadPool pool(1);
+  std::mutex mu;
+  std::condition_variable cv;
+  bool release = false;
+  auto gate = pool.Submit([&] {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return release; });
+  });
+
+  std::atomic<int> calls{0};
+  BlockPrefetcher::Options opts;
+  opts.pool = &pool;
+  BlockPrefetcher prefetcher(CountingSource(&calls), opts);
+  prefetcher.Prefetch(Key(5, 0, 0));
+  prefetcher.Prefetch(Key(5, 0, 1));
+  prefetcher.CancelPending();
+  EXPECT_EQ(prefetcher.InFlight(), 0);
+  EXPECT_EQ(prefetcher.counters().cancelled, 2);
+
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    release = true;
+  }
+  cv.notify_all();
+  gate.wait();
+  // The pool tasks observe the cancelled state and never call the source.
+  prefetcher.Drain();
+  EXPECT_EQ(calls.load(), 0);
+  EXPECT_FALSE(prefetcher.Take(Key(5, 0, 0)).has_value());
+}
+
+TEST(PrefetcherTest, SourceErrorSurfacesOnTake) {
+  ThreadPool pool(1);
+  BlockPrefetcher::Options opts;
+  opts.pool = &pool;
+  BlockPrefetcher prefetcher(
+      [](const PrefetchKey&) -> Result<Block> {
+        return Status::InvalidArgument("no such block");
+      },
+      opts);
+  prefetcher.Prefetch(Key(6, 0, 0));
+  auto got = prefetcher.Take(Key(6, 0, 0));
+  ASSERT_TRUE(got.has_value());
+  EXPECT_FALSE(got->ok());
+  EXPECT_TRUE(got->status().IsInvalidArgument());
+}
+
+TEST(PrefetcherTest, DrainCountsUnconsumedCopiesAsCancelled) {
+  ThreadPool pool(2);
+  std::atomic<int> calls{0};
+  BlockPrefetcher::Options opts;
+  opts.pool = &pool;
+  BlockPrefetcher prefetcher(CountingSource(&calls), opts);
+  prefetcher.Prefetch(Key(7, 0, 0));
+  prefetcher.Prefetch(Key(7, 0, 1));
+  prefetcher.Prefetch(Key(7, 0, 2));
+  auto got = prefetcher.Take(Key(7, 0, 1));
+  ASSERT_TRUE(got.has_value());
+  prefetcher.Drain();
+  const PrefetchCounters c = prefetcher.counters();
+  EXPECT_EQ(c.issued, 3);
+  EXPECT_EQ(c.cancelled, 2);  // over-prefetched blocks show up here
+  EXPECT_EQ(prefetcher.InFlight(), 0);
+}
+
+TEST(PrefetcherTest, RecordsMetricsWhenRegistryPresent) {
+  ThreadPool pool(2);
+  MetricsRegistry metrics;
+  BlockPrefetcher::Options opts;
+  opts.pool = &pool;
+  opts.metrics = &metrics;
+  BlockPrefetcher prefetcher(CountingSource(nullptr), opts);
+  prefetcher.Prefetch(Key(8, 0, 0));
+  prefetcher.Prefetch(Key(8, 0, 1));
+  ASSERT_TRUE(prefetcher.Take(Key(8, 0, 0)).has_value());
+  prefetcher.Drain();
+  EXPECT_DOUBLE_EQ(
+      metrics.GetCounter(metric_names::kPrefetchIssued)->value(), 2.0);
+  EXPECT_DOUBLE_EQ(
+      metrics.GetCounter(metric_names::kPrefetchCancelled)->value(), 1.0);
+  EXPECT_DOUBLE_EQ(
+      metrics.GetGauge(metric_names::kPrefetchInFlight)->value(), 0.0);
+}
+
+TEST(PrefetcherTest, CopyHookSeesEveryConsumedOutcome) {
+  ThreadPool pool(2);
+  std::atomic<int> started{0};
+  std::atomic<int> completed{0};
+  BlockPrefetcher::Options opts;
+  opts.pool = &pool;
+  opts.copy_hook = [&](const PrefetchKey&) {
+    started.fetch_add(1);
+    return [&](PrefetchOutcome) { completed.fetch_add(1); };
+  };
+  BlockPrefetcher prefetcher(CountingSource(nullptr), opts);
+  prefetcher.Prefetch(Key(9, 0, 0));
+  prefetcher.Prefetch(Key(9, 1, 0));
+  ASSERT_TRUE(prefetcher.Take(Key(9, 0, 0)).has_value());
+  ASSERT_TRUE(prefetcher.Take(Key(9, 1, 0)).has_value());
+  prefetcher.Drain();
+  EXPECT_EQ(started.load(), 2);
+  EXPECT_EQ(completed.load(), 2);
+}
+
+// TSan hammer: concurrent Prefetch / Take / CancelPending across several
+// consumer threads and prefetchers sharing one pool, exercising the
+// queued-steal CAS, the in-flight wait, and destruction with copies still
+// running.  scripts/run_tsan.sh runs this under ThreadSanitizer.
+TEST(PrefetcherHammerTest, ConcurrentFetchCommitCancel) {
+  ThreadPool pool(4);
+  constexpr int kRounds = 20;
+  constexpr int kConsumers = 4;
+  constexpr int kKeysPerConsumer = 16;
+
+  for (int round = 0; round < kRounds; ++round) {
+    std::atomic<int> calls{0};
+    auto prefetcher = std::make_unique<BlockPrefetcher>(
+        CountingSource(&calls), BlockPrefetcher::Options{&pool});
+    std::vector<std::thread> consumers;
+    consumers.reserve(kConsumers);
+    for (int c = 0; c < kConsumers; ++c) {
+      consumers.emplace_back([&, c] {
+        for (int i = 0; i < kKeysPerConsumer; ++i) {
+          const PrefetchKey key = Key(c, i, round % 3);
+          prefetcher->Prefetch(key);
+          if (i % 5 == 4) prefetcher->CancelPending();
+          auto got = prefetcher->Take(key);
+          if (got.has_value()) {
+            ASSERT_TRUE(got->ok());
+            EXPECT_DOUBLE_EQ(
+                BlockValue(**got),
+                c * 100.0 + i * 10.0 + static_cast<double>(round % 3));
+          }
+        }
+      });
+    }
+    for (std::thread& t : consumers) t.join();
+    // Destroy with whatever is still staged; the destructor must drain
+    // in-flight copies before the pool outlives the round.
+    prefetcher.reset();
+  }
+}
+
+}  // namespace
+}  // namespace fuseme

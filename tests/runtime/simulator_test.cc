@@ -115,6 +115,43 @@ TEST(SimulatorTest, ResetClearsHistory) {
   EXPECT_TRUE(sim.stages().empty());
 }
 
+TEST(SimulatorTest, DefaultOverlapFactorKeepsMaxModel) {
+  // overlap_factor defaults to 1: a wave costs max(net, comp) exactly, so
+  // existing predictions (and analytic-mode elapsed_seconds) are
+  // bitwise-unchanged by the overlap extension.
+  ClusterConfig config = TestCluster();
+  ASSERT_DOUBLE_EQ(config.overlap_factor, 1.0);
+  Simulator sim(config);
+  // net: 4000/2000 = 2s; comp: 8000/(8*2000) = 0.5s.
+  EXPECT_DOUBLE_EQ(sim.EstimateStageSeconds(MakeStage(8, 4000, 8000)), 2.0);
+}
+
+TEST(SimulatorTest, ZeroOverlapFactorSerializesTransferAndCompute) {
+  ClusterConfig config = TestCluster();
+  config.overlap_factor = 0.0;
+  Simulator sim(config);
+  // No overlap: the wave pays net + comp = 2.0 + 0.5.
+  EXPECT_DOUBLE_EQ(sim.EstimateStageSeconds(MakeStage(8, 4000, 8000)), 2.5);
+}
+
+TEST(SimulatorTest, PartialOverlapHidesFractionOfShorterPhase) {
+  ClusterConfig config = TestCluster();
+  config.overlap_factor = 0.6;
+  Simulator sim(config);
+  // max(2.0, 0.5) + (1 - 0.6) * min(2.0, 0.5) = 2.0 + 0.2.
+  EXPECT_NEAR(sim.EstimateStageSeconds(MakeStage(8, 4000, 8000)), 2.2, 1e-12);
+}
+
+TEST(SimulatorTest, OverlapFactorOutsideRangeIsClamped) {
+  ClusterConfig config = TestCluster();
+  config.overlap_factor = 7.0;  // validation rejects this; simulator clamps
+  Simulator sim(config);
+  EXPECT_DOUBLE_EQ(sim.EstimateStageSeconds(MakeStage(8, 4000, 8000)), 2.0);
+  config.overlap_factor = -3.0;
+  Simulator sim2(config);
+  EXPECT_DOUBLE_EQ(sim2.EstimateStageSeconds(MakeStage(8, 4000, 8000)), 2.5);
+}
+
 TEST(SimulatorTest, MoreNodesIsFasterForNetworkBoundStage) {
   // Reproduces the shape of Fig. 12(d,h): elapsed decreases with nodes.
   double prev = 1e18;

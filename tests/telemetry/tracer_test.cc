@@ -76,8 +76,10 @@ TEST(TracerTest, SpansSnapshotIsSorted) {
   for (std::size_t i = 1; i < spans.size(); ++i) {
     const TraceSpan& a = spans[i - 1];
     const TraceSpan& b = spans[i];
-    EXPECT_LE(std::tie(a.begin_us, a.tid, a.name),
-              std::tie(b.begin_us, b.tid, b.name));
+    // Sort key: begin ascending, then the enclosing (later-ending) span
+    // first, then tid/name as deterministic tie-breaks.
+    EXPECT_LE(std::tuple(a.begin_us, -a.end_us, a.tid, a.name),
+              std::tuple(b.begin_us, -b.end_us, b.tid, b.name));
   }
 }
 
