@@ -11,7 +11,8 @@ BUILD_DIR=${1:-build}
 
 if [[ ! -x "$BUILD_DIR/bench/bench_microkernels" ||
       ! -x "$BUILD_DIR/bench/bench_fig12_operators" ||
-      ! -x "$BUILD_DIR/bench/bench_overlap" ]]; then
+      ! -x "$BUILD_DIR/bench/bench_overlap" ||
+      ! -x "$BUILD_DIR/bench/bench_sparse" ]]; then
   echo "error: bench binaries missing under $BUILD_DIR/bench -- build first" >&2
   exit 1
 fi
@@ -20,6 +21,7 @@ fi
 export FUSEME_BENCH_GEMM_N=${FUSEME_BENCH_GEMM_N:-256}
 export FUSEME_BENCH_CFO_N=${FUSEME_BENCH_CFO_N:-512}
 export FUSEME_BENCH_OVERLAP_N=${FUSEME_BENCH_OVERLAP_N:-256}
+export FUSEME_BENCH_SPARSE_N=${FUSEME_BENCH_SPARSE_N:-512}
 
 SCRATCH=$(mktemp -d)
 trap 'rm -rf "$SCRATCH"' EXIT
@@ -54,5 +56,8 @@ run_and_check "$PWD/$BUILD_DIR/bench/bench_fig12_operators" \
 # Serial vs double-buffered prefetch; exits non-zero if prefetching
 # changes outputs or StageStats.
 run_and_check "$PWD/$BUILD_DIR/bench/bench_overlap" BENCH_overlap.json
+# Sparsity-aware kernels vs dense-style execution; exits non-zero if fewer
+# than two cells show a speedup or the sparse-stage prediction drifts past 2x.
+run_and_check "$PWD/$BUILD_DIR/bench/bench_sparse" BENCH_sparse.json
 
 echo "bench smoke passed"

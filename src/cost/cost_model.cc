@@ -12,8 +12,12 @@
 namespace fuseme {
 
 std::string Cuboid::ToString() const {
-  return "(" + std::to_string(P) + "," + std::to_string(Q) + "," +
-         std::to_string(R) + ")";
+  std::string s = "(" + std::to_string(P) + "," + std::to_string(Q) + "," +
+                  std::to_string(R);
+  // The W component is printed only when it differs from the default so
+  // plain (P,Q,R) plans keep their historical rendering.
+  if (W > 1) s += "," + std::to_string(W);
+  return s + ")";
 }
 
 std::int64_t NumOp(const Dag& dag, NodeId id) {
@@ -166,9 +170,14 @@ void CostModel::Walk(const PartialPlan& plan, const SparseDriver& driver,
       rep * compute_scale(mm) * static_cast<double>(NumOp(dag, mm));
 
   const Node& mm_node = dag.node(mm);
-  const Cuboid c_l{c.P, 1, c.R};
-  const Cuboid c_r{1, c.Q, c.R};
-  const Cuboid c_o{c.P, c.Q, 1};
+  // Nested spaces inherit the k-axis (R and its grouping W); the O space
+  // has no k-axis.  Partition divisors use groups(): a W-group leader task
+  // holds the W k-slices it processes, so per-task memory divides by the
+  // number of groups, not the number of slices.  Total shipped bytes are
+  // unchanged by W (the same slices travel, to fewer tasks).
+  const Cuboid c_l{c.P, 1, c.R, c.W};
+  const Cuboid c_r{1, c.Q, c.R, c.W};
+  const Cuboid c_o{c.P, c.Q, 1, 1};
 
   std::set<NodeId> consumed = {mm};
 
@@ -178,10 +187,10 @@ void CostModel::Walk(const PartialPlan& plan, const SparseDriver& driver,
     std::vector<NodeId> l_set = SubtreeWithin(dag, subset_set, lhs);
     consumed.insert(l_set.begin(), l_set.end());
     Walk(plan, driver, l_set, lhs, c_l, rep * static_cast<double>(c.Q),
-         static_cast<double>(c.P * c.R), acc);
+         static_cast<double>(c.P * c.groups()), acc);
   } else if (!plan.Contains(lhs)) {
     ChargeExternal(dag, lhs, rep * static_cast<double>(c.Q),
-                   static_cast<double>(c.P * c.R), acc);
+                   static_cast<double>(c.P * c.groups()), acc);
   }
 
   // R side.
@@ -190,10 +199,10 @@ void CostModel::Walk(const PartialPlan& plan, const SparseDriver& driver,
     std::vector<NodeId> r_set = SubtreeWithin(dag, subset_set, rhs);
     consumed.insert(r_set.begin(), r_set.end());
     Walk(plan, driver, r_set, rhs, c_r, rep * static_cast<double>(c.P),
-         static_cast<double>(c.Q * c.R), acc);
+         static_cast<double>(c.Q * c.groups()), acc);
   } else if (!plan.Contains(rhs)) {
     ChargeExternal(dag, rhs, rep * static_cast<double>(c.P),
-                   static_cast<double>(c.Q * c.R), acc);
+                   static_cast<double>(c.Q * c.groups()), acc);
   }
 
   // O space: whatever remains (ancestors of mm and their side branches).
@@ -213,7 +222,10 @@ void CostModel::Walk(const PartialPlan& plan, const SparseDriver& driver,
 }
 
 double CostModel::AggBytes(const Cuboid& c, const PartialPlan& plan) const {
-  if (c.R <= 1) return 0.0;
+  // A W-group merges its slices' partials locally inside the leader task,
+  // so only one partial per *group* (beyond the group holding r = 0)
+  // crosses the network.
+  if (c.groups() <= 1) return 0.0;
   const NodeId mm = plan.MainMatMul();
   if (mm == kInvalidNode) return 0.0;
   const Dag& dag = plan.dag();
@@ -223,7 +235,7 @@ double CostModel::AggBytes(const Cuboid& c, const PartialPlan& plan) const {
   if (driver.found()) {
     partial_nnz = std::min(partial_nnz, dag.node(driver.sparse_input).nnz);
   }
-  return static_cast<double>(c.R - 1) *
+  return static_cast<double>(c.groups() - 1) *
          static_cast<double>(Block::EstimateSizeBytes(
              mm_node.rows, mm_node.cols, partial_nnz));
 }
@@ -240,10 +252,11 @@ CostModel::Estimates CostModel::Estimate(const Cuboid& c,
   // Output partition of the fused operator (the |O|/T term of Table 1).
   acc.mem += static_cast<double>(SizeOf(plan.dag(), plan.root())) /
              static_cast<double>(std::max<std::int64_t>(1, c.P * c.Q));
-  // Masked partial evaluation ships the sparse mask to all R k-slices.
-  if (driver.found() && c.R > 1 &&
+  // Masked partial evaluation ships the sparse mask once per k-slice
+  // *group* (the W slices of a group share the leader's fetched copy).
+  if (driver.found() && c.groups() > 1 &&
       !plan.Contains(driver.sparse_input)) {
-    acc.net += static_cast<double>(c.R - 1) *
+    acc.net += static_cast<double>(c.groups() - 1) *
                static_cast<double>(SizeOf(plan.dag(), driver.sparse_input));
   }
   Estimates est;

@@ -21,13 +21,27 @@
 
 namespace fuseme {
 
-/// (P,Q,R)-cuboid partitioning parameters.
+/// (P,Q,R)-cuboid partitioning parameters, plus the k-slice grouping
+/// factor W (slices per mask-replica group).  The R k-slices are processed
+/// as ceil(R/W) *groups*; each group is one leader task that evaluates its
+/// W slices sequentially, sharing one fetched copy of the sparse mask and
+/// merging its partials locally before the cross-task aggregation.  W
+/// trades task parallelism on the R axis against mask-replication and
+/// aggregation traffic — the replication knob of distributed SpMM/SDDMM
+/// partitioning.  W = 1 (the default) reproduces the plain (P,Q,R) cuboid
+/// exactly; W only matters when R > 1 and a sparse driver exists, so the
+/// optimizer searches it only then.
 struct Cuboid {
   std::int64_t P = 1;
   std::int64_t Q = 1;
   std::int64_t R = 1;
+  std::int64_t W = 1;
 
   std::int64_t volume() const { return P * Q * R; }
+  /// Number of k-slice groups (= leader tasks per (p,q) pair).
+  std::int64_t groups() const { return W <= 1 ? R : (R + W - 1) / W; }
+  /// Number of schedulable tasks: P·Q·groups().
+  std::int64_t effective_volume() const { return P * Q * groups(); }
   bool operator==(const Cuboid&) const = default;
   std::string ToString() const;
 };

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <tuple>
+#include <vector>
 
+#include "fusion/sparsity_analysis.h"
 #include "telemetry/metric_names.h"
 #include "telemetry/metrics.h"
 
@@ -32,10 +34,11 @@ namespace {
 
 /// Deterministic preference among (near-)equal-cost choices: lower cost,
 /// then less network traffic, then smaller volume (fewer replicas), then
-/// smaller R (cheaper aggregation), then lexicographic (P, Q).  The final
-/// tie-break makes this a total order over distinct cuboids, so Exhaustive
-/// and Pruned pick the SAME cuboid among equal-cost candidates even though
-/// they enumerate the grid in different axis orders.
+/// smaller R (cheaper aggregation), then smaller W (more task parallelism
+/// on the k-axis), then lexicographic (P, Q).  The final tie-break makes
+/// this a total order over distinct cuboids, so Exhaustive and Pruned pick
+/// the SAME cuboid among equal-cost candidates even though they enumerate
+/// the grid in different axis orders.
 bool Better(const PqrChoice& a, const PqrChoice& b) {
   constexpr double kEps = 1e-12;
   if (a.cost + kEps < b.cost) return true;
@@ -44,7 +47,21 @@ bool Better(const PqrChoice& a, const PqrChoice& b) {
   if (b.net_bytes + kEps < a.net_bytes) return false;
   if (a.c.volume() != b.c.volume()) return a.c.volume() < b.c.volume();
   if (a.c.R != b.c.R) return a.c.R < b.c.R;
+  if (a.c.W != b.c.W) return a.c.W < b.c.W;
   return std::tie(a.c.P, a.c.Q) < std::tie(b.c.P, b.c.Q);
+}
+
+/// Candidate k-slice grouping factors for a given R.  W only pays when the
+/// mask-replication / aggregation terms exist — i.e. the plan has a sparse
+/// driver and R > 1 — so otherwise the search stays on the W = 1 plane and
+/// reproduces the historical (P,Q,R) enumeration exactly.  Powers of two
+/// up to R keep the extra dimension logarithmic.
+std::vector<std::int64_t> WCandidates(std::int64_t r, bool sparse_plan) {
+  std::vector<std::int64_t> ws = {1};
+  if (!sparse_plan || r <= 1) return ws;
+  for (std::int64_t w = 2; w < r; w *= 2) ws.push_back(w);
+  ws.push_back(r);
+  return ws;
 }
 
 }  // namespace
@@ -81,10 +98,14 @@ PqrChoice PqrOptimizer::Exhaustive(const PartialPlan& plan,
   GridDims g = model_->Grid(plan);
   if (max_r > 0) g.K = std::min(g.K, max_r);
   const std::int64_t min_volume = model_->config().total_tasks();
+  const bool sparse_plan = FindSparseDriver(plan, plan.MainMatMul()).found();
   PqrChoice best;
   if (g.I * g.J * g.K < min_volume) {
-    // The grid cannot fill the cluster: use the largest partitioning.
-    Consider(plan, Cuboid{g.I, g.J, g.K}, &best);
+    // The grid cannot fill the cluster: use the largest partitioning
+    // (grouping can still pay by cutting mask/aggregation traffic).
+    for (std::int64_t w : WCandidates(g.K, sparse_plan)) {
+      Consider(plan, Cuboid{g.I, g.J, g.K, w}, &best);
+    }
     if (!best.feasible) best.c = Cuboid{g.I, g.J, g.K};
     RecordSearch(best, 1);
     return best;
@@ -92,8 +113,13 @@ PqrChoice PqrOptimizer::Exhaustive(const PartialPlan& plan,
   for (std::int64_t p = 1; p <= g.I; ++p) {
     for (std::int64_t q = 1; q <= g.J; ++q) {
       for (std::int64_t r = 1; r <= g.K; ++r) {
-        if (p * q * r < min_volume) continue;
-        Consider(plan, Cuboid{p, q, r}, &best);
+        for (std::int64_t w : WCandidates(r, sparse_plan)) {
+          const Cuboid c{p, q, r, w};
+          // Schedulable tasks are the leader count, so the cluster-filling
+          // floor applies to the effective volume.
+          if (c.effective_volume() < min_volume) continue;
+          Consider(plan, c, &best);
+        }
       }
     }
   }
@@ -107,26 +133,33 @@ PqrChoice PqrOptimizer::Pruned(const PartialPlan& plan,
   GridDims g = model_->Grid(plan);
   if (max_r > 0) g.K = std::min(g.K, max_r);
   const std::int64_t min_volume = model_->config().total_tasks();
+  const bool sparse_plan = FindSparseDriver(plan, plan.MainMatMul()).found();
   PqrChoice best;
   if (g.I * g.J * g.K < min_volume) {
-    Consider(plan, Cuboid{g.I, g.J, g.K}, &best);
+    for (std::int64_t w : WCandidates(g.K, sparse_plan)) {
+      Consider(plan, Cuboid{g.I, g.J, g.K, w}, &best);
+    }
     if (!best.feasible) best.c = Cuboid{g.I, g.J, g.K};
     RecordSearch(best, 1);
     return best;
   }
   for (std::int64_t q = 1; q <= g.J; ++q) {
     for (std::int64_t r = 1; r <= g.K; ++r) {
-      // Smallest P that fills the cluster; cost is nondecreasing in P, so
-      // scan upward and stop at the first memory-feasible point.
-      std::int64_t p0 = (min_volume + q * r - 1) / (q * r);
-      p0 = std::max<std::int64_t>(p0, 1);
-      if (p0 > g.I) continue;
-      for (std::int64_t p = p0; p <= g.I; ++p) {
-        // First memory-feasible P wins this (q, r) column: NetEst and
-        // ComEst are nondecreasing in P while volume strictly grows, so
-        // every larger P compares worse under Better() (infeasible points
-        // must still be skipped — MemEst shrinks with P).
-        if (Consider(plan, Cuboid{p, q, r}, &best)) break;
+      for (std::int64_t w : WCandidates(r, sparse_plan)) {
+        const std::int64_t groups = Cuboid{1, 1, r, w}.groups();
+        // Smallest P that fills the cluster with leader tasks; cost is
+        // nondecreasing in P for fixed (q, r, w), so scan upward and stop
+        // at the first memory-feasible point.
+        std::int64_t p0 = (min_volume + q * groups - 1) / (q * groups);
+        p0 = std::max<std::int64_t>(p0, 1);
+        if (p0 > g.I) continue;
+        for (std::int64_t p = p0; p <= g.I; ++p) {
+          // First memory-feasible P wins this (q, r, w) column: NetEst and
+          // ComEst are nondecreasing in P while volume strictly grows, so
+          // every larger P compares worse under Better() (infeasible
+          // points must still be skipped — MemEst shrinks with P).
+          if (Consider(plan, Cuboid{p, q, r, w}, &best)) break;
+        }
       }
     }
   }

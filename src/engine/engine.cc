@@ -358,8 +358,10 @@ Result<StagePrediction> Engine::PredictStage(const PartialPlan& plan,
   auto fill_estimates = [&](const Cuboid& c,
                             const CostModel::Estimates& est) {
     pred.cuboid = c;
-    pred.num_tasks =
-        static_cast<int>(std::min<std::int64_t>(c.volume(), 1 << 24));
+    // W-grouped k-slices share a leader task, so schedulable tasks are the
+    // effective volume P·Q·⌈R/W⌉ (= P·Q·R when W = 1).
+    pred.num_tasks = static_cast<int>(
+        std::min<std::int64_t>(c.effective_volume(), 1 << 24));
     pred.net_bytes = est.net_bytes;
     pred.agg_bytes = est.agg_bytes;
     pred.flops = est.flops;

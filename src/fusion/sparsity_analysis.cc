@@ -1,27 +1,46 @@
 #include "fusion/sparsity_analysis.h"
 
+#include <unordered_map>
+
 namespace fuseme {
 
 namespace {
 
 /// True when the subtree under `id` (restricted to plan members) consists
 /// only of element-wise / transpose operators — i.e. the evaluator can
-/// compute it per element for the masked fast path.
-bool SubtreeIsElementwise(const PartialPlan& plan, NodeId id) {
+/// compute it per element for the masked fast path.  Memoized per NodeId:
+/// shared subexpressions make the "tree" a DAG, and an unmemoized walk is
+/// exponential in the sharing depth (a chain of n nodes each reusing the
+/// previous one twice costs 2^n visits).
+bool SubtreeIsElementwise(const PartialPlan& plan, NodeId id,
+                          std::unordered_map<NodeId, bool>* memo) {
   if (!plan.Contains(id)) return true;  // external inputs are fine
+  if (auto it = memo->find(id); it != memo->end()) return it->second;
   const Node& n = plan.dag().node(id);
+  bool ok = true;
   switch (n.kind) {
     case OpKind::kUnary:
     case OpKind::kBinary:
     case OpKind::kTranspose:
       break;
     default:
-      return false;
+      ok = false;
   }
-  for (NodeId in : n.inputs) {
-    if (!SubtreeIsElementwise(plan, in)) return false;
+  if (ok) {
+    for (NodeId in : n.inputs) {
+      if (!SubtreeIsElementwise(plan, in, memo)) {
+        ok = false;
+        break;
+      }
+    }
   }
-  return true;
+  memo->emplace(id, ok);
+  return ok;
+}
+
+bool SubtreeIsElementwise(const PartialPlan& plan, NodeId id) {
+  std::unordered_map<NodeId, bool> memo;
+  return SubtreeIsElementwise(plan, id, &memo);
 }
 
 }  // namespace

@@ -68,7 +68,10 @@ std::int64_t Block::SizeBytes() const {
     case Kind::kDense:
       return 8 * rows_ * cols_;
     case Kind::kSparse:
-      return 16 * nnz_ + 8 * (rows_ + 1);
+      // CSR on the wire: 8-byte value + 4-byte column index per entry
+      // (indices fit 32 bits at block granularity) + one 8-byte row extent
+      // per row.
+      return 12 * nnz_ + 8 * rows_;
     case Kind::kMeta:
       return EstimateSizeBytes(rows_, cols_, nnz_);
   }
@@ -81,7 +84,7 @@ std::int64_t Block::EstimateSizeBytes(std::int64_t rows, std::int64_t cols,
   double density =
       rows * cols == 0 ? 0.0 : static_cast<double>(nnz) / (rows * cols);
   if (density >= kDenseStorageThreshold) return 8 * rows * cols;
-  return 16 * nnz + 8 * (rows + 1);
+  return 12 * nnz + 8 * rows;
 }
 
 std::string Block::ToString() const {

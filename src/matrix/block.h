@@ -77,8 +77,10 @@ class Block {
   DenseMatrix ToDense() const;
 
   /// In-memory footprint used for memory accounting and the network-byte
-  /// model: dense tiles cost 8·rows·cols, sparse tiles 16·nnz (value +
-  /// column index + amortized row pointer), zero tiles a small header.
+  /// model: dense tiles cost 8·rows·cols, sparse tiles 12·nnz + 8·rows
+  /// (8-byte value + 4-byte column index per entry — block-local indices
+  /// fit 32 bits — plus an 8-byte extent per row), zero tiles a small
+  /// header.
   /// Meta blocks report what their materialized form *would* cost, picking
   /// dense vs. sparse by kDenseStorageThreshold.
   std::int64_t SizeBytes() const;

@@ -59,6 +59,30 @@ SparseMatrix SparseMatrix::FromDense(const DenseMatrix& dense) {
   return out;
 }
 
+SparseMatrix SparseMatrix::FromCsr(std::int64_t rows, std::int64_t cols,
+                                   std::vector<std::int64_t> row_ptr,
+                                   std::vector<std::int64_t> col_idx,
+                                   std::vector<double> values) {
+  FUSEME_CHECK_EQ(static_cast<std::int64_t>(row_ptr.size()), rows + 1);
+  FUSEME_CHECK_EQ(col_idx.size(), values.size());
+  FUSEME_CHECK_EQ(row_ptr.front(), 0);
+  FUSEME_CHECK_EQ(row_ptr.back(), static_cast<std::int64_t>(col_idx.size()));
+  SparseMatrix out(rows, cols);
+  out.row_ptr_ = std::move(row_ptr);
+  out.col_idx_ = std::move(col_idx);
+  out.values_ = std::move(values);
+#ifndef NDEBUG
+  for (std::int64_t i = 0; i < rows; ++i) {
+    FUSEME_CHECK(out.row_ptr_[i] <= out.row_ptr_[i + 1]);
+    for (std::int64_t p = out.row_ptr_[i]; p < out.row_ptr_[i + 1]; ++p) {
+      FUSEME_CHECK(out.col_idx_[p] >= 0 && out.col_idx_[p] < cols);
+      FUSEME_CHECK(p == out.row_ptr_[i] || out.col_idx_[p - 1] < out.col_idx_[p]);
+    }
+  }
+#endif
+  return out;
+}
+
 double SparseMatrix::At(std::int64_t i, std::int64_t j) const {
   FUSEME_CHECK(i >= 0 && i < rows_ && j >= 0 && j < cols_);
   auto begin = col_idx_.begin() + row_ptr_[i];

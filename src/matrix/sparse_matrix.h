@@ -26,6 +26,15 @@ class SparseMatrix {
   /// Converts a dense matrix, dropping exact zeros.
   static SparseMatrix FromDense(const DenseMatrix& dense);
 
+  /// Adopts already-built CSR arrays without re-sorting (for kernels that
+  /// emit rows in order, e.g. merge-joins).  row_ptr must be monotone with
+  /// row_ptr[0] == 0 and row_ptr[rows] == col_idx.size(); column indices
+  /// must be strictly increasing within each row.
+  static SparseMatrix FromCsr(std::int64_t rows, std::int64_t cols,
+                              std::vector<std::int64_t> row_ptr,
+                              std::vector<std::int64_t> col_idx,
+                              std::vector<double> values);
+
   std::int64_t rows() const { return rows_; }
   std::int64_t cols() const { return cols_; }
   std::int64_t nnz() const {

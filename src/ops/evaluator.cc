@@ -5,6 +5,7 @@
 
 #include "common/logging.h"
 #include "matrix/block_ops.h"
+#include "matrix/sparse_kernels.h"
 
 namespace fuseme {
 
@@ -172,7 +173,29 @@ Result<Block> KernelEvaluator::EvalUncached(NodeId node, std::int64_t bi,
       bool all_meta_inputs = false;
       Block meta_result;
       std::int64_t mm_flops = 0;
+      // Aᵀ·B fusion: when the lhs is an in-plan transpose of a sparse
+      // input, feed the *untransposed* block (kk, bi) straight into the
+      // transpose-SpMM kernel instead of materializing the transpose.
+      // Contributions per output element still arrive in ascending-k
+      // order, so the result is bitwise-identical; skipped when the
+      // transposed block is already injected or memoized (reuse is
+      // cheaper than recomputing).
+      const bool lhs_is_transpose =
+          plan_->Contains(n.inputs[0]) &&
+          dag.node(n.inputs[0]).kind == OpKind::kTranspose;
       for (std::int64_t kk = k0; kk < k1; ++kk) {
+        if (lhs_is_transpose && !injected_.contains({n.inputs[0], bi, kk}) &&
+            !cache_.contains({n.inputs[0], bi, kk})) {
+          const NodeId pre = dag.node(n.inputs[0]).inputs[0];
+          FUSEME_ASSIGN_OR_RETURN(Block araw, Eval(pre, kk, bi));
+          if (araw.kind() == Block::Kind::kSparse) {
+            FUSEME_ASSIGN_OR_RETURN(Block b, Eval(n.inputs[1], kk, bj));
+            if (b.is_real()) {
+              TransposeSpmmAcc(&acc, araw.sparse(), b, &mm_flops);
+              continue;
+            }
+          }
+        }
         FUSEME_ASSIGN_OR_RETURN(Block a, Eval(n.inputs[0], bi, kk));
         FUSEME_ASSIGN_OR_RETURN(Block b, Eval(n.inputs[1], kk, bj));
         if (a.is_meta() || b.is_meta()) {
@@ -225,6 +248,54 @@ Result<Block> KernelEvaluator::EvalUncached(NodeId node, std::int64_t bi,
   return Status::Internal("unknown node kind");
 }
 
+Result<bool> KernelEvaluator::TrySddmm(NodeId node, const Block& mask,
+                                       std::int64_t bi, std::int64_t bj,
+                                       std::vector<double>* vals) {
+  const Dag& dag = plan_->dag();
+  const Node& n = dag.node(node);
+  if (n.kind != OpKind::kMatMul) return false;
+  const NodeId lhs_id = n.inputs[0];
+  const NodeId rhs_id = n.inputs[1];
+  // Restricted to external operands: the element path evaluates in-plan
+  // operands per element (charging per element), which blockwise kernels
+  // cannot reproduce charge-for-charge.
+  if (plan_->Contains(lhs_id) || plan_->Contains(rhs_id)) return false;
+  if (mask.kind() != Block::Kind::kSparse) return false;
+
+  const Node& lhs = dag.node(lhs_id);
+  const NodeGrid lhs_grid{lhs.rows, lhs.cols, block_size_};
+  std::int64_t k0 = 0, k1 = lhs_grid.grid_cols();
+  if (node == restricted_mm_) {
+    k0 = k_begin_;
+    k1 = k_end_;
+  }
+  std::vector<Block> a_blocks, b_blocks;
+  a_blocks.reserve(k1 - k0);
+  b_blocks.reserve(k1 - k0);
+  for (std::int64_t kk = k0; kk < k1; ++kk) {
+    FUSEME_ASSIGN_OR_RETURN(Block a, Eval(lhs_id, bi, kk));
+    FUSEME_ASSIGN_OR_RETURN(Block b, Eval(rhs_id, kk, bj));
+    if (a.is_meta() || b.is_meta()) return false;  // simulated data
+    a_blocks.push_back(std::move(a));
+    b_blocks.push_back(std::move(b));
+  }
+
+  vals->assign(static_cast<std::size_t>(mask.nnz()), 0.0);
+  std::int64_t span = 0;       // total element-level k width
+  std::int64_t kernel_flops = 0;  // kernel-layer charge, superseded below
+  for (std::size_t idx = 0; idx < a_blocks.size(); ++idx) {
+    SddmmAcc(mask.sparse(), a_blocks[idx], b_blocks[idx], vals,
+             &kernel_flops);
+    span += a_blocks[idx].cols();
+  }
+  // Charge exactly what the element path would: 2·span per mask non-zero,
+  // all of it GEMM work.  (The kernel's own tally equals this; charging
+  // from `span` keeps the equivalence explicit.)
+  flops_ += 2 * span * mask.nnz();
+  gemm_flops_ += 2 * span * mask.nnz();
+  return true;
+}
+
 Result<Block> KernelEvaluator::EvalMaskedMul(const Node& n, std::int64_t bi,
                                              std::int64_t bj) {
   const bool mask_left = n.inputs[0] == driver_.sparse_input;
@@ -245,6 +316,31 @@ Result<Block> KernelEvaluator::EvalMaskedMul(const Node& n, std::int64_t bi,
   const std::int64_t gj0 = bj * block_size_;
   std::vector<std::tuple<std::int64_t, std::int64_t, double>> triplets;
   triplets.reserve(mask.nnz());
+  // SDDMM fast path when the masked operand is a bare matmul: blockwise
+  // dot kernels over the mask pattern, bitwise- and charge-identical to
+  // the per-element recursion below.
+  std::vector<double> dots;
+  if (plan_->Contains(other_id)) {
+    FUSEME_ASSIGN_OR_RETURN(bool sddmm,
+                            TrySddmm(other_id, mask, bi, bj, &dots));
+    if (sddmm) {
+      std::int64_t p = 0;
+      mask.sparse().ForEach([&](std::int64_t i, std::int64_t j, double v) {
+        const double other = dots[static_cast<std::size_t>(p++)];
+        const double out = mask_left ? v * other : other * v;
+        if (out != 0.0) triplets.emplace_back(i, j, out);
+      });
+      flops_ += mask.nnz();
+      SparseMatrix result = SparseMatrix::FromTriplets(
+          mask.rows(), mask.cols(), std::move(triplets));
+      if (result.nnz() == 0) return Block::Zero(mask.rows(), mask.cols());
+      if (result.density() >= kDenseStorageThreshold) {
+        ++sparse_to_dense_;
+        return Block::FromDense(result.ToDense());
+      }
+      return Block::FromSparse(std::move(result));
+    }
+  }
   Status element_status = Status::OK();
   mask.sparse().ForEach([&](std::int64_t i, std::int64_t j, double v) {
     if (!element_status.ok()) return;
@@ -284,6 +380,25 @@ Result<Block> KernelEvaluator::EvalMaskedNode(NodeId value_node,
   const std::int64_t gj0 = bj * block_size_;
   std::vector<std::tuple<std::int64_t, std::int64_t, double>> triplets;
   triplets.reserve(mask.nnz());
+  // The R>1 first phase masks the bare matmul itself — the SDDMM hot
+  // path.  Blockwise dots replace the per-element recursion when they can
+  // reproduce it exactly.
+  if (plan_->Contains(value_node)) {
+    std::vector<double> dots;
+    FUSEME_ASSIGN_OR_RETURN(bool sddmm,
+                            TrySddmm(value_node, mask, bi, bj, &dots));
+    if (sddmm) {
+      std::int64_t p = 0;
+      mask.sparse().ForEach([&](std::int64_t i, std::int64_t j, double) {
+        const double v = dots[static_cast<std::size_t>(p++)];
+        if (v != 0.0) triplets.emplace_back(i, j, v);
+      });
+      SparseMatrix result = SparseMatrix::FromTriplets(
+          mask.rows(), mask.cols(), std::move(triplets));
+      if (result.nnz() == 0) return Block::Zero(mask.rows(), mask.cols());
+      return Block::FromSparse(std::move(result));
+    }
+  }
   Status element_status = Status::OK();
   mask.sparse().ForEach([&](std::int64_t i, std::int64_t j, double) {
     if (!element_status.ok()) return;

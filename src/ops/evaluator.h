@@ -129,6 +129,15 @@ class KernelEvaluator {
   Result<Block> EvalUncached(NodeId node, std::int64_t bi, std::int64_t bj);
   Result<Block> EvalMaskedMul(const Node& n, std::int64_t bi,
                               std::int64_t bj);
+  /// SDDMM block fast path: when `node` is a plan-member matmul over two
+  /// *external* inputs, computes its value at every stored position of
+  /// `mask` (a sparse block) with blockwise dot kernels instead of one
+  /// EvalElement recursion per non-zero.  On success fills `vals` (CSR
+  /// order of mask, size nnz), charges the same FLOPs the element path
+  /// would, and returns true; returns false (charging nothing) when the
+  /// fast path does not apply and the caller must fall back.
+  Result<bool> TrySddmm(NodeId node, const Block& mask, std::int64_t bi,
+                        std::int64_t bj, std::vector<double>* vals);
   /// Element (gi, gj) — global coordinates — of `node`'s value.
   Result<double> EvalElement(NodeId node, std::int64_t gi, std::int64_t gj);
 

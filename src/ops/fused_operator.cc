@@ -14,6 +14,7 @@
 #include "common/logging.h"
 #include "common/thread_pool.h"
 #include "matrix/block_ops.h"
+#include "matrix/sparse_kernels.h"
 #include "ops/evaluator.h"
 #include "runtime/prefetcher.h"
 #include "telemetry/metric_names.h"
@@ -426,6 +427,15 @@ struct StageInstruments {
   Counter* dense_to_sparse = nullptr;
   Counter* output_nnz = nullptr;
   Counter* output_cells = nullptr;
+  Counter* sparse_flops = nullptr;
+  Counter* sddmm_dots = nullptr;
+  Counter* sparse_parallel = nullptr;
+  Counter* spmm_sparse_dense_calls = nullptr;
+  Counter* spmm_dense_sparse_calls = nullptr;
+  Counter* spmm_sparse_sparse_calls = nullptr;
+  Counter* transpose_spmm_calls = nullptr;
+  Counter* sddmm_calls = nullptr;
+  Counter* ewise_merge_join_calls = nullptr;
 
   static StageInstruments Resolve(MetricsRegistry* metrics) {
     StageInstruments ins;
@@ -445,7 +455,43 @@ struct StageInstruments {
         metric_names::kBlockConversions, {{"direction", "dense_to_sparse"}});
     ins.output_nnz = metrics->GetCounter(metric_names::kKernelOutputNnz);
     ins.output_cells = metrics->GetCounter(metric_names::kKernelOutputCells);
+    ins.sparse_flops = metrics->GetCounter(metric_names::kKernelSparseFlops);
+    ins.sddmm_dots = metrics->GetCounter(metric_names::kKernelSddmmDots);
+    ins.sparse_parallel =
+        metrics->GetCounter(metric_names::kKernelSparseParallel);
+    auto calls = [metrics](const char* kernel) {
+      return metrics->GetCounter(metric_names::kKernelSparseCalls,
+                                 {{"kernel", kernel}});
+    };
+    ins.spmm_sparse_dense_calls = calls("spmm_sparse_dense");
+    ins.spmm_dense_sparse_calls = calls("spmm_dense_sparse");
+    ins.spmm_sparse_sparse_calls = calls("spmm_sparse_sparse");
+    ins.transpose_spmm_calls = calls("transpose_spmm");
+    ins.sddmm_calls = calls("sddmm");
+    ins.ewise_merge_join_calls = calls("ewise_merge_join");
     return ins;
+  }
+
+  /// Folds the stage's sparse-kernel activity in: `before` is the
+  /// process-wide snapshot taken when the stage started.  Stages execute
+  /// one at a time, so the delta is exactly this stage's work.
+  void FlushSparseKernels(const SparseKernelStats& before) const {
+    if (sparse_flops == nullptr) return;
+    const SparseKernelStats now = SparseKernelStatsSnapshot();
+    sparse_flops->Add(now.flops - before.flops);
+    sddmm_dots->Add(now.sddmm_dots - before.sddmm_dots);
+    sparse_parallel->Add(now.parallel_launches - before.parallel_launches);
+    spmm_sparse_dense_calls->Add(now.spmm_sparse_dense_calls -
+                                 before.spmm_sparse_dense_calls);
+    spmm_dense_sparse_calls->Add(now.spmm_dense_sparse_calls -
+                                 before.spmm_dense_sparse_calls);
+    spmm_sparse_sparse_calls->Add(now.spmm_sparse_sparse_calls -
+                                  before.spmm_sparse_sparse_calls);
+    transpose_spmm_calls->Add(now.transpose_spmm_calls -
+                              before.transpose_spmm_calls);
+    sddmm_calls->Add(now.sddmm_calls - before.sddmm_calls);
+    ewise_merge_join_calls->Add(now.ewise_merge_join_calls -
+                                before.ewise_merge_join_calls);
   }
 
   /// Folds one kernel evaluator's counters in when a work item is done
@@ -464,6 +510,21 @@ struct StageInstruments {
     output_nnz->Add(block.nnz());
     output_cells->Add(block.rows() * block.cols());
   }
+};
+
+/// Scopes one stage's sparse-kernel activity: snapshots the process-wide
+/// counters at construction and feeds the delta to the metric families at
+/// destruction (any exit path).  Stages execute one at a time, so deltas
+/// never interleave.
+struct SparseKernelFlushGuard {
+  explicit SparseKernelFlushGuard(const StageInstruments& instruments)
+      : ins(instruments), before(SparseKernelStatsSnapshot()) {}
+  ~SparseKernelFlushGuard() { ins.FlushSparseKernels(before); }
+  SparseKernelFlushGuard(const SparseKernelFlushGuard&) = delete;
+  SparseKernelFlushGuard& operator=(const SparseKernelFlushGuard&) = delete;
+
+  const StageInstruments& ins;
+  SparseKernelStats before;
 };
 
 /// The work of one item, charged against a per-attempt local accounting.
@@ -709,6 +770,9 @@ Result<DistributedMatrix> CuboidFusedOperator::Execute(
   const std::int64_t eff_p = static_cast<std::int64_t>(i_parts.size());
   const std::int64_t eff_q = static_cast<std::int64_t>(j_parts.size());
   const std::int64_t eff_r = static_cast<std::int64_t>(k_parts.size());
+  // k-slice grouping factor (Cuboid::W): slices per leader task in phase 1.
+  const std::int64_t eff_w = std::clamp<std::int64_t>(c.W, 1, eff_r);
+  const std::int64_t eff_groups = (eff_r + eff_w - 1) / eff_w;
 
   BlockedMatrix out_blocks(root.rows, root.cols, bs);
   AggMerger agg_merger(root, ctx);
@@ -722,6 +786,7 @@ Result<DistributedMatrix> CuboidFusedOperator::Execute(
   const double pace =
       real_inputs ? ctx->config().emulated_shuffle_seconds_per_byte : 0.0;
   const StageInstruments ins = StageInstruments::Resolve(ctx->metrics());
+  SparseKernelFlushGuard sparse_guard(ins);
 
   auto task_id = [&](std::int64_t p, std::int64_t q, std::int64_t r) {
     return static_cast<int>((p * eff_q + q) * eff_r + r);
@@ -826,51 +891,78 @@ Result<DistributedMatrix> CuboidFusedOperator::Execute(
       }
 
       // --- Phase 1 (R > 1 only): per-k-slice partial matmuls. ---
+      // The k-slices run in W-sized *groups* (Cuboid::W; 1 = the plain
+      // layout).  A group is one leader task that evaluates its slices
+      // sequentially: every slice fetches through the leader (TaskFetcher
+      // dedups per task, so the sparse mask is charged once per group, not
+      // once per slice) and the group's partials merge locally before
+      // crossing into the column-wide map — only one aggregation transfer
+      // per group.  Slices and groups proceed r-ascending and both merge
+      // levels sum in first-seen order, so the result is bitwise-identical
+      // to W = 1 and to any serial execution.
       std::map<Coord, Block> mm_partials;
       if (eff_r > 1) {
         ScopedSpan phase1(ctx->tracer(),
                           "phase1 partial-mm (" + std::to_string(p) + "," +
                               std::to_string(q) + ")",
                           "phase");
-        for (std::int64_t r = 0; r < eff_r; ++r) {
-          const int task = task_id(p, q, r);
-          const auto [k0, k1] = k_parts[r];
-          if (k0 == k1) continue;
-          KernelEvaluator eval(&plan, bs, fetcher.For(task));
-          eval.RestrictK(mm, k0, k1);
-          if (driver.found()) eval.SetSparseDriver(driver);
-          std::vector<NodeId> roots{mm};
-          if (driver.found()) {
-            roots.insert(roots.begin(), driver.sparse_input);
-          }
-          FetchPipeline pipeline(ctx, &inputs, &fetcher, &eval,
-                                 std::move(roots), &coords, depth, &pipe);
-          for (std::size_t idx = 0; idx < coords.size(); ++idx) {
-            pipeline.BeforeBlock(idx);
-            const auto [bi, bj] = coords[idx];
-            Result<Block> partial =
-                driver.found()
-                    ? eval.EvalMaskedNode(mm, driver.sparse_input, bi, bj)
-                    : eval.Eval(mm, bi, bj);
-            FUSEME_RETURN_IF_ERROR(partial.status());
-            if (r != 0) {
-              // Shuffle to the r=0 task in the aggregation step.
-              local.ChargeAggregation(task, partial->SizeBytes());
+        for (std::int64_t g0 = 0; g0 < eff_r; g0 += eff_w) {
+          const std::int64_t g1 = std::min(eff_r, g0 + eff_w);
+          const int leader = task_id(p, q, g0);
+          std::map<Coord, Block> group_partials;
+          for (std::int64_t r = g0; r < g1; ++r) {
+            const auto [k0, k1] = k_parts[r];
+            if (k0 == k1) continue;
+            KernelEvaluator eval(&plan, bs, fetcher.For(leader));
+            eval.RestrictK(mm, k0, k1);
+            if (driver.found()) eval.SetSparseDriver(driver);
+            std::vector<NodeId> roots{mm};
+            if (driver.found()) {
+              roots.insert(roots.begin(), driver.sparse_input);
             }
-            auto it = mm_partials.find({bi, bj});
+            FetchPipeline pipeline(ctx, &inputs, &fetcher, &eval,
+                                   std::move(roots), &coords, depth, &pipe);
+            for (std::size_t idx = 0; idx < coords.size(); ++idx) {
+              pipeline.BeforeBlock(idx);
+              const auto [bi, bj] = coords[idx];
+              Result<Block> partial =
+                  driver.found()
+                      ? eval.EvalMaskedNode(mm, driver.sparse_input, bi, bj)
+                      : eval.Eval(mm, bi, bj);
+              FUSEME_RETURN_IF_ERROR(partial.status());
+              auto it = group_partials.find({bi, bj});
+              if (it == group_partials.end()) {
+                group_partials.emplace(Coord{bi, bj}, std::move(*partial));
+              } else {
+                FUSEME_ASSIGN_OR_RETURN(
+                    it->second,
+                    MergeAgg(AggFn::kSum, it->second, *partial, nullptr));
+              }
+            }
+            pipeline.Finish();
+            local.ChargeFlops(leader, eval.flops());
+            ins.FlushEvaluator(eval);
+          }
+          // Commit the group's merged partials.  std::map iterates in the
+          // same (bi, bj) order the coords were evaluated in, so the
+          // column-wide merge keeps the per-coordinate r-ascending
+          // summation order.
+          for (auto& [coord, block] : group_partials) {
+            if (leader != task_id(p, q, 0)) {
+              // Shuffle to the r=0 task in the aggregation step.
+              local.ChargeAggregation(leader, block.SizeBytes());
+            }
+            auto it = mm_partials.find(coord);
             if (it == mm_partials.end()) {
               FUSEME_RETURN_IF_ERROR(local.ChargeMemory(
-                  task_id(p, q, 0), partial->SizeBytes()));
-              mm_partials.emplace(Coord{bi, bj}, std::move(*partial));
+                  task_id(p, q, 0), block.SizeBytes()));
+              mm_partials.emplace(coord, std::move(block));
             } else {
               FUSEME_ASSIGN_OR_RETURN(
                   it->second,
-                  MergeAgg(AggFn::kSum, it->second, *partial, nullptr));
+                  MergeAgg(AggFn::kSum, it->second, block, nullptr));
             }
           }
-          pipeline.Finish();
-          local.ChargeFlops(task, eval.flops());
-          ins.FlushEvaluator(eval);
         }
       }
 
@@ -924,7 +1016,9 @@ Result<DistributedMatrix> CuboidFusedOperator::Execute(
     }
   }
 
-  const int num_tasks = static_cast<int>(eff_p * eff_q * eff_r);
+  // Schedulable tasks: W-grouped k-slices share a leader, so the count is
+  // P·Q·⌈R/W⌉ (= P·Q·R when W = 1).
+  const int num_tasks = static_cast<int>(eff_p * eff_q * eff_groups);
   if (agg_root) {
     return agg_merger.Finish(bs, num_tasks);
   }
@@ -984,6 +1078,7 @@ Result<DistributedMatrix> BroadcastFusedOperator::Execute(
   const double pace =
       real_inputs ? ctx->config().emulated_shuffle_seconds_per_byte : 0.0;
   const StageInstruments ins = StageInstruments::Resolve(ctx->metrics());
+  SparseKernelFlushGuard sparse_guard(ins);
 
   // One work item per task: receive the broadcast side inputs, then
   // evaluate this task's round-robin share of the output grid, fetching

@@ -91,6 +91,20 @@ inline constexpr char kKernelGemmFlops[] = "fuseme_kernel_gemm_flops_total";
 /// {direction="sparse_to_dense|dense_to_sparse"}.
 inline constexpr char kBlockConversions[] =
     "fuseme_block_conversions_total";
+/// Sparse-kernel invocations, labeled {kernel="spmm_sparse_dense|
+/// spmm_dense_sparse|spmm_sparse_sparse|transpose_spmm|sddmm|
+/// ewise_merge_join"} (DESIGN.md section 15).
+inline constexpr char kKernelSparseCalls[] =
+    "fuseme_kernel_sparse_calls_total";
+/// FLOPs executed inside the sparse kernels (subset of kKernelFlops).
+inline constexpr char kKernelSparseFlops[] =
+    "fuseme_kernel_sparse_flops_total";
+/// Dot-product evaluations (mask non-zeros × k-blocks) in SDDMM.
+inline constexpr char kKernelSddmmDots[] =
+    "fuseme_kernel_sddmm_dots_total";
+/// Sparse-kernel invocations that split over the global thread pool.
+inline constexpr char kKernelSparseParallel[] =
+    "fuseme_kernel_sparse_parallel_launches_total";
 /// Nonzeros in committed output blocks (density numerator).
 inline constexpr char kKernelOutputNnz[] = "fuseme_kernel_output_nnz_total";
 /// Cells in committed output blocks (density denominator).

@@ -498,14 +498,14 @@ std::vector<VerifierDiagnostic> PlanVerifier::VerifyCuboidImpl(
   if (model_ != nullptr) {
     const GridDims g = model_->Grid(plan);
     if (c.P < 1 || c.P > g.I || c.Q < 1 || c.Q > g.J || c.R < 1 ||
-        c.R > g.K) {
+        c.R > g.K || c.W < 1 || c.W > g.K) {
       Emit(&diags, rules::kCuboidBounds, root,
            c.ToString() + " outside the plan's " + std::to_string(g.I) +
                "x" + std::to_string(g.J) + "x" + std::to_string(g.K) +
                " block grid");
       return diags;  // MemEst on an out-of-grid cuboid is meaningless
     }
-  } else if (c.P < 1 || c.Q < 1 || c.R < 1) {
+  } else if (c.P < 1 || c.Q < 1 || c.R < 1 || c.W < 1) {
     Emit(&diags, rules::kCuboidBounds, root,
          c.ToString() + " has a non-positive axis");
     return diags;

@@ -204,7 +204,7 @@ TEST(SizeOfTest, PicksStorageFormat) {
   NodeId dense = *dag.AddInput("D", 100, 100);
   NodeId sparse = *dag.AddInput("S", 100, 100, 100);
   EXPECT_EQ(SizeOf(dag, dense), 8 * 100 * 100);
-  EXPECT_EQ(SizeOf(dag, sparse), 16 * 100 + 8 * 101);
+  EXPECT_EQ(SizeOf(dag, sparse), 12 * 100 + 8 * 100);
   NodeId scalar = *dag.AddScalar(2.0);
   EXPECT_EQ(SizeOf(dag, scalar), 8);
 }

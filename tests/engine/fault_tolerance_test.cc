@@ -193,9 +193,10 @@ TEST(FaultToleranceTest, OomDegradationCompletesRealWorkload) {
   const std::int64_t cfo_needs =
       std::max(cfo_probe.report.max_task_memory,
                static_cast<std::int64_t>(cfo_pred->mem_per_task));
-  const std::int64_t budget = cfo_needs * 2;
-  ASSERT_LT(budget, bfo_probe.report.max_task_memory)
+  ASSERT_LT(cfo_needs, bfo_probe.report.max_task_memory)
       << "workload geometry no longer separates BFO from CFO footprints";
+  const std::int64_t budget =
+      (cfo_needs + bfo_probe.report.max_task_memory) / 2;
 
   // Without recovery the squeezed budget is a terminal O.O.M. cell.
   EngineOptions squeezed = Options(SystemMode::kFuseMe);

@@ -72,6 +72,39 @@ TEST(SparsityAnalysisTest, StopsAtNonElementwiseAncestor) {
   EXPECT_FALSE(FindSparseDriver(plan, mm).found());
 }
 
+TEST(SparsityAnalysisTest, DeepSharedSubexpressionMaskTerminates) {
+  // The in-plan mask is a diamond chain: 34 levels of e_{i+1} = e_i * e_i,
+  // each level reusing the previous node twice.  An unmemoized
+  // SubtreeIsElementwise walk visits 2^34 nodes and effectively hangs;
+  // the memoized walk is linear.  The walk runs before the density check,
+  // so the blowup is density-independent — this test must finish fast
+  // regardless of whether a driver is ultimately reported.
+  Dag dag;
+  NodeId x = *dag.AddInput("X", 64, 64, /*nnz=*/40);
+  NodeId u = *dag.AddInput("U", 64, 8);
+  NodeId v = *dag.AddInput("V", 8, 64);
+  NodeId mm = *dag.AddMatMul(u, v);
+  NodeId e = x;
+  std::vector<NodeId> members;
+  for (int level = 0; level < 34; ++level) {
+    e = *dag.AddBinary(BinaryFn::kMul, e, e);
+    members.push_back(e);
+  }
+  NodeId mul = *dag.AddBinary(BinaryFn::kMul, mm, e);
+  members.insert(members.begin(), mm);
+  members.push_back(mul);
+  // The diamond chain is a DAG, not a tree, so bypass the constructor's
+  // tree checks the way the verifier tests do.
+  PartialPlan plan = PartialPlan::UncheckedForTest(&dag, members, mul);
+  SparseDriver driver = FindSparseDriver(plan, mm);
+  // The chain is element-wise throughout, so the walk itself accepts it;
+  // whether the driver fires then depends only on the density estimate.
+  if (driver.found()) {
+    EXPECT_EQ(driver.mul_node, mul);
+    EXPECT_EQ(driver.sparse_input, e);
+  }
+}
+
 TEST(SparsityAnalysisTest, InvalidMainMatMul) {
   GnmfQuery q = BuildGnmf(100, 80, 4, 40);
   PartialPlan plan(&q.dag, {q.a1, q.a3}, q.a3);

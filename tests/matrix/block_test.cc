@@ -64,13 +64,13 @@ TEST(BlockTest, SizeBytesSparse) {
   SparseMatrix s = SparseMatrix::FromTriplets(10, 10, {{0, 0, 1.0},
                                                        {5, 5, 2.0}});
   Block b = Block::FromSparse(s);
-  EXPECT_EQ(b.SizeBytes(), 16 * 2 + 8 * 11);
+  EXPECT_EQ(b.SizeBytes(), 12 * 2 + 8 * 10);
 }
 
 TEST(BlockTest, MetaSizePicksFormatByDensity) {
   // Sparse descriptor: 1% density.
   Block sparse_meta = Block::Meta(100, 100, 100);
-  EXPECT_EQ(sparse_meta.SizeBytes(), 16 * 100 + 8 * 101);
+  EXPECT_EQ(sparse_meta.SizeBytes(), 12 * 100 + 8 * 100);
   // Dense descriptor: above the storage threshold.
   Block dense_meta = Block::Meta(100, 100, 5000);
   EXPECT_EQ(dense_meta.SizeBytes(), 8 * 100 * 100);
