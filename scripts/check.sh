@@ -4,8 +4,10 @@
 #   2. metrics_report end-to-end smoke (Prometheus/JSON export validation)
 #   3. clang-tidy static analysis (skipped with a warning when the tool
 #      is not installed — see scripts/run_tidy.sh)
-#   4. the whole suite under UndefinedBehaviorSanitizer (build-ubsan/)
-#   5. the whole suite under AddressSanitizer (build-asan/)
+#   4. fuseme_lint repo-invariant scan (scripts/run_lint.sh — never
+#      skipped; the linter builds with the repo's own toolchain)
+#   5. the whole suite under UndefinedBehaviorSanitizer (build-ubsan/)
+#   6. the whole suite under AddressSanitizer (build-asan/)
 # With FUSEME_CHECK_BENCH=1, also smoke-runs the measurement harnesses at
 # tiny shapes and checks their BENCH_*.json sinks (scripts/run_bench_smoke.sh).
 # Usage: scripts/check.sh
@@ -60,6 +62,9 @@ fi
 
 echo "== clang-tidy =="
 scripts/run_tidy.sh
+
+echo "== fuseme_lint (repo invariants) =="
+scripts/run_lint.sh
 
 echo "== UndefinedBehaviorSanitizer suite (build-ubsan/) =="
 scripts/run_ubsan.sh

@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Builds fuseme_lint and runs it over the tree (src/ tests/ bench/
+# examples/), exiting non-zero on any finding.
+#
+# Degradation story: unlike run_tidy.sh (which skips when clang-tidy is
+# not installed), this gate has NO skip path — fuseme_lint is a plain
+# C++ target with no dependency beyond the baked-in toolchain, so if the
+# repo builds at all, the lint runs.  The only external inputs are the
+# repo's own files (metric catalogue, DESIGN.md), read relative to the
+# repo root.
+# Usage: scripts/run_lint.sh [extra fuseme_lint args]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR=build
+
+cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
+cmake --build "$BUILD_DIR" -j "$(nproc)" --target fuseme_lint >/dev/null
+
+"$BUILD_DIR"/tools/fuseme_lint --root . src tests bench examples "$@"
+echo "run_lint.sh: tree is lint-clean"

@@ -7,6 +7,9 @@ namespace fuseme {
 namespace {
 
 std::atomic<int> g_log_level{[] {
+  // getenv is mt-unsafe only against concurrent setenv; this runs during
+  // static initialization, before main can spawn threads or setenv.
+  // NOLINTNEXTLINE(concurrency-mt-unsafe)
   if (const char* env = std::getenv("FUSEME_LOG_LEVEL")) {
     int v = std::atoi(env);
     if (v >= 0 && v <= 3) return v;
@@ -30,14 +33,13 @@ const char* LevelName(LogLevel level) {
 
 // Sink and counter hook share one mutex: installs and every emitted
 // message serialize on it, so an uninstall returning means no thread is
-// still inside the old sink/hook.
-std::mutex& SinkMutex() {
-  static std::mutex mu;
-  return mu;
-}
-LogSink* g_sink = nullptr;               // guarded by SinkMutex()
-LogCounterHook g_counter_hook = nullptr;  // guarded by SinkMutex()
-void* g_counter_hook_arg = nullptr;       // guarded by SinkMutex()
+// still inside the old sink/hook.  Mutex wraps std::mutex, whose default
+// constructor is constexpr — g_sink_mu is constant-initialized, so
+// logging from other translation units' static initializers is safe.
+Mutex g_sink_mu;
+LogSink* g_sink GUARDED_BY(g_sink_mu) = nullptr;
+LogCounterHook g_counter_hook GUARDED_BY(g_sink_mu) = nullptr;
+void* g_counter_hook_arg GUARDED_BY(g_sink_mu) = nullptr;
 
 }  // namespace
 
@@ -64,31 +66,31 @@ const char* LogLevelLabel(LogLevel level) {
 }
 
 LogSink* SetLogSink(LogSink* sink) {
-  std::lock_guard<std::mutex> lock(SinkMutex());
+  MutexLock lock(g_sink_mu);
   LogSink* previous = g_sink;
   g_sink = sink;
   return previous;
 }
 
 void SetLogCounterHook(LogCounterHook hook, void* arg) {
-  std::lock_guard<std::mutex> lock(SinkMutex());
+  MutexLock lock(g_sink_mu);
   g_counter_hook = hook;
   g_counter_hook_arg = arg;
 }
 
 void CaptureLogSink::Write(LogLevel level, const std::string& line) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   messages_.emplace_back(level, line);
 }
 
 std::vector<std::pair<LogLevel, std::string>> CaptureLogSink::messages()
     const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return messages_;
 }
 
 std::size_t CaptureLogSink::CountAt(LogLevel level) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::size_t n = 0;
   for (const auto& [msg_level, line] : messages_) {
     if (msg_level == level) ++n;
@@ -97,7 +99,7 @@ std::size_t CaptureLogSink::CountAt(LogLevel level) const {
 }
 
 void CaptureLogSink::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   messages_.clear();
 }
 
@@ -110,7 +112,7 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line)
 
 LogMessage::~LogMessage() {
   const std::string line = stream_.str();
-  std::lock_guard<std::mutex> lock(SinkMutex());
+  MutexLock lock(g_sink_mu);
   if (g_counter_hook != nullptr) g_counter_hook(level_, g_counter_hook_arg);
   if (g_sink != nullptr) {
     g_sink->Write(level_, line);

@@ -9,11 +9,12 @@
 
 #include <cstdlib>
 #include <iostream>
-#include <mutex>
 #include <sstream>
 #include <string>
 #include <utility>
 #include <vector>
+
+#include "common/synchronization.h"
 
 namespace fuseme {
 
@@ -52,8 +53,8 @@ class CaptureLogSink : public LogSink {
   void Clear();
 
  private:
-  mutable std::mutex mu_;
-  std::vector<std::pair<LogLevel, std::string>> messages_;
+  mutable Mutex mu_;
+  std::vector<std::pair<LogLevel, std::string>> messages_ GUARDED_BY(mu_);
 };
 
 /// Counter hook, invoked for every message that passes the level filter

@@ -28,17 +28,17 @@ ThreadPool::ThreadPool(int num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     shutdown_ = true;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   for (std::thread& worker : workers_) worker.join();
 }
 
 bool ThreadPool::InWorker() const { return current_pool == this; }
 
 std::size_t ThreadPool::ApproxQueueDepth() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return queue_.size();
 }
 
@@ -50,10 +50,10 @@ void ThreadPool::Enqueue(std::function<void()> task) {
     return;
   }
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     queue_.push_back(std::move(task));
   }
-  cv_.notify_one();
+  cv_.NotifyOne();
 }
 
 void ThreadPool::WorkerLoop() {
@@ -61,8 +61,8 @@ void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this]() { return shutdown_ || !queue_.empty(); });
+      MutexLock lock(mu_);
+      while (!shutdown_ && queue_.empty()) cv_.Wait(mu_);
       if (queue_.empty()) return;  // shutdown with a drained queue
       task = std::move(queue_.front());
       queue_.pop_front();
@@ -95,9 +95,10 @@ void ThreadPool::ParallelFor(std::int64_t begin, std::int64_t end,
     std::int64_t end = 0;
     const std::function<void(std::int64_t)>* fn = nullptr;
     std::atomic<bool> abort{false};
-    std::mutex mu;
-    std::exception_ptr error;
-    std::int64_t error_index = std::numeric_limits<std::int64_t>::max();
+    Mutex mu;
+    std::exception_ptr error GUARDED_BY(mu);
+    std::int64_t error_index GUARDED_BY(mu) =
+        std::numeric_limits<std::int64_t>::max();
   };
   auto state = std::make_shared<State>();
   state->next.store(begin, std::memory_order_relaxed);
@@ -111,7 +112,7 @@ void ThreadPool::ParallelFor(std::int64_t begin, std::int64_t end,
       try {
         (*s->fn)(i);
       } catch (...) {
-        std::lock_guard<std::mutex> lock(s->mu);
+        MutexLock lock(s->mu);
         if (i < s->error_index) {
           s->error_index = i;
           s->error = std::current_exception();
@@ -134,7 +135,7 @@ void ThreadPool::ParallelFor(std::int64_t begin, std::int64_t end,
   // racing that release.
   std::exception_ptr error;
   {
-    std::lock_guard<std::mutex> lock(state->mu);
+    MutexLock lock(state->mu);
     error = std::move(state->error);
     state->error = nullptr;
   }
@@ -143,11 +144,14 @@ void ThreadPool::ParallelFor(std::int64_t begin, std::int64_t end,
 
 namespace {
 
-std::mutex global_pool_mu;
-std::unique_ptr<ThreadPool> global_pool;
-int global_parallelism = 0;  // 0 = not yet resolved
+Mutex global_pool_mu;
+std::unique_ptr<ThreadPool> global_pool GUARDED_BY(global_pool_mu);
+int global_parallelism GUARDED_BY(global_pool_mu) = 0;  // 0 = unresolved
 
 int DefaultParallelism() {
+  // getenv is mt-unsafe only against concurrent setenv; this read happens
+  // on first pool use, before the process mutates its environment.
+  // NOLINTNEXTLINE(concurrency-mt-unsafe)
   if (const char* env = std::getenv("FUSEME_THREADS")) {
     const int parsed = std::atoi(env);
     if (parsed >= 1) return parsed;
@@ -159,7 +163,7 @@ int DefaultParallelism() {
 }  // namespace
 
 ThreadPool* GlobalThreadPool() {
-  std::lock_guard<std::mutex> lock(global_pool_mu);
+  MutexLock lock(global_pool_mu);
   if (global_pool == nullptr) {
     if (global_parallelism == 0) global_parallelism = DefaultParallelism();
     global_pool = std::make_unique<ThreadPool>(global_parallelism - 1);
@@ -168,7 +172,7 @@ ThreadPool* GlobalThreadPool() {
 }
 
 int GlobalParallelism() {
-  std::lock_guard<std::mutex> lock(global_pool_mu);
+  MutexLock lock(global_pool_mu);
   if (global_parallelism == 0) global_parallelism = DefaultParallelism();
   return global_parallelism;
 }
@@ -176,7 +180,7 @@ int GlobalParallelism() {
 void SetGlobalThreadPoolThreads(int num_threads) {
   std::unique_ptr<ThreadPool> old;
   {
-    std::lock_guard<std::mutex> lock(global_pool_mu);
+    MutexLock lock(global_pool_mu);
     global_parallelism = std::max(num_threads, 1);
     old = std::move(global_pool);  // destroyed (joined) outside the lock
     global_pool = std::make_unique<ThreadPool>(global_parallelism - 1);

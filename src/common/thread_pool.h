@@ -25,15 +25,15 @@
 #ifndef FUSEME_COMMON_THREAD_POOL_H_
 #define FUSEME_COMMON_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <future>
-#include <mutex>
 #include <thread>
 #include <type_traits>
 #include <vector>
+
+#include "common/synchronization.h"
 
 namespace fuseme {
 
@@ -87,10 +87,12 @@ class ThreadPool {
   void Enqueue(std::function<void()> task);
   void WorkerLoop();
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<std::function<void()>> queue_;
-  bool shutdown_ = false;
+  mutable Mutex mu_;
+  CondVar cv_;
+  std::deque<std::function<void()>> queue_ GUARDED_BY(mu_);
+  bool shutdown_ GUARDED_BY(mu_) = false;
+  /// Written only by the constructor, before any worker can observe the
+  /// pool; read-only afterwards, so unguarded.
   std::vector<std::thread> workers_;
 };
 

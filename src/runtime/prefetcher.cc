@@ -51,13 +51,13 @@ struct BlockPrefetcher::Shared {
   Source source;
   Options opts;
 
-  mutable std::mutex mu;
-  std::condition_variable cv;
-  std::map<PrefetchKey, std::shared_ptr<Entry>> entries;
+  mutable Mutex mu;
+  CondVar cv;
+  std::map<PrefetchKey, std::shared_ptr<Entry>> entries GUARDED_BY(mu);
   /// Copies currently executing on pool threads; the destructor drains
   /// this to zero so no task outlives the source's inputs.
-  int pool_copies_running = 0;
-  PrefetchCounters counters;
+  int pool_copies_running GUARDED_BY(mu) = 0;
+  PrefetchCounters counters GUARDED_BY(mu);
 
   // Resolved once; null with a null registry (pointer test per event).
   Counter* issued_metric = nullptr;
@@ -69,10 +69,10 @@ struct BlockPrefetcher::Shared {
   Histogram* wait_seconds_metric = nullptr;
 
   /// Unconsumed entries, under mu.
-  std::int64_t InFlightLocked() const {
+  std::int64_t InFlightLocked() const REQUIRES(mu) {
     return static_cast<std::int64_t>(entries.size());
   }
-  void UpdateDepthGaugeLocked() {
+  void UpdateDepthGaugeLocked() REQUIRES(mu) {
     if (in_flight_metric != nullptr) {
       in_flight_metric->Set(static_cast<double>(InFlightLocked()));
     }
@@ -107,9 +107,8 @@ BlockPrefetcher::~BlockPrefetcher() { Drain(); }
 
 void BlockPrefetcher::Drain() {
   CancelPending();
-  std::unique_lock<std::mutex> lock(shared_->mu);
-  shared_->cv.wait(lock,
-                   [this] { return shared_->pool_copies_running == 0; });
+  MutexLock lock(shared_->mu);
+  while (shared_->pool_copies_running != 0) shared_->cv.Wait(shared_->mu);
   // Copies that completed but were never consumed are dropped here; they
   // count as cancelled so the telemetry shows over-prefetching.
   const auto leftovers =
@@ -128,7 +127,7 @@ void BlockPrefetcher::RunCopy(const std::shared_ptr<Shared>& shared,
                               const std::shared_ptr<Entry>& entry,
                               const PrefetchKey& key) {
   {
-    std::lock_guard<std::mutex> lock(shared->mu);
+    MutexLock lock(shared->mu);
     int expected = Entry::kQueued;
     if (!entry->state.compare_exchange_strong(expected, Entry::kRunning)) {
       return;  // stolen by the consumer or cancelled
@@ -141,20 +140,20 @@ void BlockPrefetcher::RunCopy(const std::shared_ptr<Shared>& shared,
   }
   Result<Block> value = shared->source(key);
   {
-    std::lock_guard<std::mutex> lock(shared->mu);
+    MutexLock lock(shared->mu);
     const bool ok = value.ok();
     entry->value = std::move(value);
     entry->state.store(ok ? Entry::kReady : Entry::kFailed);
     --shared->pool_copies_running;
   }
-  shared->cv.notify_all();
+  shared->cv.NotifyAll();
   if (done != nullptr) done(PrefetchOutcome::kReady);
 }
 
 void BlockPrefetcher::Prefetch(const PrefetchKey& key) {
   std::shared_ptr<Entry> entry;
   {
-    std::lock_guard<std::mutex> lock(shared_->mu);
+    MutexLock lock(shared_->mu);
     auto [it, inserted] =
         shared_->entries.emplace(key, nullptr);
     if (!inserted) return;  // already staged (and not yet consumed)
@@ -180,7 +179,7 @@ void BlockPrefetcher::Prefetch(const PrefetchKey& key) {
 }
 
 std::optional<Result<Block>> BlockPrefetcher::Take(const PrefetchKey& key) {
-  std::unique_lock<std::mutex> lock(shared_->mu);
+  MutexLock lock(shared_->mu);
   auto it = shared_->entries.find(key);
   if (it == shared_->entries.end()) return std::nullopt;
   std::shared_ptr<Entry> entry = it->second;
@@ -191,8 +190,9 @@ std::optional<Result<Block>> BlockPrefetcher::Take(const PrefetchKey& key) {
     int expected = Entry::kQueued;
     if (entry->state.compare_exchange_strong(expected, Entry::kRunning)) {
       // Steal: the pool has not started this copy; run it inline instead
-      // of waiting for a saturated queue.
-      lock.unlock();
+      // of waiting for a saturated queue.  The scope re-acquires below,
+      // which the thread-safety analysis verifies.
+      lock.Unlock();
       std::function<void(PrefetchOutcome)> done;
       if (shared_->opts.copy_hook != nullptr) {
         done = shared_->opts.copy_hook(key);
@@ -201,7 +201,7 @@ std::optional<Result<Block>> BlockPrefetcher::Take(const PrefetchKey& key) {
       Result<Block> value = shared_->source(key);
       const double elapsed = SecondsSince(begin);
       if (done != nullptr) done(PrefetchOutcome::kStolen);
-      lock.lock();
+      lock.Lock();
       const bool ok = value.ok();
       entry->value = std::move(value);
       entry->state.store(ok ? Entry::kReady : Entry::kFailed);
@@ -222,11 +222,14 @@ std::optional<Result<Block>> BlockPrefetcher::Take(const PrefetchKey& key) {
     // The steal above already attributed this consumption.
   } else if (state == Entry::kRunning) {
     const auto begin = std::chrono::steady_clock::now();
-    shared_->cv.wait(lock, [&entry] {
+    for (;;) {
       const int s = entry->state.load();
-      return s == Entry::kReady || s == Entry::kFailed ||
-             s == Entry::kCancelled;
-    });
+      if (s == Entry::kReady || s == Entry::kFailed ||
+          s == Entry::kCancelled) {
+        break;
+      }
+      shared_->cv.Wait(shared_->mu);
+    }
     const double elapsed = SecondsSince(begin);
     ++shared_->counters.waited;
     shared_->counters.fetch_wait_seconds += elapsed;
@@ -252,7 +255,7 @@ std::optional<Result<Block>> BlockPrefetcher::Take(const PrefetchKey& key) {
 }
 
 void BlockPrefetcher::CancelPending() {
-  std::lock_guard<std::mutex> lock(shared_->mu);
+  MutexLock lock(shared_->mu);
   for (auto it = shared_->entries.begin(); it != shared_->entries.end();) {
     int expected = Entry::kQueued;
     if (it->second->state.compare_exchange_strong(expected,
@@ -270,12 +273,12 @@ void BlockPrefetcher::CancelPending() {
 }
 
 std::int64_t BlockPrefetcher::InFlight() const {
-  std::lock_guard<std::mutex> lock(shared_->mu);
+  MutexLock lock(shared_->mu);
   return shared_->InFlightLocked();
 }
 
 PrefetchCounters BlockPrefetcher::counters() const {
-  std::lock_guard<std::mutex> lock(shared_->mu);
+  MutexLock lock(shared_->mu);
   return shared_->counters;
 }
 

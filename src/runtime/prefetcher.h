@@ -29,16 +29,15 @@
 #define FUSEME_RUNTIME_PREFETCHER_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 
 #include "common/result.h"
+#include "common/synchronization.h"
 #include "common/thread_pool.h"
 #include "ir/node.h"
 #include "matrix/block.h"

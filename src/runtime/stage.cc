@@ -29,18 +29,22 @@ TaskAccounting& StageContext::GrowTo(int task) {
 }
 
 void StageContext::ChargeConsolidation(int task, std::int64_t bytes) {
+  MutexLock lock(merge_mu_);
   GrowTo(task).consolidation_bytes += bytes;
 }
 
 void StageContext::ChargeAggregation(int task, std::int64_t bytes) {
+  MutexLock lock(merge_mu_);
   GrowTo(task).aggregation_bytes += bytes;
 }
 
 void StageContext::ChargeFlops(int task, std::int64_t flops) {
+  MutexLock lock(merge_mu_);
   GrowTo(task).flops += flops;
 }
 
 Status StageContext::ChargeMemory(int task, std::int64_t bytes) {
+  MutexLock lock(merge_mu_);
   TaskAccounting& acct = GrowTo(task);
   acct.memory_used += bytes;
   acct.memory_peak = std::max(acct.memory_peak, acct.memory_used);
@@ -52,13 +56,14 @@ Status StageContext::ChargeMemory(int task, std::int64_t bytes) {
 }
 
 void StageContext::ReleaseMemory(int task, std::int64_t bytes) {
+  MutexLock lock(merge_mu_);
   TaskAccounting& acct = GrowTo(task);
   acct.memory_used -= bytes;
   FUSEME_CHECK_GE(acct.memory_used, 0);
 }
 
 Status StageContext::MergeTask(int task, const TaskAccounting& local) {
-  std::lock_guard<std::mutex> lock(merge_mu_);
+  MutexLock lock(merge_mu_);
   TaskAccounting& acct = GrowTo(task);
   acct.consolidation_bytes += local.consolidation_bytes;
   acct.aggregation_bytes += local.aggregation_bytes;
@@ -84,7 +89,7 @@ void StageContext::ConfigureRecovery(const FaultInjector* injector,
 void StageContext::RecordItemRecovery(int attempts, int injected_failures,
                                       double backoff_seconds,
                                       bool exhausted) {
-  std::lock_guard<std::mutex> lock(merge_mu_);
+  MutexLock lock(merge_mu_);
   recovery_.attempts += attempts;
   recovery_.retries += std::max(attempts - 1, 0);
   recovery_.injected_failures += injected_failures;
@@ -93,12 +98,12 @@ void StageContext::RecordItemRecovery(int attempts, int injected_failures,
 }
 
 StageRecovery StageContext::recovery() const {
-  std::lock_guard<std::mutex> lock(merge_mu_);
+  MutexLock lock(merge_mu_);
   return recovery_;
 }
 
 void StageContext::RecordItemPipeline(const StagePipeline& item) {
-  std::lock_guard<std::mutex> lock(merge_mu_);
+  MutexLock lock(merge_mu_);
   pipeline_.prefetch_issued += item.prefetch_issued;
   pipeline_.prefetch_ready += item.prefetch_ready;
   pipeline_.prefetch_waited += item.prefetch_waited;
@@ -110,7 +115,7 @@ void StageContext::RecordItemPipeline(const StagePipeline& item) {
 }
 
 StagePipeline StageContext::pipeline() const {
-  std::lock_guard<std::mutex> lock(merge_mu_);
+  MutexLock lock(merge_mu_);
   return pipeline_;
 }
 
@@ -119,15 +124,21 @@ int StageContext::Parallelism() const {
                                    : GlobalParallelism();
 }
 
-const TaskAccounting& StageContext::task(int task_id) const {
-  static const TaskAccounting kEmpty;
+int StageContext::num_tasks() const {
+  MutexLock lock(merge_mu_);
+  return static_cast<int>(tasks_.size());
+}
+
+TaskAccounting StageContext::task(int task_id) const {
+  MutexLock lock(merge_mu_);
   if (task_id < 0 || task_id >= static_cast<int>(tasks_.size())) {
-    return kEmpty;
+    return TaskAccounting{};
   }
   return tasks_[task_id];
 }
 
 StageStats StageContext::Finalize() const {
+  MutexLock lock(merge_mu_);
   StageStats stats;
   stats.label = label_;
   stats.num_tasks = static_cast<int>(tasks_.size());

@@ -17,11 +17,11 @@
 
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/status.h"
+#include "common/synchronization.h"
 #include "runtime/cluster_config.h"
 #include "runtime/fault_injector.h"
 
@@ -119,9 +119,14 @@ class StageAccounting {
 /// operator that over-replicates reports OutOfMemory exactly like the
 /// paper's failed BFO/RFO runs.
 ///
-/// The direct Charge* methods are NOT thread-safe; concurrent work items
-/// must charge a LocalStageAccounting and fold it in via MergeTask (which
-/// is thread-safe against other MergeTask calls).
+/// Every accounting method takes the context mutex, so the context is
+/// thread-safe as a whole — the accumulators (tasks_, recovery_,
+/// pipeline_) are GUARDED_BY(merge_mu_) and the Clang thread-safety
+/// analysis proves no path touches them unlocked.  Concurrent work items
+/// still charge a LocalStageAccounting and fold it in via MergeTask:
+/// that keeps the hot per-block charges task-local (no contention) and
+/// the merged totals order-independent; the direct Charge* path is the
+/// serial/meta-mode convenience, paying one uncontended lock per charge.
 class StageContext : public StageAccounting {
  public:
   StageContext(std::string label, const ClusterConfig& config)
@@ -184,15 +189,20 @@ class StageContext : public StageAccounting {
   /// config().local_threads, with 0 resolved to the process-wide default.
   int Parallelism() const;
 
-  int num_tasks() const { return static_cast<int>(tasks_.size()); }
-  const TaskAccounting& task(int task_id) const;
+  int num_tasks() const;
+  /// Copy of the accumulators for `task_id` (zeroes when out of range).
+  /// By value: a reference into the guarded vector would escape the lock.
+  TaskAccounting task(int task_id) const;
 
   /// Rolls the per-task accumulators into a StageStats (elapsed not set).
   StageStats Finalize() const;
 
  private:
-  TaskAccounting& GrowTo(int task);
+  TaskAccounting& GrowTo(int task) REQUIRES(merge_mu_);
 
+  // label_/config_ are set at construction and the hook pointers before
+  // the stage launches work items; all are read-only while tasks run, so
+  // only the accumulators below need the mutex.
   std::string label_;
   ClusterConfig config_;
   Tracer* tracer_ = nullptr;
@@ -200,10 +210,10 @@ class StageContext : public StageAccounting {
   const FaultInjector* injector_ = nullptr;
   int stage_ordinal_ = 0;
   RetryPolicy retry_{.max_attempts = 1};
-  mutable std::mutex merge_mu_;
-  std::vector<TaskAccounting> tasks_;
-  StageRecovery recovery_;
-  StagePipeline pipeline_;
+  mutable Mutex merge_mu_;
+  std::vector<TaskAccounting> tasks_ GUARDED_BY(merge_mu_);
+  StageRecovery recovery_ GUARDED_BY(merge_mu_);
+  StagePipeline pipeline_ GUARDED_BY(merge_mu_);
 };
 
 /// Task-local accounting for one work item of a parallel operator.  Not

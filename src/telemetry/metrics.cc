@@ -203,7 +203,7 @@ MetricsRegistry::Entry* MetricsRegistry::Lookup(
   labels = Canonicalize(std::move(labels));
   std::string key = InstrumentKey(name, labels);
   Shard& shard = shards_[std::hash<std::string>{}(key) % kShards];
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(shard.mu);
   auto [it, inserted] = shard.instruments.try_emplace(std::move(key));
   Entry& entry = it->second;
   if (inserted) {
@@ -237,7 +237,7 @@ MetricsRegistry::Entry* MetricsRegistry::Lookup(
 MetricsSnapshot MetricsRegistry::Snapshot() const {
   MetricsSnapshot snapshot;
   for (const Shard& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(shard.mu);
     for (const auto& [key, entry] : shard.instruments) {
       MetricSample sample;
       sample.name = entry.name;

@@ -24,7 +24,6 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -32,6 +31,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "common/synchronization.h"
 
 namespace fuseme {
 
@@ -192,9 +192,11 @@ class MetricsRegistry {
     std::unique_ptr<Histogram> histogram;
   };
   struct Shard {
-    mutable std::mutex mu;
-    // Keyed by name + '\x1f' + canonical labels.
-    std::unordered_map<std::string, Entry> instruments;
+    mutable Mutex mu;
+    // Keyed by name + '\x1f' + canonical labels.  The map (registration)
+    // is guarded; the instruments the Entry values own mutate lock-free
+    // via their own atomics once a caller holds a pointer.
+    std::unordered_map<std::string, Entry> instruments GUARDED_BY(mu);
   };
 
   Entry* Lookup(std::string_view name, MetricLabels labels, MetricKind kind,

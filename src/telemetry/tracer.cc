@@ -17,7 +17,7 @@ std::int64_t Tracer::NowMicros() const {
 
 int Tracer::CurrentThreadId() {
   const std::thread::id self = std::this_thread::get_id();
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = thread_ids_.find(self);
   if (it == thread_ids_.end()) {
     it = thread_ids_.emplace(self, static_cast<int>(thread_ids_.size()))
@@ -27,12 +27,12 @@ int Tracer::CurrentThreadId() {
 }
 
 void Tracer::SetThreadName(int tid, std::string name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   thread_names_[tid] = std::move(name);
 }
 
 void Tracer::SetProcessName(std::string name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   process_name_ = std::move(name);
 }
 
@@ -41,24 +41,24 @@ void Tracer::NameCurrentThread(std::string name) {
 }
 
 std::map<int, std::string> Tracer::thread_names() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return thread_names_;
 }
 
 std::string Tracer::process_name() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return process_name_;
 }
 
 void Tracer::Record(TraceSpan span) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   spans_.push_back(std::move(span));
 }
 
 std::vector<TraceSpan> Tracer::spans() const {
   std::vector<TraceSpan> out;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     out = spans_;
   }
   std::sort(out.begin(), out.end(),
@@ -73,12 +73,12 @@ std::vector<TraceSpan> Tracer::spans() const {
 }
 
 std::size_t Tracer::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return spans_.size();
 }
 
 void Tracer::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   spans_.clear();
 }
 
@@ -89,7 +89,7 @@ std::string Tracer::ToChromeJson() const {
   // Metadata ("M") records lead: process name, then each named thread,
   // so viewers label tracks before any span references them.
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     out << "\n  {\"name\": \"process_name\", \"ph\": \"M\", \"pid\": 0, "
            "\"tid\": 0, \"args\": {\"name\": \""
         << JsonEscape(process_name_) << "\"}}";

@@ -18,13 +18,13 @@
 #include <chrono>
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <utility>
 #include <vector>
 
 #include "common/result.h"
+#include "common/synchronization.h"
 
 namespace fuseme {
 
@@ -85,11 +85,11 @@ class Tracer {
 
  private:
   std::chrono::steady_clock::time_point epoch_;
-  mutable std::mutex mu_;
-  std::vector<TraceSpan> spans_;
-  std::map<std::thread::id, int> thread_ids_;
-  std::map<int, std::string> thread_names_;
-  std::string process_name_ = "fuseme";
+  mutable Mutex mu_;
+  std::vector<TraceSpan> spans_ GUARDED_BY(mu_);
+  std::map<std::thread::id, int> thread_ids_ GUARDED_BY(mu_);
+  std::map<int, std::string> thread_names_ GUARDED_BY(mu_);
+  std::string process_name_ GUARDED_BY(mu_) = "fuseme";
 };
 
 /// RAII span: captures begin on construction, records on destruction.

@@ -1,14 +1,13 @@
 #include "runtime/prefetcher.h"
 
 #include <atomic>
-#include <condition_variable>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
 
+#include "common/synchronization.h"
 #include "common/thread_pool.h"
 #include "telemetry/metric_names.h"
 #include "telemetry/metrics.h"
@@ -105,12 +104,14 @@ TEST(PrefetcherTest, StealRunsQueuedCopyOnConsumer) {
   // One worker, blocked on a gate task: the staged copy stays kQueued, so
   // Take must steal it inline instead of waiting for the pool.
   ThreadPool pool(1);
-  std::mutex mu;
-  std::condition_variable cv;
-  bool release = false;
-  auto gate = pool.Submit([&] {
-    std::unique_lock<std::mutex> lock(mu);
-    cv.wait(lock, [&] { return release; });
+  Mutex mu;
+  CondVar cv;
+  bool release = false;  // guarded by mu (local: annotation needs a member)
+  auto gate = pool.Submit([&]() NO_THREAD_SAFETY_ANALYSIS {
+    // Captured-local protocol the analysis cannot attribute: mu guards
+    // `release`, but GUARDED_BY cannot annotate stack locals.
+    MutexLock lock(mu);
+    while (!release) cv.Wait(mu);
   });
 
   std::atomic<int> calls{0};
@@ -126,21 +127,23 @@ TEST(PrefetcherTest, StealRunsQueuedCopyOnConsumer) {
   EXPECT_EQ(prefetcher.counters().stolen, 1);
 
   {
-    std::lock_guard<std::mutex> lock(mu);
+    MutexLock lock(mu);
     release = true;
   }
-  cv.notify_all();
+  cv.NotifyAll();
   gate.wait();
 }
 
 TEST(PrefetcherTest, CancelPendingDropsQueuedCopies) {
   ThreadPool pool(1);
-  std::mutex mu;
-  std::condition_variable cv;
-  bool release = false;
-  auto gate = pool.Submit([&] {
-    std::unique_lock<std::mutex> lock(mu);
-    cv.wait(lock, [&] { return release; });
+  Mutex mu;
+  CondVar cv;
+  bool release = false;  // guarded by mu (local: annotation needs a member)
+  auto gate = pool.Submit([&]() NO_THREAD_SAFETY_ANALYSIS {
+    // Captured-local protocol the analysis cannot attribute: mu guards
+    // `release`, but GUARDED_BY cannot annotate stack locals.
+    MutexLock lock(mu);
+    while (!release) cv.Wait(mu);
   });
 
   std::atomic<int> calls{0};
@@ -154,10 +157,10 @@ TEST(PrefetcherTest, CancelPendingDropsQueuedCopies) {
   EXPECT_EQ(prefetcher.counters().cancelled, 2);
 
   {
-    std::lock_guard<std::mutex> lock(mu);
+    MutexLock lock(mu);
     release = true;
   }
-  cv.notify_all();
+  cv.NotifyAll();
   gate.wait();
   // The pool tasks observe the cancelled state and never call the source.
   prefetcher.Drain();
@@ -248,10 +251,12 @@ TEST(PrefetcherHammerTest, ConcurrentFetchCommitCancel) {
   constexpr int kConsumers = 4;
   constexpr int kKeysPerConsumer = 16;
 
+  BlockPrefetcher::Options opts;
+  opts.pool = &pool;
   for (int round = 0; round < kRounds; ++round) {
     std::atomic<int> calls{0};
-    auto prefetcher = std::make_unique<BlockPrefetcher>(
-        CountingSource(&calls), BlockPrefetcher::Options{&pool});
+    auto prefetcher =
+        std::make_unique<BlockPrefetcher>(CountingSource(&calls), opts);
     std::vector<std::thread> consumers;
     consumers.reserve(kConsumers);
     for (int c = 0; c < kConsumers; ++c) {

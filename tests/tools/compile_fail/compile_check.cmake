@@ -1,0 +1,39 @@
+# CTest driver for the thread-safety compile-failure harness.
+#
+# Usage:
+#   cmake -DCOMPILER=<c++ driver> -DFLAGS="<space-separated flags>"
+#         -DSOURCE=<file.cc> -DEXPECT=PASS|FAIL -P compile_check.cmake
+#
+# Runs a syntax-only compile and asserts the outcome.  EXPECT=FAIL is the
+# negative-artifact direction: a violation fixture that *compiles* means
+# the annotations are decoration, so the test fails.
+
+foreach(var COMPILER SOURCE EXPECT)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "compile_check.cmake: -D${var}=... is required")
+  endif()
+endforeach()
+
+separate_arguments(flag_list UNIX_COMMAND "${FLAGS}")
+execute_process(
+  COMMAND ${COMPILER} ${flag_list} -fsyntax-only ${SOURCE}
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err)
+
+if(EXPECT STREQUAL "FAIL")
+  if(rc EQUAL 0)
+    message(FATAL_ERROR
+        "expected ${SOURCE} to be rejected, but it compiled cleanly — "
+        "the thread-safety annotations are not being enforced")
+  endif()
+  message(STATUS "rejected as expected: ${SOURCE}")
+elseif(EXPECT STREQUAL "PASS")
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR
+        "expected ${SOURCE} to compile, but it failed:\n${err}")
+  endif()
+  message(STATUS "compiled as expected: ${SOURCE}")
+else()
+  message(FATAL_ERROR "EXPECT must be PASS or FAIL, got '${EXPECT}'")
+endif()

@@ -1,0 +1,43 @@
+// Positive compile fixture: the locked twins of the two violation
+// fixtures.  Must compile cleanly under the exact flags that reject
+// them, proving the harness fails for the right reason (the analysis)
+// and not for an unrelated one (missing include path, bad flag).
+
+#include "common/synchronization.h"
+
+namespace fixture {
+
+class Counter {
+ public:
+  void Increment() {
+    fuseme::MutexLock lock(mu_);
+    ++value_;
+  }
+
+ private:
+  fuseme::Mutex mu_;
+  int value_ GUARDED_BY(mu_) = 0;
+};
+
+class Queue {
+ public:
+  void Retire() {
+    fuseme::MutexLock lock(mu_);
+    RetireLocked();
+  }
+
+ private:
+  void RetireLocked() REQUIRES(mu_) { ++retired_; }
+
+  fuseme::Mutex mu_;
+  int retired_ GUARDED_BY(mu_) = 0;
+};
+
+void Drive() {
+  Counter counter;
+  counter.Increment();
+  Queue queue;
+  queue.Retire();
+}
+
+}  // namespace fixture

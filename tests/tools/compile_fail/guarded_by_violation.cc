@@ -1,0 +1,28 @@
+// Negative compile fixture: writes a GUARDED_BY field without holding
+// its mutex.  Under Clang with -Wthread-safety -Werror this must NOT
+// compile ("writing variable 'value_' requires holding mutex 'mu_'");
+// under any compiler without the analysis it is well-formed C++ and the
+// control build proves the harness accepts the locked twin
+// (control_ok.cc).
+
+#include "common/synchronization.h"
+
+namespace fixture {
+
+class Counter {
+ public:
+  void Increment() {
+    ++value_;  // BUG: mu_ not held.
+  }
+
+ private:
+  fuseme::Mutex mu_;
+  int value_ GUARDED_BY(mu_) = 0;
+};
+
+void Drive() {
+  Counter counter;
+  counter.Increment();
+}
+
+}  // namespace fixture

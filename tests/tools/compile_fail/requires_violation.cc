@@ -1,0 +1,28 @@
+// Negative compile fixture: calls a REQUIRES(mu_) helper without holding
+// the mutex.  Under Clang with -Wthread-safety -Werror this must NOT
+// compile ("calling function 'RetireLocked' requires holding mutex
+// 'mu_'").
+
+#include "common/synchronization.h"
+
+namespace fixture {
+
+class Queue {
+ public:
+  void Retire() {
+    RetireLocked();  // BUG: caller never acquired mu_.
+  }
+
+ private:
+  void RetireLocked() REQUIRES(mu_) { ++retired_; }
+
+  fuseme::Mutex mu_;
+  int retired_ GUARDED_BY(mu_) = 0;
+};
+
+void Drive() {
+  Queue queue;
+  queue.Retire();
+}
+
+}  // namespace fixture

@@ -1,0 +1,11 @@
+// Clean fixture source (DESIGN.md section 1): every lint rule passes.
+//
+// TODO(#42): tagged fixture item — lint-todo-tag accepts it.
+
+#include "telemetry/metric_names.h"
+
+namespace fuseme {
+
+const char* DemoMetricName() { return metric_names::kDemo; }
+
+}  // namespace fuseme

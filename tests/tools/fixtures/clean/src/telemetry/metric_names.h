@@ -1,0 +1,11 @@
+// Fixture metric catalogue: one entry, referenced from demo.cc.
+#ifndef FIXTURE_CLEAN_METRIC_NAMES_H_
+#define FIXTURE_CLEAN_METRIC_NAMES_H_
+
+namespace fuseme::metric_names {
+
+inline constexpr char kDemo[] = "fuseme_demo_total";
+
+}  // namespace fuseme::metric_names
+
+#endif  // FIXTURE_CLEAN_METRIC_NAMES_H_

@@ -1,0 +1,12 @@
+// Fixture verifier rule ids: unique, so lint-rule-id-dup passes.
+#ifndef FIXTURE_CLEAN_RULES_H_
+#define FIXTURE_CLEAN_RULES_H_
+
+namespace fuseme::rules {
+
+inline constexpr char kFirst[] = "fixture-first";
+inline constexpr char kSecond[] = "fixture-second";
+
+}  // namespace fuseme::rules
+
+#endif  // FIXTURE_CLEAN_RULES_H_

@@ -1,0 +1,12 @@
+// Negative fixture: a dangling design-doc reference.  This fixture's
+// DESIGN.md only has section 1, so the comment below must be flagged
+// (lint-design-ref).  The section-1 reference above is fine.
+//
+// See DESIGN.md section 1 for the valid case and DESIGN.md section 9
+// for the dangling one.
+
+namespace fixture {
+
+int Unused() { return 0; }
+
+}  // namespace fixture

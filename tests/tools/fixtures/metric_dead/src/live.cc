@@ -1,0 +1,9 @@
+// References kLive only; kDead stays unreferenced on purpose.
+
+#include "telemetry/metric_names.h"
+
+namespace fixture {
+
+const char* Live() { return fuseme::metric_names::kLive; }
+
+}  // namespace fixture

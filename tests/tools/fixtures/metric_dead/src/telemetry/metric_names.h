@@ -1,0 +1,13 @@
+// Negative fixture: a catalogue entry nothing references.  fuseme_lint
+// must flag kDead (lint-metric-dead); kLive is referenced from live.cc.
+#ifndef FIXTURE_METRIC_DEAD_METRIC_NAMES_H_
+#define FIXTURE_METRIC_DEAD_METRIC_NAMES_H_
+
+namespace fuseme::metric_names {
+
+inline constexpr char kLive[] = "fuseme_live_total";
+inline constexpr char kDead[] = "fuseme_dead_total";
+
+}  // namespace fuseme::metric_names
+
+#endif  // FIXTURE_METRIC_DEAD_METRIC_NAMES_H_

@@ -1,0 +1,13 @@
+// Negative fixture: an inline "fuseme_..." metric name that bypasses the
+// catalogue.  fuseme_lint must flag it (lint-metric-literal) while
+// accepting the catalogued name used right next to it.
+
+#include "telemetry/metric_names.h"
+
+namespace fixture {
+
+const char* Catalogued() { return fuseme::metric_names::kDemo; }
+
+const char* Rogue() { return "fuseme_rogue_total"; }
+
+}  // namespace fixture

@@ -1,0 +1,11 @@
+// Fixture metric catalogue for the inline-literal negative case.
+#ifndef FIXTURE_METRIC_LITERAL_METRIC_NAMES_H_
+#define FIXTURE_METRIC_LITERAL_METRIC_NAMES_H_
+
+namespace fuseme::metric_names {
+
+inline constexpr char kDemo[] = "fuseme_demo_total";
+
+}  // namespace fuseme::metric_names
+
+#endif  // FIXTURE_METRIC_LITERAL_METRIC_NAMES_H_

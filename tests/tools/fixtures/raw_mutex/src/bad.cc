@@ -1,0 +1,16 @@
+// Negative fixture: raw std primitives outside synchronization.h.
+// fuseme_lint must flag both the include and the declarations
+// (lint-raw-sync).
+
+#include <mutex>
+
+namespace fixture {
+
+std::mutex raw_mu;
+
+int GuardedRead(int* value) {
+  std::lock_guard<std::mutex> lock(raw_mu);
+  return *value;
+}
+
+}  // namespace fixture

@@ -1,0 +1,11 @@
+// First declaration of the duplicated rule id.
+#ifndef FIXTURE_RULE_DUP_A_H_
+#define FIXTURE_RULE_DUP_A_H_
+
+namespace fuseme::rules {
+
+inline constexpr char kOriginal[] = "fixture-duplicated-id";
+
+}  // namespace fuseme::rules
+
+#endif  // FIXTURE_RULE_DUP_A_H_

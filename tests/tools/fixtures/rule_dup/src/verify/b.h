@@ -1,0 +1,12 @@
+// Negative fixture: reuses the rule id declared in a.h under a new
+// identifier.  fuseme_lint must flag it (lint-rule-id-dup).
+#ifndef FIXTURE_RULE_DUP_B_H_
+#define FIXTURE_RULE_DUP_B_H_
+
+namespace fuseme::rules {
+
+inline constexpr char kImpostor[] = "fixture-duplicated-id";
+
+}  // namespace fuseme::rules
+
+#endif  // FIXTURE_RULE_DUP_B_H_

@@ -1,0 +1,11 @@
+// Negative fixture: an untagged TODO.  fuseme_lint must flag the bare
+// one (lint-todo-tag) while accepting the tagged one.
+
+// TODO(#7): tagged — accepted.
+// TODO: untagged — flagged.
+
+namespace fixture {
+
+int Unused() { return 0; }
+
+}  // namespace fixture
