@@ -264,8 +264,10 @@ int main() {
       "per dataset (paper Table 3 reports (8,6,2)-style values).\n\n");
 
   RunRealModeCfoSpeedup();
-  WriteBenchJson("fig12_operators", g_records,
-                 g_metrics.Snapshot().ToJson());
+  if (!WriteBenchJson("fig12_operators", g_records,
+                      g_metrics.Snapshot().ToJson())) {
+    return 1;
+  }
   WriteTraceJson("fig12_operators", g_tracer);
   return 0;
 }

@@ -233,8 +233,10 @@ int main(int argc, char** argv) {
   std::vector<fuseme::bench::BenchRecord> records;
   fuseme::MetricsRegistry metrics;
   fuseme::RunGemmSpeedupSuite(&records, &metrics);
-  fuseme::bench::WriteBenchJson("microkernels", records,
-                                metrics.Snapshot().ToJson());
+  if (!fuseme::bench::WriteBenchJson("microkernels", records,
+                                     metrics.Snapshot().ToJson())) {
+    return 1;
+  }
 
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;

@@ -197,7 +197,9 @@ int main() {
            /*density=*/0.05},
           pace);
 
-  WriteBenchJson("overlap", g_records, g_metrics.Snapshot().ToJson());
+  if (!WriteBenchJson("overlap", g_records, g_metrics.Snapshot().ToJson())) {
+    return 1;
+  }
   WriteTraceJson("overlap", g_tracer);
   return 0;
 }

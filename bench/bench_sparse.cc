@@ -264,7 +264,9 @@ int main() {
   RunTransposeSpmmCell(n);
   const bool prediction_ok = RunPredictionCell(n);
 
-  WriteBenchJson("sparse", g_records, g_metrics.Snapshot().ToJson());
+  if (!WriteBenchJson("sparse", g_records, g_metrics.Snapshot().ToJson())) {
+    return 1;
+  }
 
   if (g_speedup_cells < 2) {
     std::fprintf(stderr,

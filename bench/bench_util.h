@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "engine/engine.h"
+#include "telemetry/metrics.h"
 #include "telemetry/tracer.h"
 
 namespace fuseme::bench {
@@ -108,12 +109,30 @@ inline std::string JsonEscape(const std::string& s) {
 ///    "elapsed_seconds": ..., "bytes": ..., "flops": ...}, ...]}
 /// When `metrics_json` is non-empty it must be a pre-rendered JSON value
 /// (e.g. MetricsSnapshot::ToJson()) and is embedded verbatim under a
-/// trailing "metrics_snapshot" key.
-/// Returns false (after printing a warning) when the file is not writable.
+/// trailing "metrics_snapshot" key — and it is *guarded*: the snapshot
+/// must parse back and pass CheckMetricsConsistency, so a harness never
+/// ships a BENCH_*.json with a corrupt or self-contradictory snapshot.
+/// Returns false (after printing the reason) when the file is not
+/// writable or the embedded snapshot fails the guard; bench mains
+/// propagate that as a non-zero exit.
 inline bool WriteBenchJson(const std::string& bench_name,
                            const std::vector<BenchRecord>& records,
                            const std::string& metrics_json = "") {
   const std::string path = "BENCH_" + bench_name + ".json";
+  if (!metrics_json.empty()) {
+    Result<MetricsSnapshot> snapshot = ParseMetricsJson(metrics_json);
+    if (!snapshot.ok()) {
+      std::fprintf(stderr, "%s: embedded metrics snapshot unparsable: %s\n",
+                   path.c_str(), snapshot.status().ToString().c_str());
+      return false;
+    }
+    if (Status consistent = CheckMetricsConsistency(*snapshot);
+        !consistent.ok()) {
+      std::fprintf(stderr, "%s: metrics consistency check failed: %s\n",
+                   path.c_str(), consistent.ToString().c_str());
+      return false;
+    }
+  }
   std::ofstream out(path);
   if (!out) {
     std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());

@@ -3,6 +3,7 @@
 // run profile and export the registry in both formats.
 //
 //   $ ./build/examples/metrics_report [workload] [--analytic] [--check]
+//                                     [--serve=<port>] [--validate-prom]
 //
 // Workloads: gnmf (default), nmf, als, kl, pca, or any expression over the
 // symbols X (sparse n x n), U (n x k), V (n x k), S (n x 1), e.g.
@@ -19,12 +20,25 @@
 // checker, round-trips the JSON snapshot through the parser, and runs the
 // registry consistency invariants; any failure exits non-zero (this is the
 // scripts/check.sh smoke step).
+//
+// --serve=<port> turns on the live observability plane (flight recorder,
+// sampler, HTTP exporter; port 0 picks an ephemeral port, printed as
+// "serving on port N").  After the run the process keeps serving
+// /metrics, /healthz, /varz, /flightz and /seriesz until stdin reaches
+// EOF — scripts/run_exporter_smoke.sh drives this mode with curl.
+//
+// --validate-prom ignores every other flag: it reads Prometheus text
+// exposition from stdin, runs the format checker, and exits non-zero on
+// a violation (the smoke script pipes curl output through it).
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <iostream>
 #include <map>
+#include <sstream>
 #include <string>
 
 #include "fuseme.h"
@@ -99,17 +113,36 @@ bool WriteFile(const std::string& path, const std::string& text) {
   return true;
 }
 
+/// --validate-prom: stdin -> format checker -> exit status.  Kept free of
+/// any engine machinery so shell pipelines can use it as a filter.
+int ValidatePromFromStdin() {
+  std::ostringstream text;
+  text << std::cin.rdbuf();
+  if (Status s = ValidatePrometheusText(text.str()); !s.ok()) {
+    std::fprintf(stderr, "prometheus validation FAILED: %s\n",
+                 s.ToString().c_str());
+    return 1;
+  }
+  std::printf("prometheus format ok\n");
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string workload = "gnmf";
   bool check = false;
   bool analytic = false;
+  int serve_port = -1;  // -1 = no exporter; >= 0 enables --serve mode.
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--check") == 0) {
       check = true;
     } else if (std::strcmp(argv[i], "--analytic") == 0) {
       analytic = true;
+    } else if (std::strcmp(argv[i], "--validate-prom") == 0) {
+      return ValidatePromFromStdin();
+    } else if (std::strncmp(argv[i], "--serve=", 8) == 0) {
+      serve_port = std::atoi(argv[i] + 8);
     } else {
       workload = argv[i];
     }
@@ -135,7 +168,24 @@ int main(int argc, char** argv) {
   options.analytic = analytic;
   options.tracer = &tracer;
   options.metrics = &registry;
-  Engine engine(options);
+  if (serve_port >= 0) {
+    options.observability.journal_capacity = 1024;
+    options.observability.sample_period_seconds = 0.05;
+    options.observability.exporter_port = serve_port;
+  }
+  Result<Engine> created = Engine::Create(options);
+  if (!created.ok()) {
+    std::fprintf(stderr, "error: %s\n", created.status().ToString().c_str());
+    AttachLogMetrics(nullptr);
+    return 1;
+  }
+  Engine& engine = *created;
+  if (serve_port >= 0) {
+    // The exact line the smoke script greps for; flush so a piped reader
+    // sees it before the run finishes.
+    std::printf("serving on port %d\n", engine.exporter_port());
+    std::fflush(stdout);
+  }
 
   std::printf("workload: %s (%s mode)\n", workload.c_str(),
               analytic ? "analytic" : "real");
@@ -183,6 +233,15 @@ int main(int argc, char** argv) {
     }
     std::printf("checks: prometheus format, JSON round-trip, and registry "
                 "consistency all passed\n");
+  }
+  if (serve_port >= 0) {
+    std::printf("run complete; serving until stdin closes\n");
+    std::fflush(stdout);
+    // Hold the exporter (and journal/sampler behind it) up for curl: the
+    // driver keeps our stdin open on a pipe and closes it to stop us.
+    std::string line;
+    while (std::getline(std::cin, line)) {
+    }
   }
   return run.report.ok() ? 0 : 1;
 }

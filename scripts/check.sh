@@ -2,6 +2,8 @@
 # One-command correctness gate:
 #   1. build with -Werror + run the plain test suite (build/)
 #   2. metrics_report end-to-end smoke (Prometheus/JSON export validation)
+#      plus the live-exporter smoke (scripts/run_exporter_smoke.sh: serve
+#      mode, curl /healthz + /metrics + /flightz, format validation)
 #   3. clang-tidy static analysis (skipped with a warning when the tool
 #      is not installed — see scripts/run_tidy.sh)
 #   4. fuseme_lint repo-invariant scan (scripts/run_lint.sh — never
@@ -32,6 +34,9 @@ METRICS_REPORT="$PWD/build/examples/metrics_report"
 }
 rm -rf "$SMOKE_DIR"
 echo "ok: metrics_report exports validated"
+
+echo "== exporter smoke (metrics_report --serve, curl + validation) =="
+scripts/run_exporter_smoke.sh
 
 echo "== fault-injection smoke (quickstart --faults, fixed seed) =="
 # The example runs a seeded failure schedule (seed 42, p=0.2) and exits

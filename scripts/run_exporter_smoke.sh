@@ -1,0 +1,102 @@
+#!/usr/bin/env bash
+# Exporter end-to-end smoke: start metrics_report in --serve mode on an
+# ephemeral port, hit the live endpoints with curl, and pipe /metrics
+# back through the repo's own Prometheus format checker
+# (metrics_report --validate-prom).  The server holds until its stdin
+# closes, so the whole exchange is deterministic: run finishes, we curl,
+# we close the pipe, it exits.
+# Usage: scripts/run_exporter_smoke.sh [path/to/metrics_report]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+METRICS_REPORT="${1:-build/examples/metrics_report}"
+if [[ ! -x "$METRICS_REPORT" ]]; then
+  echo "FAIL: $METRICS_REPORT not built (run cmake --build build first)" >&2
+  exit 1
+fi
+if ! command -v curl > /dev/null; then
+  echo "SKIP: curl not installed — exporter smoke not run" >&2
+  exit 0
+fi
+METRICS_REPORT_ABS=$(readlink -f "$METRICS_REPORT")
+
+WORK_DIR=$(mktemp -d)
+SERVER_LOG="$WORK_DIR/server_log.txt"
+mkfifo "$WORK_DIR/stdin_pipe"
+
+cleanup() {
+  exec 3>&- 2> /dev/null || true
+  [[ -n "${SERVER_PID:-}" ]] && wait "$SERVER_PID" 2> /dev/null || true
+  rm -rf "$WORK_DIR"
+}
+trap cleanup EXIT
+
+# Port 0 = ephemeral; the binary prints "serving on port N" once bound.
+# Run from WORK_DIR so the .prom/.json sinks land in the scratch dir.
+(cd "$WORK_DIR" && exec "$METRICS_REPORT_ABS" gnmf --serve=0 \
+  < "$WORK_DIR/stdin_pipe" > "$SERVER_LOG" 2>&1) &
+SERVER_PID=$!
+exec 3> "$WORK_DIR/stdin_pipe"  # hold the server's stdin open
+
+PORT=""
+for _ in $(seq 1 100); do
+  PORT=$(sed -n 's/^serving on port \([0-9][0-9]*\)$/\1/p' "$SERVER_LOG" \
+    | head -n 1)
+  [[ -n "$PORT" ]] && break
+  if ! kill -0 "$SERVER_PID" 2> /dev/null; then
+    cat "$SERVER_LOG" >&2
+    echo "FAIL: server exited before binding" >&2
+    exit 1
+  fi
+  sleep 0.1
+done
+if [[ -z "$PORT" ]]; then
+  cat "$SERVER_LOG" >&2
+  echo "FAIL: server never reported its port" >&2
+  exit 1
+fi
+
+BASE="http://127.0.0.1:$PORT"
+
+HEALTH=$(curl -sf "$BASE/healthz")
+if [[ "$HEALTH" != "ok" ]]; then
+  echo "FAIL: /healthz returned '$HEALTH', want 'ok'" >&2
+  exit 1
+fi
+
+# The acceptance gate: the live /metrics exposition must satisfy the
+# repo's own Prometheus validator.
+curl -sf "$BASE/metrics" | "$METRICS_REPORT" --validate-prom || {
+  echo "FAIL: /metrics did not validate" >&2
+  exit 1
+}
+
+# The flight recorder must serve well-formed JSON with at least one event
+# (the run emits fuseme.engine.run_start before anything else).
+FLIGHT=$(curl -sf "$BASE/flightz")
+case "$FLIGHT" in
+  '{"emitted":'*'"events":'*'fuseme.engine.run_start'*) ;;
+  *)
+    echo "FAIL: /flightz missing run_start event: $FLIGHT" >&2
+    exit 1
+    ;;
+esac
+
+# Unknown paths must 404, not crash the server.
+STATUS=$(curl -s -o /dev/null -w '%{http_code}' "$BASE/no_such_endpoint")
+if [[ "$STATUS" != "404" ]]; then
+  echo "FAIL: unknown path returned HTTP $STATUS, want 404" >&2
+  exit 1
+fi
+
+# Close the server's stdin; it should exit cleanly on its own.
+exec 3>&-
+wait "$SERVER_PID" || {
+  cat "$SERVER_LOG" >&2
+  echo "FAIL: server exited non-zero" >&2
+  exit 1
+}
+SERVER_PID=""
+
+echo "ok: exporter smoke — /healthz, /metrics (validated), /flightz, 404"

@@ -1,6 +1,8 @@
 #!/usr/bin/env bash
 # Builds the tree with ThreadSanitizer and runs the concurrency-sensitive
-# test directories (common/, matrix/, ops/, runtime/, engine/) under it.
+# test directories (common/, matrix/, ops/, runtime/, engine/, telemetry/)
+# under it — including the event-journal and sampler hammers and the live
+# HTTP exporter tests.
 # Usage: scripts/run_tsan.sh [extra ctest -R regex]
 set -euo pipefail
 
@@ -16,7 +18,7 @@ cmake --build "$BUILD_DIR" -j "$(nproc)"
 # parallel operators (including the serial-vs-parallel determinism suite
 # and the fault-injection retry path, which merges recovery accounting
 # from worker threads).
-REGEX=${1:-'Synchronization|ThreadPool|GlobalThreadPool|ParallelDeterminism|PrefetchDeterminism|Prefetcher|MatMul|BlockedMatrix|Stage|FusedOperator|OperatorSweep|Metrics|Logging|FaultTolerance|FaultInjector|FaultSpec|RetryPolicy|StageRecovery|OptionsValidation|SparseKernels'}
+REGEX=${1:-'Synchronization|ThreadPool|GlobalThreadPool|ParallelDeterminism|PrefetchDeterminism|Prefetcher|MatMul|BlockedMatrix|Stage|FusedOperator|OperatorSweep|Metrics|Logging|FaultTolerance|FaultInjector|FaultSpec|RetryPolicy|StageRecovery|OptionsValidation|SparseKernels|EventJournal|Sampler|HttpServer|HttpExporter'}
 
 # Exercise more than one thread even on small CI machines.
 export FUSEME_THREADS=${FUSEME_THREADS:-4}

@@ -1,0 +1,306 @@
+#include "common/http_server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace fuseme {
+
+namespace {
+
+// Reads until CRLFCRLF (end of headers), EOF, or the byte cap.  The
+// exporter ignores headers, so the return value is just the first line;
+// draining the rest keeps clients from seeing a reset before the
+// response.
+Result<std::string> ReadRequestLine(int fd, std::size_t max_bytes) {
+  std::string buffer;
+  char chunk[512];
+  while (buffer.find("\r\n") == std::string::npos) {
+    if (buffer.size() > max_bytes) {
+      return Status::InvalidArgument("request line exceeds " +
+                                     std::to_string(max_bytes) + " bytes");
+    }
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::Internal(std::string("recv: ") + std::strerror(errno));
+    }
+    if (n == 0) break;  // peer closed before finishing the line
+    buffer.append(chunk, static_cast<std::size_t>(n));
+  }
+  const std::size_t eol = buffer.find("\r\n");
+  if (eol == std::string::npos) {
+    return Status::InvalidArgument("connection closed before request line");
+  }
+  return buffer.substr(0, eol);
+}
+
+void SendAll(int fd, const std::string& data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + sent, data.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return;  // client went away; nothing useful to do
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+std::string RenderResponse(const HttpResponse& response) {
+  std::ostringstream out;
+  out << "HTTP/1.1 " << response.status << " "
+      << HttpStatusReason(response.status) << "\r\n"
+      << "Content-Type: " << response.content_type << "\r\n"
+      << "Content-Length: " << response.body.size() << "\r\n"
+      << "Connection: close\r\n\r\n"
+      << response.body;
+  return out.str();
+}
+
+}  // namespace
+
+const char* HttpStatusReason(int status) {
+  switch (status) {
+    case 200:
+      return "OK";
+    case 400:
+      return "Bad Request";
+    case 404:
+      return "Not Found";
+    case 405:
+      return "Method Not Allowed";
+    case 431:
+      return "Request Header Fields Too Large";
+    case 500:
+      return "Internal Server Error";
+  }
+  return "Unknown";
+}
+
+Result<HttpRequest> ParseHttpRequest(const std::string& request_line,
+                                     std::size_t max_line_bytes) {
+  if (request_line.size() > max_line_bytes) {
+    return Status::InvalidArgument("request line exceeds " +
+                                   std::to_string(max_line_bytes) + " bytes");
+  }
+  std::istringstream in(request_line);
+  HttpRequest request;
+  std::string version;
+  if (!(in >> request.method >> request.path >> version)) {
+    return Status::InvalidArgument("malformed request line: \"" +
+                                   request_line + "\"");
+  }
+  if (version.rfind("HTTP/", 0) != 0) {
+    return Status::InvalidArgument("malformed HTTP version: \"" + version +
+                                   "\"");
+  }
+  if (request.path.empty() || request.path[0] != '/') {
+    return Status::InvalidArgument("malformed request path: \"" +
+                                   request.path + "\"");
+  }
+  // The exporter's endpoints take no parameters; strip any query string
+  // so "/metrics?x=1" still routes.
+  const std::size_t query = request.path.find('?');
+  if (query != std::string::npos) request.path.resize(query);
+  return request;
+}
+
+HttpServer::HttpServer(Options options, Handler handler)
+    : options_(options), handler_(std::move(handler)) {}
+
+HttpServer::~HttpServer() { Stop(); }
+
+Status HttpServer::Start() {
+  MutexLock lock(mu_);
+  FUSEME_CHECK(!running_);
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::Internal(std::string("socket: ") + std::strerror(errno));
+  }
+  const int reuse = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &reuse, sizeof(reuse));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(options_.port));
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) < 0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd);
+    return Status::Internal("bind port " + std::to_string(options_.port) +
+                            ": " + err);
+  }
+  if (::listen(fd, 16) < 0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd);
+    return Status::Internal("listen: " + err);
+  }
+
+  socklen_t addr_len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &addr_len) < 0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd);
+    return Status::Internal("getsockname: " + err);
+  }
+
+  listen_fd_ = fd;
+  bound_port_ = static_cast<int>(ntohs(addr.sin_port));
+  running_ = true;
+  thread_ = std::thread(&HttpServer::AcceptLoop, this);
+  return Status::OK();
+}
+
+void HttpServer::Stop() {
+  {
+    MutexLock lock(mu_);
+    if (!running_) return;
+    running_ = false;
+    // shutdown() wakes the accept thread out of its blocking accept();
+    // the close happens only after join, so the loop can't race a
+    // close/reuse of the descriptor number.
+    ::shutdown(listen_fd_, SHUT_RDWR);
+  }
+  thread_.join();
+  MutexLock lock(mu_);
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+}
+
+int HttpServer::port() const {
+  MutexLock lock(mu_);
+  return bound_port_;
+}
+
+void HttpServer::AcceptLoop() {
+  int fd;
+  {
+    MutexLock lock(mu_);
+    fd = listen_fd_;
+  }
+  while (true) {
+    const int client = ::accept(fd, nullptr, nullptr);
+    if (client < 0) {
+      if (errno == EINTR) continue;
+      return;  // Stop() shut the socket down (or a fatal accept error)
+    }
+    // A slow or stuck client must not wedge the (single) accept thread.
+    timeval tv{};
+    tv.tv_sec = 5;
+    ::setsockopt(client, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    ::setsockopt(client, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+    ServeConnection(client);
+    // Graceful close: the request may not be fully read (431 cuts the
+    // line short; headers can trail the first CRLF), and close() with
+    // unread data RSTs the connection, which can destroy the response
+    // before the client reads it.  Signal end-of-response, then drain a
+    // bounded amount until the client closes its side.
+    ::shutdown(client, SHUT_WR);
+    char drain[1024];
+    for (int i = 0; i < 64 && ::recv(client, drain, sizeof(drain), 0) > 0; ++i) {
+    }
+    ::close(client);
+  }
+}
+
+void HttpServer::ServeConnection(int client_fd) {
+  HttpResponse response;
+  Result<std::string> line =
+      ReadRequestLine(client_fd, options_.max_request_bytes);
+  if (!line.ok()) {
+    response.status =
+        line.status().message().find("exceeds") != std::string::npos ? 431
+                                                                     : 400;
+    response.body = line.status().message() + "\n";
+    SendAll(client_fd, RenderResponse(response));
+    return;
+  }
+  Result<HttpRequest> request =
+      ParseHttpRequest(*line, options_.max_request_bytes);
+  if (!request.ok()) {
+    response.status = 400;
+    response.body = request.status().message() + "\n";
+    SendAll(client_fd, RenderResponse(response));
+    return;
+  }
+  if (request->method != "GET") {
+    response.status = 405;
+    response.body = "only GET is supported\n";
+    SendAll(client_fd, RenderResponse(response));
+    return;
+  }
+  SendAll(client_fd, RenderResponse(handler_(*request)));
+}
+
+Result<std::string> HttpGet(int port, const std::string& path,
+                            double timeout_seconds) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::Internal(std::string("socket: ") + std::strerror(errno));
+  }
+  timeval tv{};
+  tv.tv_sec = static_cast<long>(timeout_seconds);
+  tv.tv_usec = static_cast<long>((timeout_seconds - tv.tv_sec) * 1e6);
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd);
+    return Status::Internal("connect 127.0.0.1:" + std::to_string(port) +
+                            ": " + err);
+  }
+
+  SendAll(fd, "GET " + path + " HTTP/1.1\r\nHost: 127.0.0.1\r\n"
+              "Connection: close\r\n\r\n");
+
+  std::string raw;
+  char chunk[4096];
+  while (true) {
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const std::string err = std::strerror(errno);
+      ::close(fd);
+      return Status::Internal("recv: " + err);
+    }
+    if (n == 0) break;
+    raw.append(chunk, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+
+  const std::size_t status_eol = raw.find("\r\n");
+  const std::size_t header_end = raw.find("\r\n\r\n");
+  if (status_eol == std::string::npos || header_end == std::string::npos) {
+    return Status::Internal("malformed HTTP response");
+  }
+  const std::string status_line = raw.substr(0, status_eol);
+  // "HTTP/1.1 200 OK" — the second token is the status code.
+  std::istringstream in(status_line);
+  std::string version;
+  int status = 0;
+  if (!(in >> version >> status)) {
+    return Status::Internal("malformed status line: \"" + status_line + "\"");
+  }
+  if (status < 200 || status >= 300) {
+    return Status::Internal("HTTP error: " + status_line);
+  }
+  return raw.substr(header_end + 4);
+}
+
+}  // namespace fuseme

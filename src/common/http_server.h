@@ -1,0 +1,106 @@
+// Minimal dependency-free blocking-socket HTTP/1.1 listener (DESIGN.md
+// section 17).
+//
+// Just enough HTTP for the telemetry exporter: GET requests, one
+// response per connection (Connection: close), no TLS, no keep-alive,
+// no chunked encoding.  A single accept thread serves requests
+// sequentially — endpoints are cheap snapshot dumps, and serializing
+// them keeps the server a leaf component with no thread pool of its
+// own.  Built on POSIX sockets directly so the common layer stays
+// dependency-free.
+//
+// ParseHttpRequest is split out (pure function) so request-line
+// handling — bad method, oversized line, missing version — is unit
+// tested without sockets.
+
+#ifndef FUSEME_COMMON_HTTP_SERVER_H_
+#define FUSEME_COMMON_HTTP_SERVER_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <thread>
+
+#include "common/result.h"
+#include "common/synchronization.h"
+
+namespace fuseme {
+
+/// A parsed request line: method + path (query string stripped).
+struct HttpRequest {
+  std::string method;
+  std::string path;
+};
+
+/// What a handler returns; the server adds the status line, Content-Type,
+/// Content-Length, and Connection: close.
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+};
+
+/// Parses the first line of an HTTP/1.1 request ("GET /path HTTP/1.1").
+/// Rejects non-GET methods (405 at the call site), malformed lines, and
+/// lines longer than `max_line_bytes`.
+Result<HttpRequest> ParseHttpRequest(const std::string& request_line,
+                                     std::size_t max_line_bytes = 8192);
+
+/// Reason phrase for the handful of status codes the exporter uses.
+const char* HttpStatusReason(int status);
+
+/// Blocking-socket HTTP listener bound to 127.0.0.1.
+class HttpServer {
+ public:
+  struct Options {
+    /// TCP port; 0 asks the kernel for an ephemeral port (read the
+    /// result from port() after Start()).
+    int port = 0;
+    /// Request-line cap; longer lines get 431.
+    std::size_t max_request_bytes = 8192;
+  };
+
+  /// `handler` is invoked on the accept thread for every well-formed GET;
+  /// it must be thread-safe with respect to whatever it snapshots.
+  using Handler = std::function<HttpResponse(const HttpRequest&)>;
+
+  HttpServer(Options options, Handler handler);
+  ~HttpServer();
+
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  /// Binds, listens, and launches the accept thread.
+  Status Start();
+  /// Shuts the listening socket down and joins the accept thread.
+  /// Idempotent.
+  void Stop();
+
+  /// The bound port (resolves 0 to the kernel's pick).  Valid after a
+  /// successful Start().
+  [[nodiscard]] int port() const;
+
+ private:
+  void AcceptLoop();
+  void ServeConnection(int client_fd);
+
+  Options options_;
+  Handler handler_;
+
+  mutable Mutex mu_;
+  int listen_fd_ GUARDED_BY(mu_) = -1;
+  int bound_port_ GUARDED_BY(mu_) = -1;
+  bool running_ GUARDED_BY(mu_) = false;
+  std::thread thread_;
+};
+
+/// Tiny blocking HTTP GET client for tests and the smoke script's C++
+/// side: fetches http://127.0.0.1:`port``path` and returns the response
+/// body (non-2xx statuses come back as an error Status carrying the
+/// status line).
+Result<std::string> HttpGet(int port, const std::string& path,
+                            double timeout_seconds = 5.0);
+
+}  // namespace fuseme
+
+#endif  // FUSEME_COMMON_HTTP_SERVER_H_

@@ -41,6 +41,14 @@ LogSink* g_sink GUARDED_BY(g_sink_mu) = nullptr;
 LogCounterHook g_counter_hook GUARDED_BY(g_sink_mu) = nullptr;
 void* g_counter_hook_arg GUARDED_BY(g_sink_mu) = nullptr;
 
+// The fatal hook deliberately does NOT share g_sink_mu: the fatal path
+// may fire while any lock (including the sink mutex) is held, so it only
+// touches these two atomics.  Install/uninstall before threads that can
+// crash are running; the pair is read hook-first, so the worst racing
+// uninstall can produce is a null call skipped.
+std::atomic<FatalLogHook> g_fatal_hook{nullptr};
+std::atomic<void*> g_fatal_hook_arg{nullptr};
+
 }  // namespace
 
 void SetLogLevel(LogLevel level) {
@@ -76,6 +84,11 @@ void SetLogCounterHook(LogCounterHook hook, void* arg) {
   MutexLock lock(g_sink_mu);
   g_counter_hook = hook;
   g_counter_hook_arg = arg;
+}
+
+void SetFatalLogHook(FatalLogHook hook, void* arg) {
+  g_fatal_hook_arg.store(arg);
+  g_fatal_hook.store(hook);
 }
 
 void CaptureLogSink::Write(LogLevel level, const std::string& line) {
@@ -128,6 +141,9 @@ FatalMessage::FatalMessage(const char* file, int line, const char* condition) {
 
 FatalMessage::~FatalMessage() {
   std::cerr << stream_.str() << std::endl;
+  if (FatalLogHook hook = g_fatal_hook.load()) {
+    hook(g_fatal_hook_arg.load());
+  }
   std::abort();
 }
 

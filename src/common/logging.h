@@ -65,6 +65,16 @@ class CaptureLogSink : public LogSink {
 using LogCounterHook = void (*)(LogLevel level, void* arg);
 void SetLogCounterHook(LogCounterHook hook, void* arg);
 
+/// Last-words hook, invoked exactly once from the fatal path (a failed
+/// FUSEME_CHECK) after the fatal message is written and before abort().
+/// Same raw-function-pointer convention as the counter hook: the
+/// telemetry layer's AttachJournalCrashDump installs one that writes the
+/// flight recorder's last events to stderr, so a crash leaves the event
+/// journal behind.  Null uninstalls.  The hook runs on the crashing
+/// thread and must not assume any particular lock is free.
+using FatalLogHook = void (*)(void* arg);
+void SetFatalLogHook(FatalLogHook hook, void* arg);
+
 namespace internal_logging {
 
 class LogMessage {

@@ -9,6 +9,7 @@
 #include "fusion/sparsity_analysis.h"
 #include "matrix/block.h"
 #include "ops/fused_operator.h"
+#include "telemetry/event_names.h"
 #include "telemetry/metric_names.h"
 #include "telemetry/metrics.h"
 #include "telemetry/tracer.h"
@@ -122,11 +123,33 @@ Engine::Engine(EngineOptions options)
     : Engine(ValidatedTag{}, std::move(options)) {
   const Status valid = options_.Validate();
   FUSEME_CHECK(valid.ok()) << valid.message();
+  const Status started = StartObservability();
+  FUSEME_CHECK(started.ok()) << started.message();
 }
 
 Result<Engine> Engine::Create(EngineOptions options) {
   FUSEME_RETURN_IF_ERROR(options.Validate());
-  return Engine(ValidatedTag{}, std::move(options));
+  Engine engine(ValidatedTag{}, std::move(options));
+  FUSEME_RETURN_IF_ERROR(engine.StartObservability());
+  return engine;
+}
+
+Status Engine::StartObservability() {
+  // One steady-clock epoch for every sink: the tracer's when tracing is
+  // on, so /flightz and /seriesz timestamps correlate with TRACE_*.json
+  // spans by subtraction.
+  const std::chrono::steady_clock::time_point epoch =
+      options_.tracer != nullptr ? options_.tracer->epoch()
+                                 : std::chrono::steady_clock::now();
+  if (options_.observability.any_enabled()) {
+    FUSEME_ASSIGN_OR_RETURN(
+        plane_, ObservabilityPlane::Start(options_.observability,
+                                          options_.metrics, epoch));
+  }
+  journal_ = options_.journal != nullptr
+                 ? options_.journal
+                 : (plane_ != nullptr ? plane_->journal() : nullptr);
+  return Status::OK();
 }
 
 PqrChoice Engine::Optimize(const PartialPlan& plan,
@@ -140,9 +163,25 @@ PqrChoice Engine::Optimize(const PartialPlan& plan,
     return options_.pruned_search ? optimizer.Pruned(plan, max_r)
                                   : optimizer.Exhaustive(plan, max_r);
   };
-  if (budget_factor == 1.0) return search(&model_);
-  const CostModel tight = model_.WithBudgetFactor(budget_factor);
-  return search(&tight);
+  PqrChoice choice;
+  if (budget_factor == 1.0) {
+    choice = search(&model_);
+  } else {
+    const CostModel tight = model_.WithBudgetFactor(budget_factor);
+    choice = search(&tight);
+  }
+  if (journal_ != nullptr) {
+    if (choice.feasible) {
+      journal_->Emit(LogLevel::kInfo, event_names::kOptimizerChoice,
+                     {{"plan", plan.ToString()},
+                      {"cuboid", choice.c.ToString()},
+                      {"cost_seconds", std::to_string(choice.cost)}});
+    } else {
+      journal_->Emit(LogLevel::kWarning, event_names::kOptimizerChoice,
+                     {{"plan", plan.ToString()}, {"feasible", "false"}});
+    }
+  }
+  return choice;
 }
 
 FusionPlanSet Engine::MakePlans(const Dag& dag) const {
@@ -212,6 +251,11 @@ FusionPlanSet Engine::MakePlans(const Dag& dag) const {
         ->Observe(wall);
     options_.metrics->GetCounter(metric_names::kPlannerPlans)
         ->Add(static_cast<std::int64_t>(set.plans.size()));
+  }
+  if (journal_ != nullptr) {
+    journal_->Emit(LogLevel::kInfo, event_names::kPlannerPlans,
+                   {{"planner", set.description},
+                    {"plans", std::to_string(set.plans.size())}});
   }
   return set;
 }
@@ -621,6 +665,13 @@ Engine::RunResult Engine::RunWithPlans(
           : "caller-supplied (" + std::to_string(plans.plans.size()) +
                 " plan" + (plans.plans.size() == 1 ? "" : "s") + ")";
   if (options_.tracer != nullptr) options_.tracer->NameCurrentThread("driver");
+  if (journal_ != nullptr) {
+    journal_->Emit(
+        LogLevel::kInfo, event_names::kRunStart,
+        {{"system", std::string(SystemModeName(options_.system))},
+         {"mode", options_.analytic ? "analytic" : "real"},
+         {"plans", std::to_string(plans.plans.size())}});
+  }
 
   PlanVerifier verifier(&model_);
   verifier.set_metrics(options_.metrics);
@@ -637,6 +688,16 @@ Engine::RunResult Engine::RunWithPlans(
           "plan verification failed (" + std::to_string(diags.size()) +
           " diagnostic" + (diags.size() == 1 ? "" : "s") +
           "): " + diags.front().ToString());
+      if (journal_ != nullptr) {
+        for (const VerifierDiagnostic& d : diags) {
+          journal_->Emit(LogLevel::kError, event_names::kVerifierDiagnostic,
+                         {{"rule", d.rule}, {"detail", d.ToString()}});
+        }
+        journal_->Emit(LogLevel::kError, event_names::kRunFinish,
+                       {{"status", RunStatusLabel(out.report.status)},
+                        {"elapsed_seconds", "0"},
+                        {"stages", "0"}});
+      }
       out.report.verifier_diagnostics = std::move(diags);
       return out;
     }
@@ -749,6 +810,12 @@ Engine::RunResult Engine::RunWithPlans(
           result = Status::OutOfMemory(
               "injected OutOfMemory on stage " +
               std::to_string(stage_ordinal) + " (" + label + ")");
+          if (journal_ != nullptr) {
+            journal_->Emit(LogLevel::kWarning,
+                           event_names::kFaultInjectedOom,
+                           {{"stage", label},
+                            {"ordinal", std::to_string(stage_ordinal)}});
+          }
         } else if (options_.analytic) {
           result = RunPlanAnalytic(plan, kind, *predr, &stats);
           telemetry.threads = 1;
@@ -756,6 +823,7 @@ Engine::RunResult Engine::RunWithPlans(
           StageContext ctx(label, options_.cluster);
           ctx.set_tracer(options_.tracer);
           ctx.set_metrics(options_.metrics);
+          ctx.set_journal(journal_);
           if (injector != nullptr) {
             ctx.ConfigureRecovery(injector, stage_ordinal,
                                   options_.recovery.retry);
@@ -771,6 +839,17 @@ Engine::RunResult Engine::RunWithPlans(
           recovery.injected_failures += items.injected_failures;
           recovery.exhausted_items += items.exhausted_items;
           recovery.backoff_seconds += items.backoff_seconds;
+          if (journal_ != nullptr && items.retries > 0) {
+            // One stage-level event after the attempt completes — never
+            // per item, keeping emission off the work-item hot path.
+            journal_->Emit(
+                LogLevel::kWarning, event_names::kTaskRetry,
+                {{"stage", label},
+                 {"attempts", std::to_string(items.attempts)},
+                 {"injected_failures",
+                  std::to_string(items.injected_failures)},
+                 {"exhausted", std::to_string(items.exhausted_items)}});
+          }
         }
       }
       if (result.ok() || !result.status().IsOutOfMemory() ||
@@ -797,6 +876,13 @@ Engine::RunResult Engine::RunWithPlans(
             ->GetCounter(metric_names::kStageDegradations,
                          {{"action", next->action}})
             ->Increment();
+      }
+      if (journal_ != nullptr) {
+        journal_->Emit(LogLevel::kWarning, event_names::kStageDegraded,
+                       {{"stage", label},
+                        {"from", event.from},
+                        {"to", event.to},
+                        {"cause", event.cause}});
       }
       out.report.degradations.push_back(std::move(event));
       kind = next->kind;
@@ -847,8 +933,24 @@ Engine::RunResult Engine::RunWithPlans(
         options_.metrics->GetCounter(metric_names::kSpeculativeTasks)
             ->Add(speculative);
       }
+      if (journal_ != nullptr && speculative > 0) {
+        journal_->Emit(LogLevel::kInfo, event_names::kSpeculation,
+                       {{"stage", label},
+                        {"copies", std::to_string(speculative)}});
+      }
       if (status.ok() && !sim.stages().empty()) {
         stats.elapsed_seconds = sim.stages().back().elapsed_seconds;
+        if (journal_ != nullptr) {
+          // Stage-level commit event on the driver thread — the ordered
+          // per-task commit path inside the operators never emits.
+          journal_->Emit(
+              LogLevel::kInfo, event_names::kStageCommit,
+              {{"stage", label},
+               {"ordinal", std::to_string(stage_ordinal)},
+               {"operator", OperatorKindName(kind)},
+               {"tasks", std::to_string(stats.num_tasks)},
+               {"elapsed_seconds", std::to_string(stats.elapsed_seconds)}});
+        }
       }
     } else {
       status = result.status();
@@ -949,6 +1051,14 @@ Engine::RunResult Engine::RunWithPlans(
         ->GetCounter(metric_names::kEngineRuns,
                      {{"status", RunStatusLabel(out.report.status)}})
         ->Increment();
+  }
+  if (journal_ != nullptr) {
+    journal_->Emit(
+        out.report.status.ok() ? LogLevel::kInfo : LogLevel::kError,
+        event_names::kRunFinish,
+        {{"status", RunStatusLabel(out.report.status)},
+         {"elapsed_seconds", std::to_string(out.report.elapsed_seconds)},
+         {"stages", std::to_string(out.report.stages.size())}});
   }
   return out;
 }

@@ -28,6 +28,7 @@
 #define FUSEME_ENGINE_ENGINE_H_
 
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -40,6 +41,7 @@
 #include "runtime/distributed_matrix.h"
 #include "runtime/fault_injector.h"
 #include "runtime/simulator.h"
+#include "telemetry/observability.h"
 #include "telemetry/prediction.h"
 #include "verify/diagnostic.h"
 
@@ -114,6 +116,18 @@ struct EngineOptions {
   /// counters/gauges/histograms into it — see telemetry/metric_names.h and
   /// DESIGN.md section 12.  Null disables with no hot-path cost.
   MetricsRegistry* metrics = nullptr;
+  /// Optional flight-recorder sink (not owned): when set, the engine and
+  /// runtime emit structured events (telemetry/event_names.h) into it —
+  /// run lifecycle, planner/optimizer decisions, verifier diagnostics,
+  /// stage commits, the fault path, prefetcher stalls.  Null disables at
+  /// one pointer test, like tracer/metrics.  Mutually exclusive with
+  /// observability.journal_capacity (which makes the engine own one).
+  EventJournal* journal = nullptr;
+  /// Engine-owned observability plane (DESIGN.md section 17): flight
+  /// recorder, background metrics sampler, embedded HTTP exporter.  All
+  /// off by default; Engine::Create starts the enabled pieces and stops
+  /// them when the last copy of the engine goes away.
+  ObservabilityOptions observability;
   /// How much static plan verification runs before/while executing
   /// (verify/plan_verifier.h, DESIGN.md section 11).  kPlanner checks the
   /// DAG, every plan, and the stage graph up front; kParanoid re-checks
@@ -154,6 +168,8 @@ class EngineOptions::Builder {
   Builder& BalanceSparsity(bool balance);
   Builder& WithTracer(Tracer* tracer);
   Builder& WithMetrics(MetricsRegistry* metrics);
+  Builder& WithJournal(EventJournal* journal);
+  Builder& Observability(const ObservabilityOptions& observability);
   Builder& Verify(VerifyLevel level);
   Builder& Faults(const FaultSpec& faults);
   Builder& Recovery(const RecoveryOptions& recovery);
@@ -234,6 +250,18 @@ class Engine {
   const EngineOptions& options() const { return options_; }
   const CostModel& cost_model() const { return model_; }
 
+  /// The effective flight recorder: the external options.journal if one
+  /// was supplied, else the engine-owned plane's, else null.
+  EventJournal* journal() const { return journal_; }
+  /// The engine-owned observability plane, or null when
+  /// options.observability enabled nothing.
+  const ObservabilityPlane* observability() const { return plane_.get(); }
+  /// Bound exporter port (-1 when the exporter is off) — what tests and
+  /// the --serve example curl against when exporter_port was 0.
+  int exporter_port() const {
+    return plane_ != nullptr ? plane_->exporter_port() : -1;
+  }
+
   /// Generates this system's fusion plan set for `dag`.
   FusionPlanSet MakePlans(const Dag& dag) const;
 
@@ -282,6 +310,11 @@ class Engine {
   struct ValidatedTag {};
   Engine(ValidatedTag, EngineOptions options);
 
+  /// Builds and starts the options_.observability plane (if anything is
+  /// enabled) and resolves the effective journal_ pointer.  Called once
+  /// from Create / the legacy constructor after validation.
+  Status StartObservability();
+
   /// Operator the current SystemMode uses for `plan`.
   OperatorKind PickOperator(const PartialPlan& plan,
                             const FusedInputs& inputs) const;
@@ -327,6 +360,12 @@ class Engine {
   /// Present iff options_.faults.enabled(); stages consult it for task
   /// kills, synthetic OOMs, and straggler factors.
   std::optional<FaultInjector> injector_;
+  /// Engine-owned observability plane (shared so Engine stays copyable;
+  /// background threads stop with the last copy).  Null when disabled.
+  std::shared_ptr<ObservabilityPlane> plane_;
+  /// Effective journal sink: options_.journal, else plane_->journal(),
+  /// else null.  Cached so emission sites are one pointer test.
+  EventJournal* journal_ = nullptr;
 };
 
 }  // namespace fuseme

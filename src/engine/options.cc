@@ -109,6 +109,13 @@ Status EngineOptions::Validate() const {
   }
   FUSEME_RETURN_IF_ERROR(ValidateFaults(faults));
   FUSEME_RETURN_IF_ERROR(ValidateRecovery(recovery));
+  FUSEME_RETURN_IF_ERROR(observability.Validate(metrics != nullptr));
+  if (journal != nullptr && observability.journal_capacity > 0) {
+    // Two journals would split the event stream; pick one sink.
+    return Invalid(
+        "options.journal and observability.journal_capacity are mutually "
+        "exclusive — pass the external journal or let the engine own one");
+  }
   return Status::OK();
 }
 
@@ -146,6 +153,18 @@ EngineOptions::Builder& EngineOptions::Builder::WithTracer(Tracer* tracer) {
 EngineOptions::Builder& EngineOptions::Builder::WithMetrics(
     MetricsRegistry* metrics) {
   options_.metrics = metrics;
+  return *this;
+}
+
+EngineOptions::Builder& EngineOptions::Builder::WithJournal(
+    EventJournal* journal) {
+  options_.journal = journal;
+  return *this;
+}
+
+EngineOptions::Builder& EngineOptions::Builder::Observability(
+    const ObservabilityOptions& observability) {
+  options_.observability = observability;
   return *this;
 }
 

@@ -51,11 +51,18 @@
 #include "runtime/fault_injector.h"
 #include "runtime/simulator.h"
 
-// Observability: metrics, tracing, predicted-vs-actual telemetry.
+// Observability: metrics, tracing, predicted-vs-actual telemetry, and
+// the live plane (flight recorder, sampler, HTTP exporter — DESIGN.md
+// section 17).
+#include "telemetry/event_journal.h"
+#include "telemetry/event_names.h"
+#include "telemetry/http_exporter.h"
 #include "telemetry/metric_names.h"
 #include "telemetry/metrics.h"
+#include "telemetry/observability.h"
 #include "telemetry/prediction.h"
 #include "telemetry/run_report.h"
+#include "telemetry/sampler.h"
 #include "telemetry/tracer.h"
 
 // Paper workloads and dataset descriptions (§6.1).

@@ -265,6 +265,7 @@ class FetchPipeline {
       BlockPrefetcher::Options options;
       options.pool = GlobalThreadPool();
       options.metrics = ctx->metrics();
+      options.journal = ctx->journal();
       options.copy_hook = MakeCopyHook(ctx->tracer(), ctx->label());
       prefetcher_.emplace(
           MakeSource(inputs, fetcher_->pace_seconds_per_byte()),

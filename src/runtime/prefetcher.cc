@@ -4,6 +4,8 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "telemetry/event_journal.h"
+#include "telemetry/event_names.h"
 #include "telemetry/metric_names.h"
 #include "telemetry/metrics.h"
 
@@ -236,6 +238,17 @@ std::optional<Result<Block>> BlockPrefetcher::Take(const PrefetchKey& key) {
     if (shared_->waited_metric != nullptr) {
       shared_->waited_metric->Increment();
       shared_->wait_seconds_metric->Observe(elapsed);
+    }
+    if (shared_->opts.journal != nullptr) {
+      // Stalls are rare (the pipeline exists to avoid them) and the
+      // journal's shard mutex is a leaf lock, so emitting under mu here
+      // is safe and off the ordered-commit path.
+      shared_->opts.journal->Emit(
+          LogLevel::kWarning, event_names::kPrefetchStall,
+          {{"node", std::to_string(key.node)},
+           {"bi", std::to_string(key.bi)},
+           {"bj", std::to_string(key.bj)},
+           {"wait_seconds", std::to_string(elapsed)}});
     }
     state = entry->state.load();
   } else if (state == Entry::kReady || state == Entry::kFailed) {

@@ -45,6 +45,7 @@
 namespace fuseme {
 
 class MetricsRegistry;  // telemetry/metrics.h; opaque-pointer convention
+class EventJournal;     // telemetry/event_journal.h; same convention
 
 /// Identity of one staged transfer: block (bi, bj) of external node `node`.
 struct PrefetchKey {
@@ -97,6 +98,9 @@ class BlockPrefetcher {
     /// a serial process degrades to synchronous fetching gracefully.
     ThreadPool* pool = nullptr;
     MetricsRegistry* metrics = nullptr;  ///< optional; not owned
+    /// Optional flight recorder; a consumer stall on an in-flight copy
+    /// emits fuseme.prefetch.stall.  Not owned.
+    EventJournal* journal = nullptr;
     CopyHook copy_hook;                  ///< optional tracer bridge
   };
 

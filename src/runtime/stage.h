@@ -29,6 +29,7 @@ namespace fuseme {
 
 class Tracer;           // telemetry/tracer.h; carried as an opaque pointer here
 class MetricsRegistry;  // telemetry/metrics.h; same opaque-pointer convention
+class EventJournal;     // telemetry/event_journal.h; same convention
 
 /// Accumulators for one logical task within a stage.
 struct TaskAccounting {
@@ -145,6 +146,13 @@ class StageContext : public StageAccounting {
   void set_metrics(MetricsRegistry* metrics) { metrics_ = metrics; }
   MetricsRegistry* metrics() const { return metrics_; }
 
+  /// Optional flight-recorder sink for this stage's rare events
+  /// (prefetch stalls); null disables emission.  Not owned.  The
+  /// ordered-commit path never emits — journal writes stay off the
+  /// determinism-critical locks (DESIGN.md section 17).
+  void set_journal(EventJournal* journal) { journal_ = journal; }
+  EventJournal* journal() const { return journal_; }
+
   /// Wires fault injection and the retry budget for this stage's work
   /// items (DESIGN.md section 13).  `injector` may be null (no injection;
   /// the retry loop then never fires) and is not owned; `stage_ordinal`
@@ -207,6 +215,7 @@ class StageContext : public StageAccounting {
   ClusterConfig config_;
   Tracer* tracer_ = nullptr;
   MetricsRegistry* metrics_ = nullptr;
+  EventJournal* journal_ = nullptr;
   const FaultInjector* injector_ = nullptr;
   int stage_ordinal_ = 0;
   RetryPolicy retry_{.max_attempts = 1};

@@ -1,0 +1,62 @@
+// Stable flight-recorder event-id catalogue (see DESIGN.md section 17).
+//
+// Every event the engine emits into an EventJournal uses one of these
+// ids, the same contract metric_names.h gives instruments and the
+// verifier gives rule ids — dashboards, tests, and the /flightz endpoint
+// reference them without string drift, and `fuseme_lint` (rules
+// lint-event-literal / lint-event-dead) rejects inline ids and dead
+// catalogue entries.  Ids follow the shape `fuseme.<subsystem>.<event>`
+// (lowercase, dot-separated, at least two segments after the prefix);
+// the dotted prefix keeps them disjoint from the `fuseme_` metric
+// namespace.
+
+#ifndef FUSEME_TELEMETRY_EVENT_NAMES_H_
+#define FUSEME_TELEMETRY_EVENT_NAMES_H_
+
+namespace fuseme::event_names {
+
+// --- Engine lifecycle ---
+/// A Run/RunWithPlans invocation started; payload: system, mode, plans.
+inline constexpr char kRunStart[] = "fuseme.engine.run_start";
+/// The run returned; payload: status, elapsed_seconds, stages.
+inline constexpr char kRunFinish[] = "fuseme.engine.run_finish";
+
+// --- Planner / optimizer decisions ---
+/// MakePlans produced its final plan set; payload: planner, plans.
+inline constexpr char kPlannerPlans[] = "fuseme.planner.plans_ready";
+/// The (P,Q,R) search chose a cuboid for a plan; payload: plan, cuboid,
+/// cost_seconds (or feasible=false when nothing fit the budget).
+inline constexpr char kOptimizerChoice[] = "fuseme.optimizer.cuboid_chosen";
+
+// --- Verifier ---
+/// A plan-verification diagnostic failed the run; one event per
+/// diagnostic, payload: rule, detail.
+inline constexpr char kVerifierDiagnostic[] = "fuseme.verifier.diagnostic";
+
+// --- Stages ---
+/// A stage committed into the simulator's timeline; payload: stage,
+/// ordinal, operator, tasks, elapsed_seconds.
+inline constexpr char kStageCommit[] = "fuseme.stage.commit";
+
+// --- Fault path ---
+/// The fault schedule killed a stage attempt with a synthetic OOM;
+/// payload: stage, ordinal.
+inline constexpr char kFaultInjectedOom[] = "fuseme.fault.injected_oom";
+/// A work item was re-launched past its first attempt; payload: stage,
+/// attempts, injected_failures, exhausted.
+inline constexpr char kTaskRetry[] = "fuseme.fault.task_retry";
+/// A stage took one rung down the OOM degradation ladder; payload:
+/// stage, from, to, cause.
+inline constexpr char kStageDegraded[] = "fuseme.fault.degradation";
+/// The simulator launched speculative copies against stragglers;
+/// payload: stage, copies.
+inline constexpr char kSpeculation[] = "fuseme.fault.speculation";
+
+// --- Prefetch pipeline ---
+/// A consumer stalled on an in-flight staged copy (the "waited"
+/// outcome); payload: node, bi, bj, wait_seconds.
+inline constexpr char kPrefetchStall[] = "fuseme.prefetch.stall";
+
+}  // namespace fuseme::event_names
+
+#endif  // FUSEME_TELEMETRY_EVENT_NAMES_H_

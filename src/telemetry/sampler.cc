@@ -1,0 +1,168 @@
+#include "telemetry/sampler.h"
+
+#include <sstream>
+
+#include "common/json_util.h"
+#include "common/logging.h"
+
+namespace fuseme {
+
+namespace {
+
+// Series key: metric name (plus a derived suffix) with the Prometheus
+// label rendering appended, so one instrument maps to one stable key.
+std::string SeriesKey(const std::string& name, const std::string& suffix,
+                      const MetricLabels& labels) {
+  std::string key = name + suffix;
+  if (labels.empty()) return key;
+  key += '{';
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) key += ',';
+    first = false;
+    key += k;
+    key += "=\"";
+    key += v;
+    key += '"';
+  }
+  key += '}';
+  return key;
+}
+
+}  // namespace
+
+std::vector<std::pair<std::string, double>> MetricsSampler::Flatten(
+    const MetricsSnapshot& snapshot) {
+  std::vector<std::pair<std::string, double>> values;
+  values.reserve(snapshot.samples.size() * 2);
+  for (const MetricSample& sample : snapshot.samples) {
+    switch (sample.kind) {
+      case MetricKind::kCounter:
+        values.emplace_back(SeriesKey(sample.name, "", sample.labels),
+                            static_cast<double>(sample.counter_value));
+        break;
+      case MetricKind::kGauge:
+        values.emplace_back(SeriesKey(sample.name, "", sample.labels),
+                            sample.gauge_value);
+        values.emplace_back(SeriesKey(sample.name, "_peak", sample.labels),
+                            sample.gauge_peak);
+        break;
+      case MetricKind::kHistogram:
+        values.emplace_back(SeriesKey(sample.name, "_count", sample.labels),
+                            static_cast<double>(sample.histogram_count));
+        values.emplace_back(SeriesKey(sample.name, "_sum", sample.labels),
+                            sample.histogram_sum);
+        break;
+    }
+  }
+  return values;
+}
+
+MetricsSampler::MetricsSampler(const MetricsRegistry* registry,
+                               Options options,
+                               std::chrono::steady_clock::time_point epoch)
+    : registry_(registry), options_(options), epoch_(epoch) {
+  FUSEME_CHECK(registry_ != nullptr);
+  FUSEME_CHECK_GT(options_.capacity, 0);
+}
+
+MetricsSampler::~MetricsSampler() { Stop(); }
+
+void MetricsSampler::Start() {
+  FUSEME_CHECK_GT(options_.period_seconds, 0.0);
+  {
+    MutexLock lock(mu_);
+    if (running_) return;
+    running_ = true;
+    stop_ = false;
+  }
+  thread_ = std::thread(&MetricsSampler::Loop, this);
+}
+
+void MetricsSampler::Stop() {
+  {
+    MutexLock lock(mu_);
+    if (!running_) return;
+    stop_ = true;
+    cv_.NotifyAll();
+  }
+  thread_.join();
+  MutexLock lock(mu_);
+  running_ = false;
+}
+
+void MetricsSampler::Loop() {
+  MutexLock lock(mu_);
+  while (!stop_) {
+    cv_.WaitFor(mu_, options_.period_seconds);
+    if (stop_) break;
+    // Sample with the sampler mutex dropped: the registry's shard locks
+    // and mu_ are never held together (see header lock-ordering note).
+    lock.Unlock();
+    SampleNow();
+    lock.Lock();
+  }
+}
+
+TimeSample MetricsSampler::SampleNow() {
+  TimeSample sample;
+  sample.t_us = std::chrono::duration_cast<std::chrono::microseconds>(
+                    std::chrono::steady_clock::now() - epoch_)
+                    .count();
+  sample.values = Flatten(registry_->Snapshot());
+
+  MutexLock lock(mu_);
+  if (static_cast<std::int64_t>(ring_.size()) < options_.capacity) {
+    ring_.push_back(sample);
+  } else {
+    ring_[static_cast<std::size_t>(taken_ % options_.capacity)] = sample;
+  }
+  ++taken_;
+  return sample;
+}
+
+std::vector<TimeSample> MetricsSampler::Series() const {
+  MutexLock lock(mu_);
+  std::vector<TimeSample> out;
+  out.reserve(ring_.size());
+  if (static_cast<std::int64_t>(ring_.size()) < options_.capacity) {
+    out = ring_;  // not yet wrapped: ring order is emission order
+  } else {
+    for (std::int64_t i = 0; i < options_.capacity; ++i) {
+      out.push_back(ring_[static_cast<std::size_t>((taken_ + i) %
+                                                   options_.capacity)]);
+    }
+  }
+  return out;
+}
+
+std::string MetricsSampler::ToJson() const {
+  // Copy state first; JSON rendering happens without mu_ held.
+  const std::vector<TimeSample> samples = Series();
+  std::int64_t taken = total_samples();
+
+  std::ostringstream out;
+  out << "{\"period_seconds\": " << options_.period_seconds
+      << ", \"capacity\": " << options_.capacity << ", \"taken\": " << taken
+      << ", \"samples\": [";
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    if (i > 0) out << ", ";
+    out << "{\"t_us\": " << samples[i].t_us << ", \"values\": {";
+    bool first = true;
+    for (const auto& [key, value] : samples[i].values) {
+      if (!first) out << ", ";
+      first = false;
+      out << "\"" << JsonEscape(key) << "\": " << value;
+    }
+    out << "}}";
+  }
+  out << "]}";
+  return out.str();
+}
+
+std::int64_t MetricsSampler::total_samples() const {
+  MutexLock lock(mu_);
+  return taken_;
+}
+
+}  // namespace fuseme

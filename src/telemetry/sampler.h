@@ -1,0 +1,112 @@
+// Time-series sampler: periodic MetricsRegistry snapshots flattened into
+// bounded in-memory ring series (see DESIGN.md section 17).
+//
+// A background thread (capability-annotated Mutex/CondVar, no raw std
+// primitives) wakes every `period_seconds`, flattens Snapshot() into
+// scalar points — counters as-is, gauges plus their `_peak`, histograms
+// as `_count`/`_sum` — and appends one TimeSample to a fixed-capacity
+// ring, overwriting oldest-first.  SampleNow() is the same flattening
+// run inline on the caller's thread, so tests exercise the exact
+// series-building code without sleeping.
+//
+// Lock ordering: a sampling pass reads the registry (its shard locks)
+// strictly before taking the sampler's own mutex for the ring append —
+// the two are never held together, so the sampler adds no edge to the
+// registry's lock graph (DESIGN.md section 17 records this).
+
+#ifndef FUSEME_TELEMETRY_SAMPLER_H_
+#define FUSEME_TELEMETRY_SAMPLER_H_
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/synchronization.h"
+#include "telemetry/metrics.h"
+
+namespace fuseme {
+
+/// One flattened registry snapshot.  `t_us` is microseconds since the
+/// sampler's epoch (shared with the Tracer/EventJournal when wired
+/// through the engine); `values` is sorted by key because the underlying
+/// MetricsSnapshot is sorted.
+struct TimeSample {
+  std::int64_t t_us = 0;
+  std::vector<std::pair<std::string, double>> values;
+
+  bool operator==(const TimeSample&) const = default;
+};
+
+/// Periodic registry sampler with a bounded in-memory ring.
+/// Thread-safe; Start/Stop manage the background thread, SampleNow works
+/// with or without it.
+class MetricsSampler {
+ public:
+  struct Options {
+    /// Background sampling period.  Must be > 0 to Start().
+    double period_seconds = 1.0;
+    /// Retained samples; the ring overwrites oldest-first.
+    std::int64_t capacity = 256;
+  };
+
+  /// `registry` must outlive the sampler and is never null.
+  MetricsSampler(const MetricsRegistry* registry, Options options,
+                 std::chrono::steady_clock::time_point epoch =
+                     std::chrono::steady_clock::now());
+  ~MetricsSampler();
+
+  MetricsSampler(const MetricsSampler&) = delete;
+  MetricsSampler& operator=(const MetricsSampler&) = delete;
+
+  /// Launches the background thread.  No-op if already running.
+  void Start();
+  /// Stops and joins the background thread.  No-op if not running.
+  void Stop();
+
+  /// Takes one sample inline on the calling thread and appends it to the
+  /// ring; returns the flattened sample.  Deterministic given the
+  /// registry's state (timestamp aside) — the unit tests' path.
+  TimeSample SampleNow();
+
+  /// Retained samples, oldest first.
+  [[nodiscard]] std::vector<TimeSample> Series() const;
+
+  /// {"period_seconds": ..., "capacity": ..., "taken": N, "samples":
+  ///  [{"t_us": ..., "values": {"name": v, ...}}, ...]} — what /seriesz
+  /// serves.
+  [[nodiscard]] std::string ToJson() const;
+
+  /// Samples taken over the sampler's lifetime (>= retained count).
+  [[nodiscard]] std::int64_t total_samples() const;
+  [[nodiscard]] std::int64_t capacity() const { return options_.capacity; }
+  [[nodiscard]] double period_seconds() const {
+    return options_.period_seconds;
+  }
+
+  /// Flattens one snapshot into scalar series points (static so tests
+  /// can check the flattening against a hand-built snapshot).
+  static std::vector<std::pair<std::string, double>> Flatten(
+      const MetricsSnapshot& snapshot);
+
+ private:
+  void Loop();
+
+  const MetricsRegistry* registry_;
+  Options options_;
+  std::chrono::steady_clock::time_point epoch_;
+
+  mutable Mutex mu_;
+  CondVar cv_;
+  bool stop_ GUARDED_BY(mu_) = false;
+  bool running_ GUARDED_BY(mu_) = false;
+  std::vector<TimeSample> ring_ GUARDED_BY(mu_);
+  std::int64_t taken_ GUARDED_BY(mu_) = 0;
+  std::thread thread_;
+};
+
+}  // namespace fuseme
+
+#endif  // FUSEME_TELEMETRY_SAMPLER_H_

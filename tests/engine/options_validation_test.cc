@@ -6,6 +6,8 @@
 
 #include "engine/engine.h"
 #include "matrix/generators.h"
+#include "telemetry/event_journal.h"
+#include "telemetry/metrics.h"
 #include "workloads/queries.h"
 
 namespace fuseme {
@@ -131,6 +133,77 @@ TEST(OptionsValidationTest, RejectsBadRecovery) {
   EXPECT_TRUE(o.Validate().IsInvalidArgument());
 }
 
+TEST(OptionsValidationTest, RejectsBadObservability) {
+  EngineOptions o = SmallValid();
+  o.observability.journal_capacity = -1;
+  EXPECT_TRUE(o.Validate().IsInvalidArgument());
+  o = SmallValid();
+  o.observability.sample_period_seconds = -0.5;
+  EXPECT_TRUE(o.Validate().IsInvalidArgument());
+  o = SmallValid();
+  o.observability.sampler_capacity = 0;
+  o.observability.sample_period_seconds = 1.0;
+  EXPECT_TRUE(o.Validate().IsInvalidArgument());
+  o = SmallValid();
+  o.observability.exporter_port = 70000;
+  EXPECT_TRUE(o.Validate().IsInvalidArgument());
+  // Sampling needs a registry to sample.
+  o = SmallValid();
+  o.observability.sample_period_seconds = 1.0;
+  EXPECT_TRUE(o.Validate().IsInvalidArgument());
+  // The exporter needs at least one source.
+  o = SmallValid();
+  o.observability.exporter_port = 0;
+  EXPECT_TRUE(o.Validate().IsInvalidArgument());
+  // Crash dump needs the journal it would dump.
+  o = SmallValid();
+  o.observability.crash_dump = true;
+  EXPECT_TRUE(o.Validate().IsInvalidArgument());
+}
+
+TEST(OptionsValidationTest, AcceptsEnabledObservability) {
+  MetricsRegistry registry;
+  EngineOptions o = SmallValid();
+  o.metrics = &registry;
+  o.observability.journal_capacity = 128;
+  o.observability.sample_period_seconds = 0.5;
+  o.observability.exporter_port = 0;
+  o.observability.crash_dump = true;
+  EXPECT_TRUE(o.Validate().ok());
+}
+
+TEST(OptionsValidationTest, RejectsExternalJournalPlusOwnedJournal) {
+  EventJournal journal(/*capacity=*/32);
+  EngineOptions o = SmallValid();
+  o.journal = &journal;
+  o.observability.journal_capacity = 64;
+  EXPECT_TRUE(o.Validate().IsInvalidArgument());
+  // Either alone is fine.
+  o.observability.journal_capacity = 0;
+  EXPECT_TRUE(o.Validate().ok());
+  o.journal = nullptr;
+  o.observability.journal_capacity = 64;
+  EXPECT_TRUE(o.Validate().ok());
+}
+
+TEST(OptionsValidationTest, EngineCreateStartsObservabilityPlane) {
+  MetricsRegistry registry;
+  EngineOptions o = SmallValid();
+  o.metrics = &registry;
+  o.observability.journal_capacity = 64;
+  o.observability.exporter_port = 0;
+  Result<Engine> engine = Engine::Create(o);
+  ASSERT_TRUE(engine.ok()) << engine.status();
+  EXPECT_NE(engine->journal(), nullptr);
+  EXPECT_GT(engine->exporter_port(), 0);
+
+  // Disabled plane: no journal, no exporter.
+  Result<Engine> plain = Engine::Create(SmallValid());
+  ASSERT_TRUE(plain.ok());
+  EXPECT_EQ(plain->journal(), nullptr);
+  EXPECT_EQ(plain->exporter_port(), -1);
+}
+
 TEST(OptionsValidationTest, BuilderAssemblesAndValidates) {
   ClusterConfig cluster;
   cluster.num_nodes = 2;
@@ -141,6 +214,8 @@ TEST(OptionsValidationTest, BuilderAssemblesAndValidates) {
   faults.task_failure_probability = 0.1;
   RecoveryOptions recovery;
   recovery.retry.max_attempts = 5;
+  ObservabilityOptions observability;
+  observability.journal_capacity = 32;
 
   Result<EngineOptions> built = EngineOptions::Builder()
                                     .System(SystemMode::kSystemDs)
@@ -150,6 +225,7 @@ TEST(OptionsValidationTest, BuilderAssemblesAndValidates) {
                                     .Verify(VerifyLevel::kOff)
                                     .Faults(faults)
                                     .Recovery(recovery)
+                                    .Observability(observability)
                                     .Build();
   ASSERT_TRUE(built.ok()) << built.status();
   EXPECT_EQ(built->system, SystemMode::kSystemDs);
@@ -158,6 +234,7 @@ TEST(OptionsValidationTest, BuilderAssemblesAndValidates) {
   EXPECT_EQ(built->verify, VerifyLevel::kOff);
   EXPECT_EQ(built->faults.seed, 9u);
   EXPECT_EQ(built->recovery.retry.max_attempts, 5);
+  EXPECT_EQ(built->observability.journal_capacity, 32);
 }
 
 TEST(OptionsValidationTest, BuilderRejectsInvalidAssembly) {

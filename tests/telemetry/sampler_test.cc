@@ -1,0 +1,126 @@
+// Time-series sampler: flattening rules, SampleNow determinism, ring
+// bounds, background-thread lifecycle, and the /seriesz JSON shape.
+
+#include "telemetry/sampler.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "telemetry/metrics.h"
+
+namespace fuseme {
+namespace {
+
+double ValueOf(const TimeSample& sample, const std::string& key) {
+  for (const auto& [k, v] : sample.values) {
+    if (k == key) return v;
+  }
+  ADD_FAILURE() << "series key not found: " << key;
+  return -1;
+}
+
+TEST(SamplerTest, FlattenCoversAllInstrumentKinds) {
+  MetricsRegistry registry;
+  registry.GetCounter("fuseme_test_events_total")->Add(7);
+  Gauge* g = registry.GetGauge("fuseme_test_depth");
+  g->Set(9.0);
+  g->Set(4.0);
+  Histogram* h = registry.GetHistogram("fuseme_test_seconds", {1.0});
+  h->Observe(0.5);
+  h->Observe(2.5);
+
+  const auto values = MetricsSampler::Flatten(registry.Snapshot());
+  const TimeSample sample{0, values};
+  EXPECT_DOUBLE_EQ(ValueOf(sample, "fuseme_test_events_total"), 7.0);
+  EXPECT_DOUBLE_EQ(ValueOf(sample, "fuseme_test_depth"), 4.0);
+  EXPECT_DOUBLE_EQ(ValueOf(sample, "fuseme_test_depth_peak"), 9.0);
+  EXPECT_DOUBLE_EQ(ValueOf(sample, "fuseme_test_seconds_count"), 2.0);
+  EXPECT_DOUBLE_EQ(ValueOf(sample, "fuseme_test_seconds_sum"), 3.0);
+}
+
+TEST(SamplerTest, SampleNowIsDeterministicForAFixedRegistry) {
+  MetricsRegistry registry;
+  registry.GetCounter("fuseme_test_events_total")->Add(42);
+
+  MetricsSampler sampler(&registry, {.period_seconds = 1.0, .capacity = 8});
+  const TimeSample a = sampler.SampleNow();
+  const TimeSample b = sampler.SampleNow();
+  // Timestamps advance; the flattened values are bit-identical.
+  EXPECT_EQ(a.values, b.values);
+  EXPECT_LE(a.t_us, b.t_us);
+  EXPECT_EQ(sampler.total_samples(), 2);
+
+  registry.GetCounter("fuseme_test_events_total")->Add(1);
+  const TimeSample c = sampler.SampleNow();
+  EXPECT_DOUBLE_EQ(ValueOf(c, "fuseme_test_events_total"), 43.0);
+}
+
+TEST(SamplerTest, RingRetainsNewestOldestFirst) {
+  MetricsRegistry registry;
+  Gauge* g = registry.GetGauge("fuseme_test_depth");
+
+  MetricsSampler sampler(&registry, {.period_seconds = 1.0, .capacity = 4});
+  for (int i = 0; i < 10; ++i) {
+    g->Set(static_cast<double>(i));
+    sampler.SampleNow();
+  }
+  EXPECT_EQ(sampler.total_samples(), 10);
+  EXPECT_EQ(sampler.capacity(), 4);
+
+  const std::vector<TimeSample> series = sampler.Series();
+  ASSERT_EQ(series.size(), 4u);
+  // The four newest samples survive, oldest first: gauge values 6..9.
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_DOUBLE_EQ(ValueOf(series[i], "fuseme_test_depth"), 6.0 + i);
+  }
+  for (std::size_t i = 1; i < series.size(); ++i) {
+    EXPECT_LE(series[i - 1].t_us, series[i].t_us);
+  }
+}
+
+TEST(SamplerTest, BackgroundThreadSamplesAndStops) {
+  MetricsRegistry registry;
+  registry.GetCounter("fuseme_test_events_total")->Add(5);
+
+  MetricsSampler sampler(&registry,
+                         {.period_seconds = 0.005, .capacity = 128});
+  sampler.Start();
+  sampler.Start();  // idempotent
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (sampler.total_samples() < 3 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  sampler.Stop();
+  sampler.Stop();  // idempotent
+  const std::int64_t after_stop = sampler.total_samples();
+  EXPECT_GE(after_stop, 3);
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_EQ(sampler.total_samples(), after_stop);
+  // Restart works after a Stop.
+  sampler.Start();
+  sampler.Stop();
+}
+
+TEST(SamplerTest, ToJsonShape) {
+  MetricsRegistry registry;
+  registry.GetCounter("fuseme_test_events_total")->Add(3);
+  MetricsSampler sampler(&registry, {.period_seconds = 0.5, .capacity = 2});
+  sampler.SampleNow();
+
+  const std::string json = sampler.ToJson();
+  EXPECT_NE(json.find("\"period_seconds\""), std::string::npos);
+  EXPECT_NE(json.find("\"capacity\": 2"), std::string::npos);
+  EXPECT_NE(json.find("\"taken\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"fuseme_test_events_total\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fuseme

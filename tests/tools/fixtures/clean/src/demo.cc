@@ -2,10 +2,13 @@
 //
 // TODO(#42): tagged fixture item — lint-todo-tag accepts it.
 
+#include "telemetry/event_names.h"
 #include "telemetry/metric_names.h"
 
 namespace fuseme {
 
 const char* DemoMetricName() { return metric_names::kDemo; }
+
+const char* DemoEventName() { return event_names::kDemo; }
 
 }  // namespace fuseme

@@ -1,0 +1,11 @@
+// Fixture event catalogue: one entry, referenced from demo.cc.
+#ifndef FIXTURE_CLEAN_EVENT_NAMES_H_
+#define FIXTURE_CLEAN_EVENT_NAMES_H_
+
+namespace fuseme::event_names {
+
+inline constexpr char kDemo[] = "fuseme.demo.start";
+
+}  // namespace fuseme::event_names
+
+#endif  // FIXTURE_CLEAN_EVENT_NAMES_H_

@@ -1,0 +1,9 @@
+// References kLive only; kDead stays unreferenced on purpose.
+
+#include "telemetry/event_names.h"
+
+namespace fixture {
+
+const char* Live() { return fuseme::event_names::kLive; }
+
+}  // namespace fixture

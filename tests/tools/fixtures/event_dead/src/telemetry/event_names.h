@@ -1,0 +1,13 @@
+// Negative fixture: a catalogue entry nothing references.  fuseme_lint
+// must flag kDead (lint-event-dead); kLive is referenced from live.cc.
+#ifndef FIXTURE_EVENT_DEAD_EVENT_NAMES_H_
+#define FIXTURE_EVENT_DEAD_EVENT_NAMES_H_
+
+namespace fuseme::event_names {
+
+inline constexpr char kLive[] = "fuseme.demo.live";
+inline constexpr char kDead[] = "fuseme.demo.dead";
+
+}  // namespace fuseme::event_names
+
+#endif  // FIXTURE_EVENT_DEAD_EVENT_NAMES_H_

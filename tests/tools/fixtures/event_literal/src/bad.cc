@@ -1,0 +1,16 @@
+// Negative fixture: an inline "fuseme.x.y" event id that bypasses the
+// catalogue.  fuseme_lint must flag it (lint-event-literal) while
+// accepting the catalogued id used right next to it.  The "fuseme.h"
+// include below must NOT trip the rule: one dotted segment is not an
+// event id.
+
+#include "fuseme.h"
+#include "telemetry/event_names.h"
+
+namespace fixture {
+
+const char* Catalogued() { return fuseme::event_names::kDemo; }
+
+const char* Rogue() { return "fuseme.rogue.event"; }
+
+}  // namespace fixture

@@ -1,0 +1,11 @@
+// Fixture event catalogue for the inline-literal negative case.
+#ifndef FIXTURE_EVENT_LITERAL_EVENT_NAMES_H_
+#define FIXTURE_EVENT_LITERAL_EVENT_NAMES_H_
+
+namespace fuseme::event_names {
+
+inline constexpr char kDemo[] = "fuseme.demo.start";
+
+}  // namespace fuseme::event_names
+
+#endif  // FIXTURE_EVENT_LITERAL_EVENT_NAMES_H_

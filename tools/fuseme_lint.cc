@@ -19,6 +19,12 @@
 //   lint-metric-dead    Every catalogue entry in metric_names.h is
 //                       referenced (by its kIdentifier) somewhere in src/
 //                       outside the catalogue itself.
+//   lint-event-literal  Every flight-recorder event id ("fuseme.x.y",
+//                       two-plus dotted segments after the prefix) in
+//                       src/ is declared in src/telemetry/event_names.h.
+//   lint-event-dead     Every catalogue entry in event_names.h is
+//                       referenced (by its kIdentifier) somewhere in src/
+//                       outside the catalogue itself.
 //   lint-rule-id-dup    Verifier rule-id string constants declared in
 //                       src/verify/ are unique — ids are a stable public
 //                       contract and must never be reused.
@@ -288,6 +294,37 @@ void CheckMetricLiterals(const FileView& f,
   }
 }
 
+// --- rules: lint-event-literal / lint-event-dead --------------------------
+
+bool IsEventCatalogue(const std::string& display_path) {
+  return display_path == "src/telemetry/event_names.h";
+}
+
+/// A flight-recorder event id: "fuseme." followed by at least two more
+/// lowercase dotted segments ("fuseme.engine.run_start").  The two-segment
+/// floor keeps ordinary strings that merely start with "fuseme." — the
+/// facade include "fuseme.h" above all — out of the rule.
+bool IsEventId(const std::string& value) {
+  static const std::regex id_re(R"(^fuseme(\.[a-z0-9_]+){2,}$)");
+  return std::regex_match(value, id_re);
+}
+
+void CheckEventLiterals(const FileView& f,
+                        const std::set<std::string>& catalogue,
+                        std::vector<Finding>* findings) {
+  if (!UnderDir(f.display_path, "src/") || IsEventCatalogue(f.display_path))
+    return;
+  for (const StringLiteral& s : f.strings) {
+    if (!IsEventId(s.value)) continue;
+    if (catalogue.count(s.value) == 0) {
+      findings->push_back(
+          {f.display_path, s.line, "lint-event-literal",
+           "inline event id \"" + s.value +
+               "\" not declared in src/telemetry/event_names.h"});
+    }
+  }
+}
+
 // --- rule: lint-rule-id-dup ----------------------------------------------
 
 void CheckRuleIdDuplicates(const std::vector<FileView>& files,
@@ -455,6 +492,18 @@ int main(int argc, char** argv) {
       }
     }
   }
+  std::set<std::string> event_catalogue_names;
+  std::vector<CatalogueEntry> event_catalogue_entries;
+  bool scanned_event_catalogue = false;
+  for (const FileView& v : views) {
+    if (IsEventCatalogue(v.display_path)) {
+      scanned_event_catalogue = true;
+      event_catalogue_entries = ParseCharConstants(v.raw);
+      for (const CatalogueEntry& e : event_catalogue_entries) {
+        event_catalogue_names.insert(e.name);
+      }
+    }
+  }
   std::string design_md;
   const bool have_design_md = ReadFile(root / "DESIGN.md", &design_md);
   const std::set<int> design_sections =
@@ -464,6 +513,9 @@ int main(int argc, char** argv) {
   for (const FileView& v : views) {
     CheckRawSync(v, &findings);
     if (scanned_catalogue) CheckMetricLiterals(v, catalogue_names, &findings);
+    if (scanned_event_catalogue) {
+      CheckEventLiterals(v, event_catalogue_names, &findings);
+    }
     CheckDesignRefs(v, design_sections, have_design_md, &findings);
     CheckTodoTags(v, &findings);
   }
@@ -489,6 +541,30 @@ int main(int argc, char** argv) {
       if (!used) {
         findings.push_back(
             {"src/telemetry/metric_names.h", e.line, "lint-metric-dead",
+             "catalogue entry " + e.identifier + " (\"" + e.name +
+                 "\") is never referenced from src/"});
+      }
+    }
+  }
+
+  // lint-event-dead mirrors lint-metric-dead for the event catalogue.
+  if (scanned_event_catalogue) {
+    for (const CatalogueEntry& e : event_catalogue_entries) {
+      bool used = false;
+      for (const FileView& v : views) {
+        if (IsEventCatalogue(v.display_path) ||
+            !UnderDir(v.display_path, "src/")) {
+          continue;
+        }
+        const std::regex use_re("\\b" + e.identifier + "\\b");
+        if (std::regex_search(v.code, use_re)) {
+          used = true;
+          break;
+        }
+      }
+      if (!used) {
+        findings.push_back(
+            {"src/telemetry/event_names.h", e.line, "lint-event-dead",
              "catalogue entry " + e.identifier + " (\"" + e.name +
                  "\") is never referenced from src/"});
       }
