@@ -45,24 +45,32 @@ int main() {
   options.tracer = &tracer;
   Engine engine(options);
 
-  const FusionPlanSet plans = engine.MakePlans(dag);
-  std::printf("\nChosen plan (%s):\n", plans.description.c_str());
-  for (const PartialPlan& plan : plans.plans) {
-    Result<StagePrediction> pred =
-        engine.PredictStage(plan, OperatorKind::kCfo);
-    if (pred.ok()) {
-      std::printf("  %-48s %s cuboid=%s  modeled=%s\n",
-                  plan.ToString().c_str(), pred->operator_kind.c_str(),
-                  pred->cuboid.ToString().c_str(),
-                  HumanSeconds(pred->cost_seconds).c_str());
+  // Describe shows every registered solver's verdict per stage — the
+  // decision Compile freezes — without running anything.
+  const PlanDescription described = engine.Describe(dag);
+  std::printf("\nSolver table:\n%s", described.ToString().c_str());
+
+  Result<CompiledPlan> compiled = engine.Compile(dag);
+  if (!compiled.ok()) {
+    std::printf("compile failed: %s\n", compiled.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("\nChosen plan (%s):\n", compiled->description().c_str());
+  for (const CompiledStage& stage : compiled->stages()) {
+    if (stage.prediction_status.ok()) {
+      std::printf("  solver=%-18s %s cuboid=%s  modeled=%s\n",
+                  stage.solver_id.c_str(),
+                  stage.prediction.operator_kind.c_str(),
+                  stage.prediction.cuboid.ToString().c_str(),
+                  HumanSeconds(stage.prediction.cost_seconds).c_str());
     } else {
-      std::printf("  %-48s (no feasible cuboid: %s)\n",
-                  plan.ToString().c_str(),
-                  pred.status().ToString().c_str());
+      std::printf("  solver=%-18s (no feasible cuboid: %s)\n",
+                  stage.solver_id.c_str(),
+                  stage.prediction_status.ToString().c_str());
     }
   }
 
-  Engine::RunResult run = engine.RunWithPlans(dag, plans, inputs);
+  Engine::RunResult run = engine.Execute(*compiled, inputs);
   std::printf("\nExecution: %s\n", run.report.Summary().c_str());
   if (!run.report.ok()) return 1;
 

@@ -190,7 +190,13 @@ int main(int argc, char** argv) {
   std::printf("workload: %s (%s mode)\n", workload.c_str(),
               analytic ? "analytic" : "real");
   const auto begin = std::chrono::steady_clock::now();
-  Engine::RunResult run = engine.Run(**dag, MakeInputs(**dag));
+  Result<CompiledPlan> plan = engine.Compile(**dag);
+  if (!plan.ok()) {
+    std::fprintf(stderr, "error: %s\n", plan.status().ToString().c_str());
+    AttachLogMetrics(nullptr);
+    return 1;
+  }
+  Engine::RunResult run = engine.Execute(*plan, MakeInputs(**dag));
   const double host_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - begin)
           .count();

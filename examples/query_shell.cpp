@@ -42,12 +42,17 @@ int main(int argc, char** argv) {
     options.system = mode;
     options.analytic = true;  // paper-default modeled cluster
     Engine engine(options);
-    FusionPlanSet plans = engine.MakePlans(*parsed->dag);
-    auto run = engine.RunWithPlans(*parsed->dag, plans, {});
+    Result<CompiledPlan> compiled = engine.Compile(*parsed->dag);
+    if (!compiled.ok()) {
+      std::printf("%-10s compile failed: %s\n", SystemModeName(mode).data(),
+                  compiled.status().ToString().c_str());
+      continue;
+    }
+    auto run = engine.Execute(*compiled, {});
     std::printf("%-10s %-34s", SystemModeName(mode).data(),
                 run.report.Summary().c_str());
-    std::printf("  [%zu plan(s):", plans.plans.size());
-    for (const PartialPlan& p : plans.plans) {
+    std::printf("  [%zu plan(s):", compiled->plans().plans.size());
+    for (const PartialPlan& p : compiled->plans().plans) {
       std::printf(" %lld", static_cast<long long>(p.size()));
     }
     std::printf(" ops]\n");

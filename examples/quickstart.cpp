@@ -87,7 +87,15 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  Engine::RunResult run = engine->Run(dag, inputs);
+  // Compile once (planner + verifier + solver resolution), then execute
+  // the frozen artifact — re-Execute with new same-shaped inputs to skip
+  // all of that planning work on later runs.
+  Result<CompiledPlan> plan = engine->Compile(dag);
+  if (!plan.ok()) {
+    std::printf("compile failed: %s\n", plan.status().ToString().c_str());
+    return 1;
+  }
+  Engine::RunResult run = engine->Execute(*plan, inputs);
   if (!run.ok()) {
     std::printf("execution failed: %s\n", run.Summary().c_str());
     return 1;

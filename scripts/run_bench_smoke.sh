@@ -12,7 +12,8 @@ BUILD_DIR=${1:-build}
 if [[ ! -x "$BUILD_DIR/bench/bench_microkernels" ||
       ! -x "$BUILD_DIR/bench/bench_fig12_operators" ||
       ! -x "$BUILD_DIR/bench/bench_overlap" ||
-      ! -x "$BUILD_DIR/bench/bench_sparse" ]]; then
+      ! -x "$BUILD_DIR/bench/bench_sparse" ||
+      ! -x "$BUILD_DIR/bench/bench_compile" ]]; then
   echo "error: bench binaries missing under $BUILD_DIR/bench -- build first" >&2
   exit 1
 fi
@@ -22,6 +23,7 @@ export FUSEME_BENCH_GEMM_N=${FUSEME_BENCH_GEMM_N:-256}
 export FUSEME_BENCH_CFO_N=${FUSEME_BENCH_CFO_N:-512}
 export FUSEME_BENCH_OVERLAP_N=${FUSEME_BENCH_OVERLAP_N:-256}
 export FUSEME_BENCH_SPARSE_N=${FUSEME_BENCH_SPARSE_N:-512}
+export FUSEME_BENCH_COMPILE_N=${FUSEME_BENCH_COMPILE_N:-256}
 
 SCRATCH=$(mktemp -d)
 trap 'rm -rf "$SCRATCH"' EXIT
@@ -59,5 +61,8 @@ run_and_check "$PWD/$BUILD_DIR/bench/bench_overlap" BENCH_overlap.json
 # Sparsity-aware kernels vs dense-style execution; exits non-zero if fewer
 # than two cells show a speedup or the sparse-stage prediction drifts past 2x.
 run_and_check "$PWD/$BUILD_DIR/bench/bench_sparse" BENCH_sparse.json
+# Compile-once/execute-many facade; exits non-zero if a replayed Execute
+# re-plans (solver/planner counters move) or diverges from the legacy Run.
+run_and_check "$PWD/$BUILD_DIR/bench/bench_compile" BENCH_compile.json
 
 echo "bench smoke passed"

@@ -2,10 +2,13 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <numeric>
 
 #include "common/logging.h"
 #include "common/string_util.h"
+#include "engine/compiled_plan.h"
+#include "engine/solver_registry.h"
 #include "fusion/sparsity_analysis.h"
 #include "matrix/block.h"
 #include "ops/fused_operator.h"
@@ -18,22 +21,6 @@
 namespace fuseme {
 
 namespace {
-
-const char* OperatorKindName(OperatorKind kind) {
-  switch (kind) {
-    case OperatorKind::kCfo:
-      return "CFO";
-    case OperatorKind::kBfo:
-      return "BFO";
-    case OperatorKind::kRfo:
-      return "RFO";
-    case OperatorKind::kCpmm:
-      return "cpmm";
-    case OperatorKind::kAuto:
-      break;
-  }
-  return "?";
-}
 
 /// Straggler enumeration bound per stage: analytic paper-scale stages can
 /// model millions of tasks, and scanning the whole schedule would swamp
@@ -78,6 +65,22 @@ void RecordStageMetrics(MetricsRegistry* metrics, const StageStats& stats,
 }
 
 }  // namespace
+
+std::string_view OperatorKindName(OperatorKind kind) {
+  switch (kind) {
+    case OperatorKind::kCfo:
+      return "CFO";
+    case OperatorKind::kBfo:
+      return "BFO";
+    case OperatorKind::kRfo:
+      return "RFO";
+    case OperatorKind::kCpmm:
+      return "cpmm";
+    case OperatorKind::kAuto:
+      break;
+  }
+  return "?";
+}
 
 std::string_view SystemModeName(SystemMode mode) {
   switch (mode) {
@@ -152,36 +155,14 @@ Status Engine::StartObservability() {
   return Status::OK();
 }
 
-PqrChoice Engine::Optimize(const PartialPlan& plan,
-                           double budget_factor) const {
-  // Plans whose O-space reshapes the matmul output cannot split the
-  // common dimension (no coordinate-wise partial merge is possible).
-  const std::int64_t max_r = CuboidSupportsKSplit(plan) ? 0 : 1;
-  auto search = [&](const CostModel* model) {
-    PqrOptimizer optimizer(model);
-    optimizer.set_metrics(options_.metrics);
-    return options_.pruned_search ? optimizer.Pruned(plan, max_r)
-                                  : optimizer.Exhaustive(plan, max_r);
-  };
-  PqrChoice choice;
-  if (budget_factor == 1.0) {
-    choice = search(&model_);
-  } else {
-    const CostModel tight = model_.WithBudgetFactor(budget_factor);
-    choice = search(&tight);
-  }
-  if (journal_ != nullptr) {
-    if (choice.feasible) {
-      journal_->Emit(LogLevel::kInfo, event_names::kOptimizerChoice,
-                     {{"plan", plan.ToString()},
-                      {"cuboid", choice.c.ToString()},
-                      {"cost_seconds", std::to_string(choice.cost)}});
-    } else {
-      journal_->Emit(LogLevel::kWarning, event_names::kOptimizerChoice,
-                     {{"plan", plan.ToString()}, {"feasible", "false"}});
-    }
-  }
-  return choice;
+SolverEnv Engine::MakeSolverEnv(bool silent) const {
+  SolverEnv env;
+  env.model = &model_;
+  env.pruned_search = options_.pruned_search;
+  env.balance_sparsity = options_.balance_sparsity;
+  env.metrics = silent ? nullptr : options_.metrics;
+  env.journal = silent ? nullptr : journal_;
+  return env;
 }
 
 FusionPlanSet Engine::MakePlans(const Dag& dag) const {
@@ -260,8 +241,9 @@ FusionPlanSet Engine::MakePlans(const Dag& dag) const {
   return set;
 }
 
-OperatorKind Engine::PickOperator(const PartialPlan& plan,
-                                  const FusedInputs& inputs) const {
+OperatorKind Engine::PickOperator(
+    const PartialPlan& plan,
+    const std::vector<NodeId>& bound_matrices) const {
   const bool has_matmul = !plan.MatMuls().empty();
   switch (options_.system) {
     case SystemMode::kFuseMe:
@@ -279,7 +261,7 @@ OperatorKind Engine::PickOperator(const PartialPlan& plan,
       const Dag& dag = plan.dag();
       NodeId main_input = kInvalidNode;
       std::int64_t main_cells = -1;
-      for (const auto& [id, dm] : inputs) {
+      for (const NodeId id : bound_matrices) {
         const Node& n = dag.node(id);
         const std::int64_t cells = n.rows * n.cols;
         if (cells > main_cells) {
@@ -300,7 +282,7 @@ OperatorKind Engine::PickOperator(const PartialPlan& plan,
       // actually fit in a task (mapmm); otherwise it falls back to the
       // replication-based shuffle operator (cpmm/rmm).
       std::int64_t side_bytes = 0;
-      for (const auto& [id, dm] : inputs) {
+      for (const NodeId id : bound_matrices) {
         if (id != main_input) side_bytes += SizeOf(dag, id);
       }
       const bool sides_fit =
@@ -312,233 +294,17 @@ OperatorKind Engine::PickOperator(const PartialPlan& plan,
   return OperatorKind::kCfo;
 }
 
-/// Smallest R making a (1,1,R) cuboid fit the task budget, or -1.
-static std::int64_t MinFeasibleCpmmR(const CostModel& model,
-                                     const PartialPlan& plan) {
-  const GridDims g = model.Grid(plan);
-  for (std::int64_t r = 1; r <= g.K; ++r) {
-    if (model.MemEst(Cuboid{1, 1, r}, plan) <=
-        static_cast<double>(model.config().task_memory_budget)) {
-      return r;
-    }
-  }
-  return -1;
-}
-
-Result<DistributedMatrix> Engine::RunPlanReal(const PartialPlan& plan,
-                                              OperatorKind kind,
-                                              const StagePrediction& pred,
-                                              const FusedInputs& inputs,
-                                              StageContext* ctx) const {
-  switch (kind) {
-    case OperatorKind::kCfo: {
-      CuboidOptions cuboid_options;
-      cuboid_options.balance_sparsity = options_.balance_sparsity;
-      return CuboidFusedOperator::Execute(plan, pred.cuboid, inputs, ctx,
-                                          cuboid_options);
-    }
-    case OperatorKind::kBfo:
-      return BroadcastFusedOperator::Execute(plan, inputs, ctx);
-    case OperatorKind::kRfo:
-    case OperatorKind::kCpmm:
-      return CuboidFusedOperator::Execute(plan, pred.cuboid, inputs, ctx);
-    case OperatorKind::kAuto:
-      break;
-  }
-  return Status::Internal("unresolved operator kind");
-}
-
-namespace {
-
-/// Total serialized bytes of a plan's matrix-valued external inputs,
-/// split into the largest ("main") one and the rest ("sides").
-struct InputSplit {
-  NodeId main = kInvalidNode;
-  std::int64_t main_bytes = 0;
-  std::int64_t side_bytes = 0;
-};
-
-InputSplit SplitInputs(const PartialPlan& plan) {
-  const Dag& dag = plan.dag();
-  InputSplit split;
-  std::int64_t total = 0;
-  std::int64_t main_cells = -1;
-  for (NodeId ext : plan.ExternalInputs()) {
-    const Node& n = dag.node(ext);
-    if (!n.is_matrix()) continue;
-    const std::int64_t bytes = SizeOf(dag, ext);
-    total += bytes;
-    // Paper §2.2: the main matrix is the one with the most elements.
-    const std::int64_t cells = n.rows * n.cols;
-    if (cells > main_cells) {
-      main_cells = cells;
-      split.main = ext;
-      split.main_bytes = bytes;
-    }
-  }
-  split.side_bytes = total - split.main_bytes;
-  return split;
-}
-
-}  // namespace
-
 Result<StagePrediction> Engine::PredictStage(const PartialPlan& plan,
                                              OperatorKind kind,
                                              const FusedInputs* inputs,
                                              double budget_factor) const {
-  const Dag& dag = plan.dag();
-  const ClusterConfig& cluster = options_.cluster;
-
-  StagePrediction pred;
-  pred.present = true;
-  pred.operator_kind = OperatorKindName(kind);
-
-  // Eq. 2 for estimates assembled outside the cost model's Cost().
-  auto eq2_seconds = [&](double bytes, double flops) {
-    const double n = static_cast<double>(cluster.num_nodes);
-    return std::max(bytes / (n * cluster.net_bandwidth),
-                    flops / (n * cluster.compute_bandwidth));
-  };
-  auto fill_estimates = [&](const Cuboid& c,
-                            const CostModel::Estimates& est) {
-    pred.cuboid = c;
-    // W-grouped k-slices share a leader task, so schedulable tasks are the
-    // effective volume P·Q·⌈R/W⌉ (= P·Q·R when W = 1).
-    pred.num_tasks = static_cast<int>(
-        std::min<std::int64_t>(c.effective_volume(), 1 << 24));
-    pred.net_bytes = est.net_bytes;
-    pred.agg_bytes = est.agg_bytes;
-    pred.flops = est.flops;
-    pred.mem_per_task = est.mem_per_task;
-    pred.cost_seconds =
-        eq2_seconds(est.net_bytes + est.agg_bytes, est.flops);
-  };
-
-  switch (kind) {
-    case OperatorKind::kCfo: {
-      const PqrChoice choice = Optimize(plan, budget_factor);
-      if (!choice.feasible) {
-        return Status::OutOfMemory(
-            "no feasible (P,Q,R) for plan " + plan.ToString() +
-            " within the per-task budget" +
-            (budget_factor == 1.0
-                 ? ""
-                 : " (degraded to " + std::to_string(budget_factor) + "x)"));
-      }
-      CostModel::Estimates est;
-      est.mem_per_task = choice.mem_per_task;
-      est.net_bytes = choice.net_bytes;
-      est.agg_bytes = choice.agg_bytes;
-      est.flops = choice.flops;
-      fill_estimates(choice.c, est);
-      pred.cost_seconds = choice.cost;
-      if (plan.MatMuls().empty()) {
-        // Cell stage: same-shaped grid-partitioned inputs are narrow
-        // dependencies (no shuffle) where their owner task coincides
-        // with this stage's round-robin task; only the misaligned
-        // remainder and reshaping inputs (vectors, transposes) move,
-        // and an aggregation root ships its per-task partials.  The
-        // executor behaves this way, so the prediction must too.
-        //
-        // Both sides assign tile idx round-robin, so owner(idx) =
-        // idx % producer_tasks matches task(idx) = idx % num_tasks on
-        // min/lcm of the tiles (e.g. a single-partition BFO output
-        // feeding a 6-task cell stage aligns on 1/6 of them).
-        auto aligned_fraction = [](std::int64_t consumer,
-                                   std::int64_t producer) {
-          if (consumer <= 0 || producer <= 0) return 0.0;
-          const std::int64_t g = std::gcd(consumer, producer);
-          const std::int64_t lcm = consumer / g * producer;
-          return static_cast<double>(std::min(consumer, producer)) /
-                 static_cast<double>(lcm);
-        };
-        const Node& root = dag.node(plan.root());
-        const bool agg_root = root.kind == OpKind::kUnaryAgg;
-        const Node& grid_node =
-            agg_root ? dag.node(root.inputs[0]) : root;
-        double net = 0;
-        for (NodeId ext : plan.ExternalInputs()) {
-          const Node& n = dag.node(ext);
-          if (!n.is_matrix()) continue;
-          const double bytes = static_cast<double>(SizeOf(dag, ext));
-          if (n.rows == grid_node.rows && n.cols == grid_node.cols) {
-            std::int64_t producer_tasks = cluster.total_tasks();
-            if (inputs != nullptr) {
-              auto it = inputs->find(ext);
-              if (it != inputs->end()) {
-                producer_tasks =
-                    it->second->scheme() == PartitionScheme::kGrid
-                        ? it->second->num_tasks()
-                        : 0;  // row/col layouts never align
-              }
-            }
-            net += bytes *
-                   (1.0 - aligned_fraction(pred.num_tasks, producer_tasks));
-            continue;
-          }
-          net += bytes;
-        }
-        pred.net_bytes = net;
-        if (agg_root) {
-          pred.agg_bytes = std::min(
-              est.net_bytes,
-              static_cast<double>(pred.num_tasks) *
-                  static_cast<double>(SizeOf(dag, plan.root())));
-        }
-        pred.cost_seconds =
-            eq2_seconds(pred.net_bytes + pred.agg_bytes, pred.flops);
-      }
-      return pred;
-    }
-    case OperatorKind::kRfo: {
-      const GridDims g = model_.Grid(plan);
-      const Cuboid c{g.I, g.J, 1};
-      fill_estimates(c, model_.Estimate(c, plan));
-      return pred;
-    }
-    case OperatorKind::kCpmm: {
-      const std::int64_t r = MinFeasibleCpmmR(model_, plan);
-      if (r < 0) {
-        return Status::OutOfMemory("cpmm cannot fit " + plan.ToString() +
-                                   " within the per-task budget");
-      }
-      const Cuboid c{1, 1, r};
-      fill_estimates(c, model_.Estimate(c, plan));
-      // One (p,q) pair but R k-slices: parallelism R.
-      pred.num_tasks = static_cast<int>(r);
-      return pred;
-    }
-    case OperatorKind::kBfo: {
-      const InputSplit split = SplitInputs(plan);
-      std::int64_t num_tasks = cluster.total_tasks();
-      if (split.main != kInvalidNode) {
-        const Node& main = dag.node(split.main);
-        const std::int64_t bs = cluster.block_size;
-        const std::int64_t blocks = ((main.rows + bs - 1) / bs) *
-                                    ((main.cols + bs - 1) / bs);
-        num_tasks = std::min<std::int64_t>(
-            num_tasks, EstimateSparkPartitions(split.main_bytes, blocks));
-      }
-      num_tasks = std::max<std::int64_t>(num_tasks, 1);
-      pred.cuboid = Cuboid{1, 1, 1};
-      pred.num_tasks = static_cast<int>(num_tasks);
-      pred.net_bytes = static_cast<double>(split.main_bytes +
-                                           num_tasks * split.side_bytes);
-      pred.agg_bytes = 0;
-      // Side-space work repeats on every task (the paper's "BFO executes
-      // the transpose T times"): the cost model at (T, T, 1) captures it.
-      pred.flops = model_.ComEst(Cuboid{num_tasks, num_tasks, 1}, plan);
-      pred.mem_per_task =
-          static_cast<double>(split.main_bytes) / num_tasks +
-          static_cast<double>(split.side_bytes) +
-          static_cast<double>(SizeOf(dag, plan.root())) / num_tasks;
-      pred.cost_seconds = eq2_seconds(pred.net_bytes, pred.flops);
-      return pred;
-    }
-    case OperatorKind::kAuto:
-      break;
-  }
-  return Status::Internal("unresolved operator kind");
+  // Resolve silently: NextDegradation probes the ladder through here and
+  // repeated probes must not inflate the resolution metrics.
+  const SolverEnv silent = MakeSolverEnv(/*silent=*/true);
+  const StageSolver* solver =
+      SolverRegistry::Global().Resolve(silent, kind, plan);
+  if (solver == nullptr) return Status::Internal("unresolved operator kind");
+  return solver->Predict(MakeSolverEnv(), plan, inputs, budget_factor);
 }
 
 Result<Engine::DegradationStep> Engine::NextDegradation(
@@ -635,7 +401,7 @@ Result<DistributedMatrix> Engine::RunPlanAnalytic(const PartialPlan& plan,
     case OperatorKind::kCpmm:
       return make_output();
     case OperatorKind::kBfo: {
-      const InputSplit split = SplitInputs(plan);
+      const InputSplit split = SplitPlanInputs(plan);
       if (pred.mem_per_task >
           static_cast<double>(cluster.task_memory_budget)) {
         return Status::OutOfMemory(
@@ -652,18 +418,12 @@ Result<DistributedMatrix> Engine::RunPlanAnalytic(const PartialPlan& plan,
   return Status::Internal("unresolved operator kind");
 }
 
-Engine::RunResult Engine::RunWithPlans(
-    const Dag& dag, const FusionPlanSet& plans,
+Engine::RunResult Engine::ExecuteCompiled(
+    const Dag& dag, const FusionPlanSet& plans, const CompiledStageTable& table,
     const std::map<NodeId, BlockedMatrix>& inputs,
-    OperatorKind forced) const {
+    bool trust_cached_verification) const {
   RunResult out;
-  // Both entry points populate the description: MakePlans-produced sets
-  // carry the planner's own, caller-assembled sets get a synthesized one.
-  out.report.plan_description =
-      !plans.description.empty()
-          ? plans.description
-          : "caller-supplied (" + std::to_string(plans.plans.size()) +
-                " plan" + (plans.plans.size() == 1 ? "" : "s") + ")";
+  out.report.plan_description = table.description;
   if (options_.tracer != nullptr) options_.tracer->NameCurrentThread("driver");
   if (journal_ != nullptr) {
     journal_->Emit(
@@ -676,13 +436,18 @@ Engine::RunResult Engine::RunWithPlans(
   PlanVerifier verifier(&model_);
   verifier.set_metrics(options_.metrics);
   if (options_.verify != VerifyLevel::kOff) {
-    // Structural verification of everything about to execute: planner
-    // diagnostics carried in the set, DAG consistency, per-plan region
-    // legality + subspace soundness, and the lowered stage graph.
-    std::vector<VerifierDiagnostic> diags = plans.diagnostics;
-    std::vector<VerifierDiagnostic> more =
-        verifier.Verify(dag, plans, options_.verify);
-    diags.insert(diags.end(), more.begin(), more.end());
+    // CompileStages already ran the structural verification and cached the
+    // diagnostics in the table; replay them instead of re-verifying on
+    // every execute.  A table compiled without the verifier, and a
+    // kParanoid engine on the compile-once/execute-many path, still get a
+    // full fresh pass here.
+    std::vector<VerifierDiagnostic> diags = table.diagnostics;
+    if (!table.verified || (!trust_cached_verification &&
+                            options_.verify == VerifyLevel::kParanoid)) {
+      std::vector<VerifierDiagnostic> more =
+          verifier.Verify(dag, plans, options_.verify);
+      diags.insert(diags.end(), more.begin(), more.end());
+    }
     if (!diags.empty()) {
       out.report.status = Status::Internal(
           "plan verification failed (" + std::to_string(diags.size()) +
@@ -703,6 +468,23 @@ Engine::RunResult Engine::RunWithPlans(
     }
   }
 
+  // A table that failed compile-time verification carries no stages (the
+  // verify block above surfaces its diagnostics); any other count mismatch
+  // means the table and plan set drifted apart.
+  if (table.stages.size() != plans.plans.size()) {
+    out.report.status = Status::Internal(
+        "compiled stage table has " + std::to_string(table.stages.size()) +
+        " stage(s) for " + std::to_string(plans.plans.size()) + " plan(s)");
+    if (journal_ != nullptr) {
+      journal_->Emit(LogLevel::kError, event_names::kRunFinish,
+                     {{"status", RunStatusLabel(out.report.status)},
+                      {"elapsed_seconds", "0"},
+                      {"stages", "0"}});
+    }
+    return out;
+  }
+
+  const SolverEnv solver_env = MakeSolverEnv();
   Simulator sim(options_.cluster);
 
   std::map<NodeId, DistributedMatrix> materialized;
@@ -748,8 +530,13 @@ Engine::RunResult Engine::RunWithPlans(
     }
     if (!inputs_ok) break;
 
-    OperatorKind kind =
-        forced == OperatorKind::kAuto ? PickOperator(plan, fin) : forced;
+    const CompiledStage& compiled = table.stages[stage_ordinal];
+    OperatorKind kind = compiled.kind;
+    const StageSolver* solver =
+        SolverRegistry::Global().Find(compiled.solver_id);
+    FUSEME_CHECK(solver != nullptr)
+        << "compiled stage references unknown solver " << compiled.solver_id;
+    bool first_attempt = true;
 
     StageTelemetry telemetry;
     const std::int64_t span_begin =
@@ -768,12 +555,30 @@ Engine::RunResult Engine::RunWithPlans(
     StageStats stats;
     std::string label;
     for (;;) {
-      label = plan.ToString() + " [" + OperatorKindName(kind) + "]";
+      label = plan.ToString() + " [" +
+              std::string(OperatorKindName(kind)) + "]";
       telemetry.label = label;
       telemetry.predicted = StagePrediction{};
 
-      Result<StagePrediction> predr =
-          PredictStage(plan, kind, &fin, budget_factor);
+      Result<StagePrediction> predr = Status::Internal("unset");
+      if (first_attempt) {
+        // First attempt: replay the compile-time base prediction and fold
+        // in only what the live-bound inputs change — no cuboid search.
+        // Identical to a fresh PredictStage at budget 1 by construction
+        // (PredictBase + RefinePrediction == Predict).
+        first_attempt = false;
+        if (compiled.prediction_status.ok()) {
+          StagePrediction pred = compiled.prediction;
+          solver->RefinePrediction(solver_env, plan, &fin, &pred);
+          predr = Result<StagePrediction>(std::move(pred));
+        } else {
+          predr = compiled.prediction_status;
+        }
+      } else {
+        // Degradation rungs left the compiled configuration behind; fall
+        // back to live prediction for the new kind/budget.
+        predr = PredictStage(plan, kind, &fin, budget_factor);
+      }
       if (predr.ok()) telemetry.predicted = *predr;
 
       result = predr.ok() ? Status::Internal("unset") : predr.status();
@@ -816,39 +621,47 @@ Engine::RunResult Engine::RunWithPlans(
                            {{"stage", label},
                             {"ordinal", std::to_string(stage_ordinal)}});
           }
-        } else if (options_.analytic) {
-          result = RunPlanAnalytic(plan, kind, *predr, &stats);
-          telemetry.threads = 1;
         } else {
-          StageContext ctx(label, options_.cluster);
-          ctx.set_tracer(options_.tracer);
-          ctx.set_metrics(options_.metrics);
-          ctx.set_journal(journal_);
-          if (injector != nullptr) {
-            ctx.ConfigureRecovery(injector, stage_ordinal,
-                                  options_.recovery.retry);
+          if (options_.metrics != nullptr) {
+            options_.metrics
+                ->GetCounter(metric_names::kSolverExecutions,
+                             {{"solver", std::string(solver->id())}})
+                ->Increment();
           }
-          result = RunPlanReal(plan, kind, *predr, fin, &ctx);
-          stats = ctx.Finalize();
-          stats.label = label;
-          telemetry.threads = ctx.Parallelism();
-          telemetry.pipeline = ctx.pipeline();
-          const StageRecovery items = ctx.recovery();
-          recovery.attempts += items.attempts;
-          recovery.retries += items.retries;
-          recovery.injected_failures += items.injected_failures;
-          recovery.exhausted_items += items.exhausted_items;
-          recovery.backoff_seconds += items.backoff_seconds;
-          if (journal_ != nullptr && items.retries > 0) {
-            // One stage-level event after the attempt completes — never
-            // per item, keeping emission off the work-item hot path.
-            journal_->Emit(
-                LogLevel::kWarning, event_names::kTaskRetry,
-                {{"stage", label},
-                 {"attempts", std::to_string(items.attempts)},
-                 {"injected_failures",
-                  std::to_string(items.injected_failures)},
-                 {"exhausted", std::to_string(items.exhausted_items)}});
+          if (options_.analytic) {
+            result = RunPlanAnalytic(plan, kind, *predr, &stats);
+            telemetry.threads = 1;
+          } else {
+            StageContext ctx(label, options_.cluster);
+            ctx.set_tracer(options_.tracer);
+            ctx.set_metrics(options_.metrics);
+            ctx.set_journal(journal_);
+            if (injector != nullptr) {
+              ctx.ConfigureRecovery(injector, stage_ordinal,
+                                    options_.recovery.retry);
+            }
+            result = solver->Run(solver_env, plan, *predr, fin, &ctx);
+            stats = ctx.Finalize();
+            stats.label = label;
+            telemetry.threads = ctx.Parallelism();
+            telemetry.pipeline = ctx.pipeline();
+            const StageRecovery items = ctx.recovery();
+            recovery.attempts += items.attempts;
+            recovery.retries += items.retries;
+            recovery.injected_failures += items.injected_failures;
+            recovery.exhausted_items += items.exhausted_items;
+            recovery.backoff_seconds += items.backoff_seconds;
+            if (journal_ != nullptr && items.retries > 0) {
+              // One stage-level event after the attempt completes — never
+              // per item, keeping emission off the work-item hot path.
+              journal_->Emit(
+                  LogLevel::kWarning, event_names::kTaskRetry,
+                  {{"stage", label},
+                   {"attempts", std::to_string(items.attempts)},
+                   {"injected_failures",
+                    std::to_string(items.injected_failures)},
+                   {"exhausted", std::to_string(items.exhausted_items)}});
+            }
           }
         }
       }
@@ -887,6 +700,10 @@ Engine::RunResult Engine::RunWithPlans(
       out.report.degradations.push_back(std::move(event));
       kind = next->kind;
       budget_factor = next->budget_factor;
+      // The ladder switched configurations: re-resolve the solver for the
+      // new kind (recorded as a fresh resolution, like compile time).
+      solver = SolverRegistry::Global().Resolve(solver_env, kind, plan);
+      FUSEME_CHECK(solver != nullptr);
     }
     telemetry.wall_seconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
@@ -947,7 +764,7 @@ Engine::RunResult Engine::RunWithPlans(
               LogLevel::kInfo, event_names::kStageCommit,
               {{"stage", label},
                {"ordinal", std::to_string(stage_ordinal)},
-               {"operator", OperatorKindName(kind)},
+               {"operator", std::string(OperatorKindName(kind))},
                {"tasks", std::to_string(stats.num_tasks)},
                {"elapsed_seconds", std::to_string(stats.elapsed_seconds)}});
         }
@@ -1061,6 +878,204 @@ Engine::RunResult Engine::RunWithPlans(
          {"stages", std::to_string(out.report.stages.size())}});
   }
   return out;
+}
+
+namespace {
+
+/// The plan's matrix-valued external input ids, ascending — the id set a
+/// successful run binds, in the order the historical std::map-keyed
+/// PickOperator iterated them.
+std::vector<NodeId> BoundMatrixIds(const Dag& dag, const PartialPlan& plan) {
+  std::vector<NodeId> bound;
+  for (NodeId ext : plan.ExternalInputs()) {
+    if (dag.node(ext).is_matrix()) bound.push_back(ext);
+  }
+  std::sort(bound.begin(), bound.end());
+  return bound;
+}
+
+}  // namespace
+
+CompiledStageTable Engine::CompileStages(const Dag& dag,
+                                         const FusionPlanSet& plans,
+                                         OperatorKind forced) const {
+  CompiledStageTable table;
+  // Both entry points populate the description: MakePlans-produced sets
+  // carry the planner's own, caller-assembled sets get a synthesized one.
+  table.description =
+      !plans.description.empty()
+          ? plans.description
+          : "caller-supplied (" + std::to_string(plans.plans.size()) +
+                " plan" + (plans.plans.size() == 1 ? "" : "s") + ")";
+  table.diagnostics = plans.diagnostics;
+  if (options_.verify != VerifyLevel::kOff) {
+    // Structural verification of everything the table will replay: planner
+    // diagnostics carried in the set, DAG consistency, per-plan region
+    // legality + subspace soundness, and the lowered stage graph.  The
+    // result is cached in the table so Execute can replay it.
+    PlanVerifier verifier(&model_);
+    verifier.set_metrics(options_.metrics);
+    std::vector<VerifierDiagnostic> more =
+        verifier.Verify(dag, plans, options_.verify);
+    table.diagnostics.insert(table.diagnostics.end(), more.begin(),
+                             more.end());
+    table.verified = true;
+    if (!table.diagnostics.empty()) {
+      // Execute fails on these diagnostics before touching any stage;
+      // resolving solvers for a rejected plan set would only mint
+      // misleading fuseme.solver.chosen events on corrupt plans.
+      return table;
+    }
+  }
+
+  const SolverEnv env = MakeSolverEnv();
+  table.stages.reserve(plans.plans.size());
+  for (const PartialPlan& plan : plans.plans) {
+    CompiledStage stage;
+    stage.kind = forced == OperatorKind::kAuto
+                     ? PickOperator(plan, BoundMatrixIds(dag, plan))
+                     : forced;
+    const StageSolver* solver =
+        SolverRegistry::Global().Resolve(env, stage.kind, plan);
+    FUSEME_CHECK(solver != nullptr);
+    stage.solver_id = std::string(solver->id());
+    stage.refine_cell =
+        stage.kind == OperatorKind::kCfo && plan.MatMuls().empty();
+    Result<StagePrediction> base = solver->PredictBase(env, plan, 1.0);
+    if (base.ok()) {
+      stage.prediction = *std::move(base);
+    } else {
+      stage.prediction_status = base.status();
+    }
+    if (journal_ != nullptr) {
+      std::vector<std::pair<std::string, std::string>> fields = {
+          {"stage", plan.ToString()},
+          {"solver", stage.solver_id},
+          {"operator", std::string(OperatorKindName(stage.kind))}};
+      if (stage.prediction_status.ok()) {
+        fields.emplace_back("cost_seconds",
+                            std::to_string(stage.prediction.cost_seconds));
+      }
+      journal_->Emit(LogLevel::kInfo, event_names::kSolverChosen,
+                     std::move(fields));
+    }
+    table.stages.push_back(std::move(stage));
+  }
+  return table;
+}
+
+Result<CompiledPlan> Engine::Compile(const Dag& dag) const {
+  CompiledPlan compiled;
+  compiled.dag_ = std::make_unique<Dag>(dag);
+  compiled.plans_ = MakePlans(*compiled.dag_);
+  compiled.table_ =
+      CompileStages(*compiled.dag_, compiled.plans_, OperatorKind::kAuto);
+  compiled.system_ = options_.system;
+  compiled.forced_ = OperatorKind::kAuto;
+  compiled.analytic_ = options_.analytic;
+  compiled.verify_ = options_.verify;
+  compiled.cluster_ = options_.cluster;
+  return compiled;
+}
+
+Result<CompiledPlan> Engine::CompileWithPlans(const Dag& dag,
+                                              const FusionPlanSet& plans,
+                                              OperatorKind forced) const {
+  CompiledPlan compiled;
+  compiled.dag_ = std::make_unique<Dag>(dag);
+  // Rebuild the caller's plans over the artifact's own DAG copy so the
+  // artifact stays self-contained.  The PartialPlan constructor aborts on
+  // malformed plans; pre-validate so callers get a Status instead.
+  compiled.plans_.description = plans.description;
+  compiled.plans_.diagnostics = plans.diagnostics;
+  int index = -1;
+  for (const PartialPlan& plan : plans.plans) {
+    ++index;
+    const auto malformed = [&](const std::string& why) {
+      return Status::InvalidArgument("plan #" + std::to_string(index) + " " +
+                                     why);
+    };
+    if (plan.members().empty()) return malformed("has no members");
+    for (NodeId member : plan.members()) {
+      if (member < 0 || member >= dag.num_nodes()) {
+        return malformed("member v" + std::to_string(member) +
+                         " is out of range");
+      }
+      const Node& n = dag.node(member);
+      if (n.kind == OpKind::kInput || n.kind == OpKind::kScalar) {
+        return malformed("member v" + std::to_string(member) +
+                         " is a leaf, not an operator");
+      }
+    }
+    if (!plan.Contains(plan.root())) {
+      return malformed("root v" + std::to_string(plan.root()) +
+                       " is not a member");
+    }
+    compiled.plans_.plans.emplace_back(compiled.dag_.get(), plan.members(),
+                                       plan.root());
+  }
+  compiled.table_ = CompileStages(*compiled.dag_, compiled.plans_, forced);
+  compiled.system_ = options_.system;
+  compiled.forced_ = forced;
+  compiled.analytic_ = options_.analytic;
+  compiled.verify_ = options_.verify;
+  compiled.cluster_ = options_.cluster;
+  return compiled;
+}
+
+Engine::RunResult Engine::Execute(
+    const CompiledPlan& plan,
+    const std::map<NodeId, BlockedMatrix>& inputs) const {
+  const Status compat = plan.CheckCompatible(options_, inputs);
+  if (!compat.ok()) {
+    RunResult out;
+    out.report.plan_description = plan.description();
+    out.report.status = compat;
+    return out;
+  }
+  return ExecuteCompiled(plan.dag(), plan.plans(), plan.table(), inputs,
+                         /*trust_cached_verification=*/false);
+}
+
+PlanDescription Engine::Describe(const Dag& dag) const {
+  const FusionPlanSet plans = MakePlans(dag);
+  // Silent env: describing must not inflate the fuseme_solver_* /
+  // optimizer accounting a later Compile of the same DAG would record.
+  const SolverEnv env = MakeSolverEnv(/*silent=*/true);
+  const SolverRegistry& registry = SolverRegistry::Global();
+  PlanDescription desc;
+  desc.planner = plans.description;
+  desc.stages.reserve(plans.plans.size());
+  for (const PartialPlan& plan : plans.plans) {
+    StageDescription stage;
+    stage.label = plan.ToString();
+    stage.kind = PickOperator(plan, BoundMatrixIds(dag, plan));
+    const StageSolver* chosen = registry.Resolve(env, stage.kind, plan);
+    for (const StageSolver* s : registry.solvers()) {
+      SolverCandidate c;
+      c.solver_id = std::string(s->id());
+      c.applicability = s->IsApplicable(env, plan);
+      if (c.applicability.ok()) {
+        c.cost_seconds = s->Cost(env, plan);
+        c.feasible = std::isfinite(c.cost_seconds);
+      }
+      c.chosen = s == chosen;
+      stage.candidates.push_back(std::move(c));
+    }
+    desc.stages.push_back(std::move(stage));
+  }
+  return desc;
+}
+
+Engine::RunResult Engine::RunWithPlans(
+    const Dag& dag, const FusionPlanSet& plans,
+    const std::map<NodeId, BlockedMatrix>& inputs, OperatorKind forced) const {
+  // Compile-then-execute over the caller's dag/plan set in place.  The
+  // table carries the single Verify pass this call just ran, so trusting
+  // it keeps the historical one-verification-per-call behavior exactly.
+  const CompiledStageTable table = CompileStages(dag, plans, forced);
+  return ExecuteCompiled(dag, plans, table, inputs,
+                         /*trust_cached_verification=*/true);
 }
 
 Engine::RunResult Engine::Run(

@@ -45,6 +45,17 @@
 #include "telemetry/prediction.h"
 #include "verify/diagnostic.h"
 
+// Opt-in deprecation surface for the legacy single-shot entry points
+// (Run / RunWithPlans — see the migration note in src/fuseme.h).  Off by
+// default so existing builds stay warning-clean under -Werror; define
+// FUSEME_ENABLE_DEPRECATION_WARNINGS to get [[deprecated]] diagnostics at
+// every legacy call site.
+#ifdef FUSEME_ENABLE_DEPRECATION_WARNINGS
+#define FUSEME_DEPRECATED(msg) [[deprecated(msg)]]
+#else
+#define FUSEME_DEPRECATED(msg)
+#endif
+
 namespace fuseme {
 
 class Tracer;
@@ -69,6 +80,10 @@ std::string_view SystemModeName(SystemMode mode);
 /// smallest memory-feasible R — used when neither broadcast nor
 /// replication fits.
 enum class OperatorKind { kAuto, kCfo, kBfo, kRfo, kCpmm };
+/// Stable display names — "CFO", "BFO", "RFO", "cpmm" ("?" for kAuto) —
+/// used by stage labels, trace spans, journal events, and the CompiledPlan
+/// JSON schema.
+std::string_view OperatorKindName(OperatorKind kind);
 
 /// How the engine recovers from failures (DESIGN.md section 13).  The
 /// defaults preserve the paper's semantics: a stage that runs out of
@@ -236,6 +251,11 @@ struct ExecutionReport {
   std::string Summary() const;
 };
 
+class CompiledPlan;         // engine/compiled_plan.h
+struct CompiledStageTable;  // engine/compiled_plan.h
+struct PlanDescription;     // engine/solver_registry.h
+struct SolverEnv;           // engine/solver_registry.h
+
 class Engine {
  public:
   /// Validated construction — the preferred entry point.  Rejects invalid
@@ -278,14 +298,57 @@ class Engine {
     std::string Summary() const { return report.Summary(); }
   };
 
+  // --- Compile-once / execute-many facade (DESIGN.md section 18) ---
+
+  /// Runs the full planning pipeline exactly once — planner, verifier,
+  /// per-stage solver resolution, base cost-model predictions — and
+  /// freezes the result (with an owned copy of the DAG) into a reusable
+  /// CompiledPlan.  Compilation itself always succeeds; planning and
+  /// verification failures are frozen into the artifact and surface from
+  /// Execute exactly as they would from Run.
+  Result<CompiledPlan> Compile(const Dag& dag) const;
+
+  /// Compile against a caller-supplied plan set (the compiled counterpart
+  /// of RunWithPlans), optionally forcing the physical operator.  The
+  /// plans are rebuilt over the artifact's own DAG copy; malformed plans
+  /// (out-of-range members, leaf members, roots outside the member set)
+  /// are rejected with InvalidArgument instead of aborting.
+  Result<CompiledPlan> CompileWithPlans(
+      const Dag& dag, const FusionPlanSet& plans,
+      OperatorKind forced = OperatorKind::kAuto) const;
+
+  /// Replays a compiled artifact against fresh inputs of the same shape
+  /// class: no re-planning, no solver re-resolution, and no redundant
+  /// re-verification (kParanoid deliberately re-checks).  Rejects — via
+  /// CompiledPlan::CheckCompatible, before any stage runs or any event is
+  /// emitted — an artifact compiled for a different system/mode/cluster,
+  /// or inputs whose shape/sparsity class differs from what the artifact
+  /// was compiled for.  Outputs and stage statistics are bitwise
+  /// identical to Run over the same DAG and inputs.
+  RunResult Execute(const CompiledPlan& plan,
+                    const std::map<NodeId, BlockedMatrix>& inputs) const;
+
+  /// Plans `dag` and reports, per stage, every registered stage solver's
+  /// applicability verdict (the precise precondition it rejects on) and
+  /// modeled cost — the decision Compile would freeze, without freezing
+  /// or executing anything.
+  PlanDescription Describe(const Dag& dag) const;
+
   /// Plans and executes the whole DAG.  `inputs` binds leaf nodes to
   /// matrices; in analytic mode missing leaves are synthesized as
   /// descriptors from the DAG metadata.
+  ///
+  /// Thin wrapper over the compile/execute pipeline (Compile + Execute
+  /// semantics in one call); prefer those when the same DAG runs more
+  /// than once.  See the deprecation note in src/fuseme.h.
+  FUSEME_DEPRECATED("single-shot entry point; use Compile + Execute")
   RunResult Run(const Dag& dag,
                 const std::map<NodeId, BlockedMatrix>& inputs) const;
 
   /// Executes a caller-supplied plan set (e.g. the single full-query plan
-  /// of §6.2), optionally forcing the physical operator.
+  /// of §6.2), optionally forcing the physical operator.  Thin wrapper
+  /// over the compile/execute pipeline, like Run.
+  FUSEME_DEPRECATED("single-shot entry point; use CompileWithPlans + Execute")
   RunResult RunWithPlans(const Dag& dag, const FusionPlanSet& plans,
                          const std::map<NodeId, BlockedMatrix>& inputs,
                          OperatorKind forced = OperatorKind::kAuto) const;
@@ -315,15 +378,36 @@ class Engine {
   /// from Create / the legacy constructor after validation.
   Status StartObservability();
 
-  /// Operator the current SystemMode uses for `plan`.
-  OperatorKind PickOperator(const PartialPlan& plan,
-                            const FusedInputs& inputs) const;
+  /// Solver-facing view of this engine's configuration.  `silent` drops
+  /// the metric/journal sinks: used where a resolution or search merely
+  /// probes (PredictStage dispatch, Describe) and must not inflate the
+  /// fuseme_solver_* / optimizer accounting.
+  SolverEnv MakeSolverEnv(bool silent = false) const;
 
-  Result<DistributedMatrix> RunPlanReal(const PartialPlan& plan,
-                                        OperatorKind kind,
-                                        const StagePrediction& pred,
-                                        const FusedInputs& inputs,
-                                        StageContext* ctx) const;
+  /// Operator the current SystemMode uses for `plan`.  `bound_matrices`
+  /// are the plan's matrix-valued external input ids, ascending — the id
+  /// set any successful run binds, so compile-time selection matches what
+  /// the execution path historically chose from its live bindings.
+  OperatorKind PickOperator(const PartialPlan& plan,
+                            const std::vector<NodeId>& bound_matrices) const;
+
+  /// The compile half shared by Compile / CompileWithPlans / the legacy
+  /// wrappers: verification (cached into the table) plus per-stage
+  /// operator selection, solver resolution, and base predictions.
+  /// Operates on the caller's dag/plans in place, so the legacy wrappers
+  /// add no copies (and never rebuild — possibly deliberately corrupted —
+  /// test plan sets through the checking constructor).
+  CompiledStageTable CompileStages(const Dag& dag, const FusionPlanSet& plans,
+                                   OperatorKind forced) const;
+
+  /// The execute half: replays a compiled stage table against `inputs`.
+  /// `trust_cached_verification` distinguishes the single-call legacy
+  /// path (the table was verified moments ago; trust it even at
+  /// kParanoid) from artifact replay (kParanoid re-verifies).
+  RunResult ExecuteCompiled(const Dag& dag, const FusionPlanSet& plans,
+                            const CompiledStageTable& table,
+                            const std::map<NodeId, BlockedMatrix>& inputs,
+                            bool trust_cached_verification) const;
 
   /// Fills `stats` from the prediction's closed forms (plus the engine's
   /// narrow-dependency and output-write adjustments) and returns the
@@ -332,12 +416,6 @@ class Engine {
                                             OperatorKind kind,
                                             const StagePrediction& pred,
                                             StageStats* stats) const;
-
-  /// (P,Q,R) search under the configured budget scaled by `budget_factor`
-  /// (< 1 models a tighter budget, steering the search toward finer
-  /// cuboids with smaller per-task footprints).
-  PqrChoice Optimize(const PartialPlan& plan,
-                     double budget_factor = 1.0) const;
 
   /// One rung up the OOM degradation ladder from the failed attempt at
   /// (`kind`, `failed`, `budget_factor`): the next operator/prediction to

@@ -1,0 +1,48 @@
+// Stage-solver identity catalogue (DESIGN.md section 18).
+//
+// Every stage solver registered in engine/solver_registry.h carries one of
+// these stable ids.  The ids are machine-readable: they key the
+// fuseme_solver_* metric families, the fuseme.solver.chosen journal event,
+// and the "solver" field of serialized CompiledPlan artifacts, so they must
+// never change once released.  fuseme_lint's lint-solver-literal rule
+// enforces that any "solver.*" string literal in the tree resolves to an
+// entry in this catalogue.
+//
+// Naming shape: `solver.<operator>[.<refinement>]` — refinements are more
+// specific variants of the base operator (the registry resolves
+// refined-first, falling back to the base id).
+
+#ifndef FUSEME_ENGINE_SOLVER_NAMES_H_
+#define FUSEME_ENGINE_SOLVER_NAMES_H_
+
+namespace fuseme {
+namespace solver_names {
+
+/// Cuboid-based fused operator with an optimizer-chosen (P,Q,R) — the
+/// paper's CFO and the engine's default stage solver.
+inline constexpr char kCfo[] = "solver.cfo";
+
+/// CFO refinement: a sparse mask drives the fused matmul through the SpMM
+/// kernels (paper Fig. 1(a) "Outer" pattern; fusion/sparsity_analysis.h).
+inline constexpr char kCfoSpmm[] = "solver.cfo.spmm";
+
+/// CFO refinement: the sparse mask multiplies the matrix product directly,
+/// so the SDDMM dot-product kernel evaluates only stored positions.
+inline constexpr char kCfoSddmm[] = "solver.cfo.sddmm";
+
+/// Broadcast fused operator: side matrices ship whole to every task
+/// (MatFast / XLA data-parallel matmul, SystemDS mapmm).
+inline constexpr char kBfo[] = "solver.bfo";
+
+/// Replication fused operator: the (I,J,1) cuboid — every lhs row-panel
+/// meets every rhs column-panel (SystemDS rmm).
+inline constexpr char kRfo[] = "solver.rfo";
+
+/// k-partitioned shuffle matmul: the (1,1,R) cuboid with the smallest
+/// memory-feasible R (SystemDS cpmm; the OOM ladder's last rung).
+inline constexpr char kCpmm[] = "solver.cpmm";
+
+}  // namespace solver_names
+}  // namespace fuseme
+
+#endif  // FUSEME_ENGINE_SOLVER_NAMES_H_

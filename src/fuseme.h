@@ -5,7 +5,8 @@
 //   fuseme::EngineOptions options;  // or EngineOptions::Builder()...
 //   FUSEME_ASSIGN_OR_RETURN(fuseme::Engine engine,
 //                           fuseme::Engine::Create(options));
-//   auto result = engine.Run(dag, inputs);
+//   FUSEME_ASSIGN_OR_RETURN(fuseme::CompiledPlan plan, engine.Compile(dag));
+//   auto result = engine.Execute(plan, inputs);  // compile once, run many
 //   std::cout << result.Summary() << "\n";
 //
 // Everything re-exported here is the supported user-facing API: query
@@ -15,6 +16,21 @@
 // (telemetry/), and the paper's workloads (workloads/).  Internal layers
 // — kernels, physical operators, the verifier's rule internals — stay
 // behind their own headers on purpose; depend on them only from tests.
+//
+// MIGRATION NOTE (DESIGN.md section 18): Engine::Run and
+// Engine::RunWithPlans are legacy single-shot entry points, kept as thin
+// wrappers over the compile/execute pipeline.  They re-plan, re-verify,
+// and re-resolve solvers on every call.  New code should use
+//
+//   Engine::Describe(dag)            — inspect solver choices, run nothing
+//   Engine::Compile(dag)             — plan + verify + resolve, once
+//   Engine::CompileWithPlans(...)    — same, over a caller plan set
+//   Engine::Execute(plan, inputs)    — replay against fresh inputs
+//   CompiledPlan::ToJson/FromJson    — persist across processes
+//
+// and reserve Run/RunWithPlans for one-off queries.  Defining
+// FUSEME_ENABLE_DEPRECATION_WARNINGS turns the legacy pair's
+// FUSEME_DEPRECATED annotations into [[deprecated]] warnings.
 
 #ifndef FUSEME_FUSEME_H_
 #define FUSEME_FUSEME_H_
@@ -29,9 +45,14 @@
 #include "cost/cost_model.h"
 #include "cost/optimizer.h"
 
-// The engine facade itself plus the single-node reference executor.
+// The engine facade itself, the compile-once/execute-many artifact and
+// stage-solver registry (DESIGN.md section 18), plus the single-node
+// reference executor.
+#include "engine/compiled_plan.h"
 #include "engine/engine.h"
 #include "engine/reference.h"
+#include "engine/solver_names.h"
+#include "engine/solver_registry.h"
 
 // Fusion planners (CFG and the compared systems' strategies, paper §4).
 #include "fusion/planners.h"

@@ -28,6 +28,12 @@ inline constexpr char kPlannerPlans[] = "fuseme.planner.plans_ready";
 /// cost_seconds (or feasible=false when nothing fit the budget).
 inline constexpr char kOptimizerChoice[] = "fuseme.optimizer.cuboid_chosen";
 
+// --- Stage-solver registry ---
+/// Engine::Compile resolved a stage to a registry solver; payload:
+/// stage, solver, operator, cost_seconds (absent when the compile-time
+/// prediction failed).
+inline constexpr char kSolverChosen[] = "fuseme.solver.chosen";
+
 // --- Verifier ---
 /// A plan-verification diagnostic failed the run; one event per
 /// diagnostic, payload: rule, detail.

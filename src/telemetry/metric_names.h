@@ -47,6 +47,23 @@ inline constexpr char kOptimizerCuboidsPruned[] =
 inline constexpr char kOptimizerInfeasible[] =
     "fuseme_optimizer_infeasible_total";
 
+// --- Stage-solver registry (engine/solver_registry.h) ---
+/// Solver selections recorded into compiled artifacts, labeled
+/// {solver=<solver_names id>}.  One per compiled stage (plus one per
+/// degradation rung that re-resolves at execute time), so repeat
+/// Engine::Execute calls leave this flat — the bench_compile
+/// compile-happens-once assertion rides on it.
+inline constexpr char kSolverResolutions[] =
+    "fuseme_solver_resolutions_total";
+/// IsApplicable rejections while resolving, labeled {solver=...}; the
+/// registry falls through to the next (less refined) candidate.
+inline constexpr char kSolverRejections[] =
+    "fuseme_solver_rejections_total";
+/// Stage attempts dispatched through a solver's Run/analytic path,
+/// labeled {solver=...}.  Grows with every execute, unlike resolutions.
+inline constexpr char kSolverExecutions[] =
+    "fuseme_solver_executions_total";
+
 // --- Engine / stages ---
 /// Engine runs, labeled {status="ok|out_of_memory|timed_out|error"}.
 inline constexpr char kEngineRuns[] = "fuseme_engine_runs_total";

@@ -69,6 +69,17 @@ inline constexpr char kCuboidBounds[] = "cuboid-bounds";
 inline constexpr char kCuboidKSplit[] = "cuboid-ksplit";
 inline constexpr char kCuboidMemory[] = "cuboid-memory";
 
+// --- Compiled artifacts ---------------------------------------------------
+// Raised by CompiledPlan::FromJson (engine/compiled_plan.cc) while
+// re-verifying a deserialized artifact; defined here so the ids live in
+// the one stable catalogue diagnostics reference.
+/// A stage names a solver the registry doesn't know, or one whose
+/// operator kind disagrees with the stage's recorded kind.
+inline constexpr char kCompiledSolver[] = "compiled-solver";
+/// A stage carries neither a prediction nor a prediction error (or
+/// both), so Execute could not replay it.
+inline constexpr char kCompiledPrediction[] = "compiled-prediction";
+
 }  // namespace rules
 
 class PlanVerifier {

@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include "engine/compiled_plan.h"
 #include "engine/engine.h"
 #include "matrix/generators.h"
 #include "workloads/queries.h"
@@ -16,6 +17,23 @@ EngineOptions PaperOptions(SystemMode mode) {
   options.analytic = true;
   // Paper defaults: 8 nodes, 12 tasks, 10 GB, 1 Gbps, 546 GFLOPS, 1000-block.
   return options;
+}
+
+// The compiled counterpart of the historical RunWithPlans calls these
+// tests were written against: freeze the caller plan set into an artifact
+// once, then execute it.
+Engine::RunResult CompileExecute(const Engine& engine, const Dag& dag,
+                                 const FusionPlanSet& plans,
+                                 const std::map<NodeId, BlockedMatrix>& inputs,
+                                 OperatorKind forced) {
+  Result<CompiledPlan> compiled = engine.CompileWithPlans(dag, plans, forced);
+  if (!compiled.ok()) {
+    ADD_FAILURE() << compiled.status();
+    Engine::RunResult out;
+    out.report.status = compiled.status();
+    return out;
+  }
+  return engine.Execute(*compiled, inputs);
 }
 
 TEST(EngineAnalyticTest, RunsWithoutBoundInputs) {
@@ -70,9 +88,9 @@ TEST(EngineAnalyticTest, Fig12OperatorOrdering) {
   full.description = "single fused operator";
 
   Engine engine(PaperOptions(SystemMode::kFuseMe));
-  auto cfo = engine.RunWithPlans(q.dag, full, {}, OperatorKind::kCfo);
-  auto bfo = engine.RunWithPlans(q.dag, full, {}, OperatorKind::kBfo);
-  auto rfo = engine.RunWithPlans(q.dag, full, {}, OperatorKind::kRfo);
+  auto cfo = CompileExecute(engine, q.dag, full, {}, OperatorKind::kCfo);
+  auto bfo = CompileExecute(engine, q.dag, full, {}, OperatorKind::kBfo);
+  auto rfo = CompileExecute(engine, q.dag, full, {}, OperatorKind::kRfo);
   ASSERT_TRUE(cfo.report.ok()) << cfo.report.status;
   ASSERT_TRUE(bfo.report.ok()) << bfo.report.status;
   ASSERT_TRUE(rfo.report.ok()) << rfo.report.status;
@@ -91,9 +109,9 @@ TEST(EngineAnalyticTest, BfoOomsWhenSidesLarge) {
   full.plans.emplace_back(
       &q.dag, std::vector<NodeId>{q.vT, q.mm, q.add, q.log, q.mul}, q.mul);
   Engine engine(PaperOptions(SystemMode::kFuseMe));
-  auto bfo = engine.RunWithPlans(q.dag, full, {}, OperatorKind::kBfo);
+  auto bfo = CompileExecute(engine, q.dag, full, {}, OperatorKind::kBfo);
   EXPECT_TRUE(bfo.report.status.IsOutOfMemory());
-  auto cfo = engine.RunWithPlans(q.dag, full, {}, OperatorKind::kCfo);
+  auto cfo = CompileExecute(engine, q.dag, full, {}, OperatorKind::kCfo);
   EXPECT_TRUE(cfo.report.ok()) << "CFO adapts (P,Q,R) and survives";
 }
 
@@ -119,10 +137,10 @@ TEST(EngineAnalyticTest, AnalyticTracksRealMeasurement) {
   full.plans.emplace_back(
       &q.dag, std::vector<NodeId>{q.vT, q.mm, q.add, q.log, q.mul}, q.mul);
 
-  auto real = Engine(real_options)
-                  .RunWithPlans(q.dag, full, inputs, OperatorKind::kCfo);
-  auto analytic = Engine(analytic_options)
-                      .RunWithPlans(q.dag, full, {}, OperatorKind::kCfo);
+  auto real = CompileExecute(Engine(real_options), q.dag, full, inputs,
+                             OperatorKind::kCfo);
+  auto analytic = CompileExecute(Engine(analytic_options), q.dag, full, {},
+                                 OperatorKind::kCfo);
   ASSERT_TRUE(real.report.ok()) << real.report.status;
   ASSERT_TRUE(analytic.report.ok()) << analytic.report.status;
   const double real_bytes =
@@ -145,7 +163,7 @@ TEST(EngineAnalyticTest, MorеNodesFaster) {
     EngineOptions options = PaperOptions(SystemMode::kFuseMe);
     options.cluster.num_nodes = nodes;
     Engine engine(options);
-    auto run = engine.RunWithPlans(q.dag, full, {}, OperatorKind::kCfo);
+    auto run = CompileExecute(engine, q.dag, full, {}, OperatorKind::kCfo);
     ASSERT_TRUE(run.report.ok());
     EXPECT_LT(run.report.elapsed_seconds, prev);
     prev = run.report.elapsed_seconds;

@@ -4,6 +4,8 @@
 
 #include "engine/engine.h"
 
+#include "engine/compiled_plan.h"
+
 #include <gtest/gtest.h>
 
 #include "engine/reference.h"
@@ -160,7 +162,9 @@ TEST(EngineTest, ForcedOperatorsAgreeNumerically) {
   Engine engine(Options(SystemMode::kFuseMe));
   for (OperatorKind kind :
        {OperatorKind::kCfo, OperatorKind::kBfo, OperatorKind::kRfo}) {
-    auto run = engine.RunWithPlans(q.dag, full, inputs, kind);
+    auto compiled = engine.CompileWithPlans(q.dag, full, kind);
+    ASSERT_TRUE(compiled.ok()) << compiled.status();
+    auto run = engine.Execute(*compiled, inputs);
     ASSERT_TRUE(run.report.ok()) << run.report.status;
     EXPECT_LE(DenseMatrix::MaxAbsDiff(
                   run.outputs.at(q.mul).blocks().ToDense(), *expected),

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "common/thread_pool.h"
+#include "engine/compiled_plan.h"
 #include "engine/engine.h"
 #include "matrix/generators.h"
 #include "workloads/queries.h"
@@ -136,8 +137,13 @@ TEST_F(ParallelDeterminismTest, ForcedOperatorsOnFusedNmfPlan) {
     SCOPED_TRACE("operator " + std::to_string(static_cast<int>(kind)));
     Engine serial(Options(/*local_threads=*/1));
     Engine parallel(Options(/*local_threads=*/8));
-    ExpectIdenticalRuns(serial.RunWithPlans(q.dag, full, inputs, kind),
-                        parallel.RunWithPlans(q.dag, full, inputs, kind));
+    // One artifact, executed by both engines: local_threads is execution-
+    // local, so the same CompiledPlan is compatible with either, and the
+    // results must still be bitwise identical.
+    auto compiled = serial.CompileWithPlans(q.dag, full, kind);
+    ASSERT_TRUE(compiled.ok()) << compiled.status();
+    ExpectIdenticalRuns(serial.Execute(*compiled, inputs),
+                        parallel.Execute(*compiled, inputs));
   }
 }
 

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "common/thread_pool.h"
+#include "engine/compiled_plan.h"
 #include "engine/engine.h"
 #include "matrix/generators.h"
 #include "workloads/queries.h"
@@ -140,13 +141,16 @@ TEST_F(PrefetchDeterminismTest, ForcedOperatorsSweepOverDepths) {
                             OperatorKind::kRfo, OperatorKind::kCpmm}) {
     SCOPED_TRACE("operator " + std::to_string(static_cast<int>(kind)));
     Engine baseline(Options(/*local_threads=*/1, /*prefetch_depth=*/0));
-    const Engine::RunResult base =
-        baseline.RunWithPlans(q.dag, full, inputs, kind);
+    // One artifact for every depth: prefetch_depth is result-invariant,
+    // so CheckCompatible accepts it on engines with different depths and
+    // the replayed plan must stay bitwise identical.
+    auto compiled = baseline.CompileWithPlans(q.dag, full, kind);
+    ASSERT_TRUE(compiled.ok()) << compiled.status();
+    const Engine::RunResult base = baseline.Execute(*compiled, inputs);
     for (int depth : {2, 8}) {
       SCOPED_TRACE("depth " + std::to_string(depth));
       Engine engine(Options(/*local_threads=*/8, depth));
-      ExpectIdenticalRuns(base,
-                          engine.RunWithPlans(q.dag, full, inputs, kind));
+      ExpectIdenticalRuns(base, engine.Execute(*compiled, inputs));
     }
   }
 }

@@ -1,0 +1,17 @@
+// Negative fixture: an inline "solver.x" stage-solver id that bypasses
+// the catalogue.  fuseme_lint must flag it (lint-solver-literal) while
+// accepting the catalogued id used right next to it.  The bare "solver"
+// metric label key below must NOT trip the rule: no dotted segment, not
+// a solver id.
+
+#include "engine/solver_names.h"
+
+namespace fixture {
+
+const char* Catalogued() { return fuseme::solver_names::kDemo; }
+
+const char* LabelKey() { return "solver"; }
+
+const char* Rogue() { return "solver.rogue.kernel"; }
+
+}  // namespace fixture

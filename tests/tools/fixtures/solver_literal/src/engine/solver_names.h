@@ -1,0 +1,11 @@
+// Fixture solver catalogue for the inline-literal negative case.
+#ifndef FIXTURE_SOLVER_LITERAL_SOLVER_NAMES_H_
+#define FIXTURE_SOLVER_LITERAL_SOLVER_NAMES_H_
+
+namespace fuseme::solver_names {
+
+inline constexpr char kDemo[] = "solver.demo";
+
+}  // namespace fuseme::solver_names
+
+#endif  // FIXTURE_SOLVER_LITERAL_SOLVER_NAMES_H_

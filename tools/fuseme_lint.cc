@@ -25,6 +25,10 @@
 //   lint-event-dead     Every catalogue entry in event_names.h is
 //                       referenced (by its kIdentifier) somewhere in src/
 //                       outside the catalogue itself.
+//   lint-solver-literal Every stage-solver id ("solver.x", one-plus
+//                       dotted segments after the prefix) in src/ is
+//                       declared in src/engine/solver_names.h — solver
+//                       identity is a stable artifact/registry contract.
 //   lint-rule-id-dup    Verifier rule-id string constants declared in
 //                       src/verify/ are unique — ids are a stable public
 //                       contract and must never be reused.
@@ -325,6 +329,36 @@ void CheckEventLiterals(const FileView& f,
   }
 }
 
+// --- rule: lint-solver-literal --------------------------------------------
+
+bool IsSolverCatalogue(const std::string& display_path) {
+  return display_path == "src/engine/solver_names.h";
+}
+
+/// A stage-solver id: "solver" followed by at least one lowercase dotted
+/// segment ("solver.cfo.spmm").  Plain "solver" — the ubiquitous metric
+/// label key — is not an id.
+bool IsSolverId(const std::string& value) {
+  static const std::regex id_re(R"(^solver(\.[a-z0-9_]+)+$)");
+  return std::regex_match(value, id_re);
+}
+
+void CheckSolverLiterals(const FileView& f,
+                         const std::set<std::string>& catalogue,
+                         std::vector<Finding>* findings) {
+  if (!UnderDir(f.display_path, "src/") || IsSolverCatalogue(f.display_path))
+    return;
+  for (const StringLiteral& s : f.strings) {
+    if (!IsSolverId(s.value)) continue;
+    if (catalogue.count(s.value) == 0) {
+      findings->push_back(
+          {f.display_path, s.line, "lint-solver-literal",
+           "inline solver id \"" + s.value +
+               "\" not declared in src/engine/solver_names.h"});
+    }
+  }
+}
+
 // --- rule: lint-rule-id-dup ----------------------------------------------
 
 void CheckRuleIdDuplicates(const std::vector<FileView>& files,
@@ -504,6 +538,16 @@ int main(int argc, char** argv) {
       }
     }
   }
+  std::set<std::string> solver_catalogue_names;
+  bool scanned_solver_catalogue = false;
+  for (const FileView& v : views) {
+    if (IsSolverCatalogue(v.display_path)) {
+      scanned_solver_catalogue = true;
+      for (const CatalogueEntry& e : ParseCharConstants(v.raw)) {
+        solver_catalogue_names.insert(e.name);
+      }
+    }
+  }
   std::string design_md;
   const bool have_design_md = ReadFile(root / "DESIGN.md", &design_md);
   const std::set<int> design_sections =
@@ -515,6 +559,9 @@ int main(int argc, char** argv) {
     if (scanned_catalogue) CheckMetricLiterals(v, catalogue_names, &findings);
     if (scanned_event_catalogue) {
       CheckEventLiterals(v, event_catalogue_names, &findings);
+    }
+    if (scanned_solver_catalogue) {
+      CheckSolverLiterals(v, solver_catalogue_names, &findings);
     }
     CheckDesignRefs(v, design_sections, have_design_md, &findings);
     CheckTodoTags(v, &findings);
